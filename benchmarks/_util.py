@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+emits its rows/series both to stdout and to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+    return text
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence]) -> List[str]:
+    """Format rows as a fixed-width text table."""
+    rendered = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered)
+    return lines
+
+
+def gbps(value: float, saturation: float = 100.0) -> str:
+    """Render a zero-loss ceiling the way the paper interprets it:
+    anything above the link rate reads as "at least 100 Gbps"."""
+    if value >= saturation:
+        return f"{value:7.1f} (>100: saturates link)"
+    return f"{value:7.1f}"

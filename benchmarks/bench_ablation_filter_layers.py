@@ -1,0 +1,110 @@
+"""Ablation — the value of multi-layer filter decomposition.
+
+Section 4 claims the filters are "not merely a convenience": pushing
+predicates down to earlier layers discards out-of-scope traffic before
+expensive stages run. This ablation expresses the same analysis task
+(Netflix connection records) three ways and compares cycle demand:
+
+1. **full** — the complete decomposed filter (hardware + packet +
+   connection + session layers), the paper's design;
+2. **packet-only** — only ``tcp.port = 443`` in the filter; the SNI
+   check moves into the callback (as a user without session filters
+   would write it), so every 443 connection is parsed and delivered;
+3. **no-filter** — everything in the callback: every connection on the
+   link is tracked, reassembled, parsed, and delivered.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from _util import emit, table
+from repro import Runtime, RuntimeConfig, Stage
+from repro.traffic import CampusTrafficGenerator
+
+SNI_RE = re.compile(r"(.+?\.)?nflxvideo\.net")
+FULL = r"tcp.port = 443 and tls.sni ~ '(.+?\.)?nflxvideo\.net'"
+
+#: Cycles a hand-written callback-side SNI check costs (regex on the
+#: parsed handshake plus the record bookkeeping).
+CALLBACK_CHECK_CYCLES = 1500.0
+
+
+def _run(traffic, filter_str, datatype, callback_cycles):
+    hits = []
+
+    def callback(obj):
+        sni = obj.sni() if hasattr(obj, "sni") else None
+        if sni and SNI_RE.search(sni):
+            hits.append(sni)
+
+    runtime = Runtime(
+        RuntimeConfig(cores=8, callback_cycles=callback_cycles),
+        filter_str=filter_str,
+        datatype=datatype,
+        callback=callback,
+    )
+    stats = runtime.run(iter(traffic)).stats
+    return stats, len(hits)
+
+
+def run_ablation():
+    traffic = CampusTrafficGenerator(seed=41).packets(duration=0.5,
+                                                      gbps=0.4)
+    results = {}
+    # Full decomposition: the framework discards early; the callback is
+    # trivial.
+    results["full"] = _run(traffic, FULL, "tls_handshake", 200.0)
+    # Packet-layer only: every TLS handshake on 443 is parsed and
+    # delivered; the user's callback re-implements the SNI check.
+    results["packet-only"] = _run(traffic, "tcp.port = 443",
+                                  "tls_handshake", CALLBACK_CHECK_CYCLES)
+    # No filter at all: every connection probed and parsed.
+    results["no-filter"] = _run(traffic, "", "tls_handshake",
+                                CALLBACK_CHECK_CYCLES)
+    return results
+
+
+def report(results):
+    rows = []
+    for name, (stats, hits) in results.items():
+        rows.append([
+            name,
+            hits,
+            stats.stage_invocations[Stage.CONN_TRACK],
+            stats.stage_invocations[Stage.PARSING],
+            stats.callbacks,
+            f"{stats.cycles_per_ingress_packet:.1f}",
+            f"{stats.max_zero_loss_gbps():.1f}",
+        ])
+    lines = table(
+        ["variant", "netflix hits", "conn-track runs", "parse runs",
+         "callbacks", "cycles/pkt", "zero-loss Gbps"], rows)
+    lines.append("")
+    lines.append("All variants find the same Netflix handshakes; the "
+                 "decomposed filter spends the fewest cycles doing it.")
+    emit("ablation_filter_layers", lines)
+
+
+def test_ablation_filter_layers(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    report(results)
+    full_stats, full_hits = results["full"]
+    packet_stats, packet_hits = results["packet-only"]
+    none_stats, none_hits = results["no-filter"]
+    # Identical analysis outcome.
+    assert full_hits == packet_hits == none_hits
+    assert full_hits > 0
+    # Strictly increasing cost as filtering moves later.
+    assert full_stats.cycles_per_ingress_packet < \
+        packet_stats.cycles_per_ingress_packet < \
+        none_stats.cycles_per_ingress_packet
+    # The decomposed filter delivers only matching sessions.
+    assert full_stats.callbacks == full_hits
+    assert packet_stats.callbacks > full_stats.callbacks
+
+
+if __name__ == "__main__":
+    report(run_ablation())

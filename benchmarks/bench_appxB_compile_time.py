@@ -1,0 +1,90 @@
+"""Appendix B — filter compilation cost.
+
+The paper notes that static filter code generation "incurs a negligible
+increase in compilation time, but would necessitate recompilation for
+different filter expressions" — 73 s for an incremental Rust build with
+LTO. The Python analogue compiles in milliseconds, which is worth
+measuring: it removes the one operational downside the paper concedes
+for compile-time filters.
+
+This benchmark times `compile_filter` (parse → DNF → trie → hardware
+rules → source generation → ``compile()``/``exec``) across filters of
+growing complexity, in both backends.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _util import emit, table
+from repro.filter import compile_filter
+
+NETFLIX_32 = (
+    "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 or "
+    "ipv4.addr in 45.57.0.0/17 or ipv4.addr in 64.120.128.0/17 or "
+    "ipv4.addr in 66.197.128.0/17 or ipv4.addr in 108.175.32.0/20 or "
+    "ipv4.addr in 185.2.220.0/22 or ipv4.addr in 185.9.188.0/22 or "
+    "ipv4.addr in 192.173.64.0/18 or ipv4.addr in 198.38.96.0/19 or "
+    "ipv4.addr in 198.45.48.0/20 or ipv4.addr in 208.75.79.0/24 or "
+    "ipv6.addr in 2620:10c:7000::/44 or ipv6.addr in 2a00:86c0::/32 or "
+    "tls.sni ~ 'netflix.com' or tls.sni ~ 'nflxvideo.net' or "
+    "tls.sni ~ 'nflximg.net' or tls.sni ~ 'nflxext.com' or "
+    "tls.sni ~ 'nflximg.com' or tls.sni ~ 'nflxso.net'"
+)
+
+FILTERS = [
+    ("match-all", ""),
+    ("1 predicate", "ipv4"),
+    ("2 predicates", "tcp.port = 443"),
+    ("session regex", "tcp.port = 443 and tls.sni ~ '(.+?\\.)?nflx'"),
+    ("32 predicates", NETFLIX_32),
+]
+
+
+def _time_compile(filter_str: str, mode: str, repeats: int = 20) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        compile_filter(filter_str, mode=mode)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark():
+    results = {}
+    for label, filter_str in FILTERS:
+        for mode in ("codegen", "interp"):
+            results[(label, mode)] = _time_compile(filter_str, mode)
+    return results
+
+
+def report(results):
+    rows = []
+    for label, _ in FILTERS:
+        codegen_ms = results[(label, "codegen")] * 1e3
+        interp_ms = results[(label, "interp")] * 1e3
+        rows.append([label, f"{codegen_ms:.2f} ms", f"{interp_ms:.2f} ms"])
+    lines = table(["filter", "codegen compile", "interp construct"], rows)
+    lines.append("")
+    lines.append("Paper reference: the Rust build pays 73 s per filter "
+                 "change (incremental + LTO); the reproduction's "
+                 "codegen stays in milliseconds, so recompiling per "
+                 "filter has no operational cost here.")
+    emit("appxB_compile_time", lines)
+
+
+def test_appxB_compile_time(benchmark):
+    results = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    report(results)
+    worst = max(t for (_, mode), t in results.items()
+                if mode == "codegen")
+    assert worst < 0.5  # "negligible", concretely
+    # Complexity grows compile time but stays in the same class.
+    assert results[("32 predicates", "codegen")] > \
+        results[("1 predicate", "codegen")]
+
+
+if __name__ == "__main__":
+    report(run_benchmark())

@@ -1,0 +1,124 @@
+"""Figure 12 / Appendix B — speedup from compiled filter code.
+
+The paper replays four Stratosphere "normal user" traces in offline
+mode on one core (no hardware filtering), logging TLS handshakes, and
+compares natively generated filter code against runtime-interpreted
+filters across filters of increasing complexity. Measured speedups
+range 5.4%-300.4%, growing with filter complexity.
+
+This is the one benchmark where the *real* execution time of this
+Python implementation is the measurement (both backends do identical
+semantic work; only the execution strategy differs — exactly the
+paper's variable), so it uses wall-clock timing rather than the
+virtual cycle ledger.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _util import emit, table
+from repro import Runtime, RuntimeConfig
+from repro.traffic import stratosphere_trace
+from repro.traffic.strato import trace_names
+
+NETFLIX_32 = (
+    "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 or "
+    "ipv4.addr in 45.57.0.0/17 or ipv4.addr in 64.120.128.0/17 or "
+    "ipv4.addr in 66.197.128.0/17 or ipv4.addr in 108.175.32.0/20 or "
+    "ipv4.addr in 185.2.220.0/22 or ipv4.addr in 185.9.188.0/22 or "
+    "ipv4.addr in 192.173.64.0/18 or ipv4.addr in 198.38.96.0/19 or "
+    "ipv4.addr in 198.45.48.0/20 or ipv4.addr in 208.75.79.0/24 or "
+    "ipv6.addr in 2620:10c:7000::/44 or ipv6.addr in 2a00:86c0::/32 or "
+    "tls.sni ~ 'netflix.com' or tls.sni ~ 'nflxvideo.net' or "
+    "tls.sni ~ 'nflximg.net' or tls.sni ~ 'nflxext.com' or "
+    "tls.sni ~ 'nflximg.com' or tls.sni ~ 'nflxso.net'"
+)
+
+FILTERS = [
+    ("None", ""),
+    ("ipv4", "ipv4"),
+    ("tcp.port = 443", "tcp.port = 443"),
+    ("tls.cipher ~ AES_128_GCM", "tls.cipher ~ 'AES_128_GCM'"),
+    ("Netflix traffic (32 preds)", NETFLIX_32),
+]
+
+
+def _time_run(trace, filter_str, mode):
+    """Best-of-three CPU-time measurement.
+
+    ``process_time`` (not wall clock) so a contended machine does not
+    drown the signal, with the garbage collector paused during the
+    measured region.
+    """
+    import gc
+
+    best = float("inf")
+    for _ in range(3):
+        runtime = Runtime(
+            RuntimeConfig(cores=1, hardware_filter=False,
+                          filter_mode=mode),
+            filter_str=filter_str,
+            datatype="tls_handshake",
+            callback=lambda hs: None,
+        )
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.process_time()
+            runtime.run(iter(trace))
+            best = min(best, time.process_time() - start)
+        finally:
+            gc.enable()
+    return best
+
+
+def run_figure12():
+    traces = {name: stratosphere_trace(name, duration=8.0)
+              for name in trace_names()}
+    speedups = {}
+    for trace_name, trace in traces.items():
+        for label, filter_str in FILTERS:
+            compiled = _time_run(trace, filter_str, "codegen")
+            interpreted = _time_run(trace, filter_str, "interp")
+            speedups[(trace_name, label)] = interpreted / compiled
+    return speedups
+
+
+def report(speedups):
+    rows = []
+    for trace_name in trace_names():
+        rows.append([trace_name.replace("CTU-Normal-", "norm-")] + [
+            f"{speedups[(trace_name, label)]:.2f}x"
+            for label, _ in FILTERS
+        ])
+    lines = table(["trace"] + [label for label, _ in FILTERS], rows)
+    lines.append("")
+    lines.append("speedup = interpreted runtime / compiled runtime "
+                 "(same semantics, different execution strategy)")
+    lines.append("Paper reference: 5.4%-300.4% speedups, larger for "
+                 "complex filters (the 32-predicate Netflix filter "
+                 "exceeds 3x).")
+    emit("fig12_codegen_speedup", lines)
+
+
+def test_fig12_codegen_speedup(benchmark):
+    speedups = benchmark.pedantic(run_figure12, rounds=1, iterations=1)
+    report(speedups)
+    complex_label = FILTERS[-1][0]
+    simple_label = FILTERS[1][0]
+    complex_speedups = [speedups[(t, complex_label)]
+                        for t in trace_names()]
+    simple_speedups = [speedups[(t, simple_label)] for t in trace_names()]
+    # Compiled filters win on the complex filter (mean over traces —
+    # individual cells carry measurement noise).
+    assert sum(complex_speedups) / 4 > 1.15
+    assert sum(complex_speedups) / 4 > sum(simple_speedups) / 4
+    # The 32-predicate filter shows a substantial gap somewhere.
+    assert max(complex_speedups) > 1.3
+
+
+if __name__ == "__main__":
+    report(run_figure12())

@@ -1,0 +1,66 @@
+"""Figure 13 — distribution of packet sizes on the campus network.
+
+The paper's histogram is strongly bimodal: a mode of small control
+packets near the 56-B floor and a dominant mode at the 1514-B MTU,
+averaging 895 B. This benchmark histograms the synthetic campus mix
+over the same bin edges as the figure's x-axis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, table
+from repro.traffic import CampusTrafficGenerator
+
+BIN_EDGES = [56, 218, 380, 542, 704, 866, 1028, 1190, 1352, 1514]
+
+
+def run_figure13():
+    traffic = CampusTrafficGenerator(seed=13).packets(duration=0.5,
+                                                      gbps=0.4)
+    sizes = [len(m) for m in traffic]
+    counts = [0] * len(BIN_EDGES)
+    for size in sizes:
+        for i, edge in enumerate(BIN_EDGES):
+            if size <= edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    total = len(sizes)
+    fractions = [c / total for c in counts]
+    avg = sum(sizes) / total
+    return fractions, avg, total
+
+
+def report(fractions, avg, total):
+    rows = [
+        [f"<= {edge} B", f"{frac * 100:6.2f}%",
+         "#" * int(frac * 120)]
+        for edge, frac in zip(BIN_EDGES, fractions)
+    ]
+    lines = table(["bin", "fraction", "histogram"], rows)
+    lines.append("")
+    lines.append(f"average packet size: {avg:.0f} B (paper: 895 B); "
+                 f"{total} packets")
+    lines.append("Paper reference: bimodal — control packets at the "
+                 "56-218 B floor, data packets at the 1514 B MTU.")
+    emit("fig13_packet_sizes", lines)
+
+
+def test_fig13_packet_sizes(benchmark):
+    fractions, avg, total = benchmark.pedantic(run_figure13, rounds=1,
+                                               iterations=1)
+    report(fractions, avg, total)
+    # Bimodal: the floor bin and the MTU bin are the two largest.
+    top_two = sorted(range(len(fractions)), key=lambda i: -fractions[i])[:2]
+    assert set(top_two) == {0, len(fractions) - 1}
+    assert fractions[0] > 0.15
+    assert fractions[-1] > 0.25
+    assert 750 < avg < 1050  # paper: 895 B
+
+
+if __name__ == "__main__":
+    fractions, avg, total = run_figure13()
+    report(fractions, avg, total)

@@ -1,0 +1,104 @@
+"""Figure 6 — comparison with optimized network monitors.
+
+The paper drives Retina, Suricata+DPDK, Snort+DPDK, and
+Zeek+AF_PACKET with closed-loop 256 KB HTTPS requests at swept rates,
+all on a single core, all performing the same task (log connections
+matching the TLS server name), all hardware offloads disabled.
+
+Each system's capacity is measured by running its real pipeline over
+the generated workload once; the processed-bytes-vs-offered-rate curve
+is then capacity-capped, exactly as a saturating single core behaves.
+Dashed regions (loss > 1%) are marked with ``*``.
+
+Expected shape (paper): Retina ~49 Gbps zero-loss; Suricata less than
+half of Retina, dropping above ~10 Gbps; Zeek ~4-5 Gbps; Snort
+~0.4-1 Gbps — i.e. Retina sustains 5-100x higher rates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, table
+from repro import Runtime, RuntimeConfig
+from repro.baselines import (
+    SnortLikeAnalyzer,
+    SuricataLikeAnalyzer,
+    ZeekLikeAnalyzer,
+)
+from repro.traffic import HttpsWorkloadGenerator
+
+RATES_KREQ = (1, 2, 5, 10, 15, 20, 25, 30)
+SNI_PATTERN = "nginx"
+
+
+def run_figure6():
+    generator = HttpsWorkloadGenerator(seed=6, response_bytes=256 * 1024)
+    workload = generator.packets(requests_per_second=60, duration=0.5)
+    bytes_per_request = generator.bytes_per_request()
+
+    capacities = {}
+    for cls in (SuricataLikeAnalyzer, ZeekLikeAnalyzer, SnortLikeAnalyzer):
+        analyzer = cls(sni_pattern=SNI_PATTERN)
+        report = analyzer.analyze(iter(workload))
+        capacities[report.name] = report.max_zero_loss_gbps(cores=1)
+
+    runtime = Runtime(
+        RuntimeConfig(cores=1, hardware_filter=False,
+                      callback_cycles=12_000),  # logging a record
+        filter_str=f"tls.sni ~ '{SNI_PATTERN}'",
+        datatype="connection",
+        callback=lambda record: None,
+    )
+    retina_stats = runtime.run(iter(workload)).stats
+    capacities["retina"] = retina_stats.max_zero_loss_gbps(1)
+    return capacities, bytes_per_request
+
+
+def report(capacities, bytes_per_request):
+    systems = ("retina", "suricata", "zeek", "snort")
+    rows = []
+    for kreq in RATES_KREQ:
+        offered = kreq * 1000 * bytes_per_request * 8 / 1e9
+        row = [kreq, f"{offered:6.1f}"]
+        for name in systems:
+            cap = capacities[name]
+            processed = min(offered, cap)
+            loss = 0.0 if offered <= cap else 1 - cap / offered
+            marker = "*" if loss > 0.01 else " "
+            row.append(f"{processed:6.2f}{marker}")
+        rows.append(row)
+    lines = table(
+        ["kreq/s", "offered Gbps"] + [f"{s} Gbps" for s in systems], rows)
+    lines.append("")
+    lines.append("(* = packet loss above 1%, the paper's dashed region)")
+    lines.append("single-core zero-loss capacity: " + ", ".join(
+        f"{name}={capacities[name]:.2f} Gbps" for name in systems))
+    ratios = {name: capacities["retina"] / capacities[name]
+              for name in systems if name != "retina"}
+    lines.append("retina advantage: " + ", ".join(
+        f"{k}: {v:.1f}x" for k, v in ratios.items()))
+    lines.append("Paper reference: Retina ~49 Gbps, Suricata ~10, "
+                 "Zeek ~4-5, Snort ~0.4-1 (5-100x).")
+    emit("fig6_ids_comparison", lines)
+
+
+def test_fig6_ids_comparison(benchmark):
+    capacities, bpr = benchmark.pedantic(run_figure6, rounds=1,
+                                         iterations=1)
+    report(capacities, bpr)
+    assert capacities["retina"] > capacities["suricata"] \
+        > capacities["zeek"] > capacities["snort"]
+    # The headline claim: 5-100x higher sustainable rates.
+    assert capacities["retina"] / capacities["suricata"] >= 4
+    assert capacities["retina"] / capacities["snort"] >= 50
+    # Absolute bands (ours is a model; stay within ~2x of the paper).
+    assert 25 < capacities["retina"] < 110
+    assert 5 < capacities["suricata"] < 20
+    assert 2 < capacities["zeek"] < 9
+    assert 0.2 < capacities["snort"] < 1.5
+
+
+if __name__ == "__main__":
+    capacities, bpr = run_figure6()
+    report(capacities, bpr)

@@ -1,0 +1,96 @@
+"""Future work (paper §5.3/§9) — alternative callback execution models.
+
+Retina runs callbacks inline on the receive core; Section 5.3 notes an
+expensive callback can stall the pipeline and leaves other execution
+models to future work. This benchmark compares the inline model with a
+queued model (dedicated worker pool behind a hand-off queue) on a
+packet subscription with a heavy per-packet callback — the workload
+Figure 5a shows collapsing inline.
+
+Expected shape: the queued model decouples the receive cores (their
+ceiling returns to near the filter-only rate at the cost of an enqueue
+fee), while the *worker pool* becomes the delivery bottleneck — total
+system capacity is the min of the two, but receive-side packet loss no
+longer follows callback cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import emit, table
+from repro import Runtime, RuntimeConfig
+from repro.traffic import CampusTrafficGenerator
+
+CALLBACK_CYCLES = 100_000.0
+WORKERS = 4
+
+
+def _run(traffic, execution, workers=WORKERS):
+    runtime = Runtime(
+        RuntimeConfig(cores=8, hardware_filter=False,
+                      callback_cycles=CALLBACK_CYCLES,
+                      callback_execution=execution,
+                      callback_workers=workers),
+        filter_str="tcp",
+        datatype="packet",
+        callback=lambda packet: None,
+    )
+    report = runtime.run(iter(traffic))
+    return report.stats, runtime.executor
+
+
+def run_benchmark():
+    traffic = CampusTrafficGenerator(seed=95).packets(duration=0.4,
+                                                      gbps=0.3)
+    inline_stats, inline_exec = _run(traffic, "inline")
+    queued_stats, queued_exec = _run(traffic, "queued")
+    return inline_stats, queued_stats, queued_exec
+
+
+def report(inline_stats, queued_stats, queued_exec):
+    hz = inline_stats.cost_model.cpu_hz
+    worker_busy = queued_exec.stats.worker_busy_seconds(hz, WORKERS)
+    rows = [
+        ["inline (8 RX cores)",
+         f"{inline_stats.max_zero_loss_gbps():.1f}",
+         inline_stats.callbacks, "-", "-"],
+        [f"queued (8 RX + {WORKERS} workers)",
+         f"{queued_stats.max_zero_loss_gbps():.1f}",
+         queued_stats.callbacks,
+         f"{worker_busy:.3f}s",
+         queued_exec.stats.dropped],
+    ]
+    lines = table(
+        ["model", "RX zero-loss Gbps", "deliveries",
+         "per-worker busy CPU", "worker-dropped"], rows)
+    rate_ceiling = queued_exec.max_zero_loss_callbacks_per_second(hz)
+    lines.append("")
+    lines.append(f"per-packet callback cost: {CALLBACK_CYCLES:.0f} cycles; "
+                 f"worker pool sustains {rate_ceiling / 1e3:.0f}K "
+                 f"callbacks/s")
+    lines.append("Inline: the RX cores absorb the callback and the "
+                 "pipeline collapses (Figure 5a's 100K-cycle curve). "
+                 "Queued: RX recovers; the worker pool is the new, "
+                 "separately scalable bottleneck.")
+    emit("futurework_queued_callbacks", lines)
+
+
+def test_futurework_queued_callbacks(benchmark):
+    inline_stats, queued_stats, queued_exec = benchmark.pedantic(
+        run_benchmark, rounds=1, iterations=1)
+    report(inline_stats, queued_stats, queued_exec)
+    # Same deliveries either way.
+    assert inline_stats.callbacks == queued_stats.callbacks
+    # Queued execution restores the receive-side ceiling by well over
+    # an order of magnitude for this callback cost.
+    assert queued_stats.max_zero_loss_gbps() > \
+        inline_stats.max_zero_loss_gbps() * 10
+    # And the worker pool's demand is fully accounted.
+    assert queued_exec.stats.worker_cycles == pytest.approx(
+        CALLBACK_CYCLES * queued_stats.callbacks)
+
+
+if __name__ == "__main__":
+    inline_stats, queued_stats, queued_exec = run_benchmark()
+    report(inline_stats, queued_stats, queued_exec)

@@ -1,0 +1,103 @@
+"""Section 7.1 — frequency of repeated TLS client randoms.
+
+The paper monitors 13.4M handshakes over 10 minutes and finds that a
+handful of client randoms repeat wildly: ``738b712a...dee0dbe1``
+appears 8,340 times, ``417a7572...00000000`` 493 times, and the
+all-zero random 309 times — broken entropy or non-compliant stacks.
+
+We synthesize a TLS population in which a small fraction of clients
+have such broken RNGs (a stuck nonce, a half-zeroed nonce, and an
+all-zero nonce) and verify the subscription + counter pipeline surfaces
+exactly those values at the top of the frequency table.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from _util import emit, table
+from repro import Runtime, RuntimeConfig
+from repro.analysis import ClientRandomCounter
+from repro.traffic import FlowSpec, tls_flow
+
+STUCK_NONCE = bytes.fromhex("738b712a" + "ab" * 24 + "dee0dbe1")
+HALF_ZERO_NONCE = bytes.fromhex("417a7572" + "cd" * 12) + bytes(16)
+ALL_ZERO_NONCE = bytes(32)
+
+N_HANDSHAKES = 1200
+BROKEN_STUCK = 0.030      # fraction using the stuck nonce
+BROKEN_HALF_ZERO = 0.008
+BROKEN_ALL_ZERO = 0.005
+
+
+def run_sec71():
+    rng = random.Random(71)
+    flows = []
+    for i in range(N_HANDSHAKES):
+        roll = rng.random()
+        if roll < BROKEN_STUCK:
+            client_random = STUCK_NONCE
+        elif roll < BROKEN_STUCK + BROKEN_HALF_ZERO:
+            client_random = HALF_ZERO_NONCE
+        elif roll < BROKEN_STUCK + BROKEN_HALF_ZERO + BROKEN_ALL_ZERO:
+            client_random = ALL_ZERO_NONCE
+        else:
+            client_random = rng.randbytes(32)
+        flows.append(tls_flow(
+            FlowSpec(f"10.{i % 30}.{(i // 30) % 250}.{i % 250 + 1}",
+                     f"171.64.{i % 250}.7", 30000 + i % 30000, 443),
+            f"host{i % 97}.example.com",
+            start_ts=i * 0.002,
+            client_random=client_random,
+            server_random=rng.randbytes(32),
+            appdata_bytes=600,
+            rng=rng,
+        ))
+    packets = sorted((m for f in flows for m in f),
+                     key=lambda m: m.timestamp)
+    counter = ClientRandomCounter()
+    runtime = Runtime(
+        RuntimeConfig(cores=16),
+        filter_str="tls",
+        datatype="tls_handshake",
+        callback=counter,
+    )
+    stats = runtime.run(iter(packets)).stats
+    return counter, stats
+
+
+def report(counter, stats):
+    rows = []
+    for value, count in counter.top(5):
+        rows.append([f"{value[:4].hex()}...{value[-4:].hex()}", count])
+    lines = table(["client random", "occurrences"], rows)
+    lines.append("")
+    lines.append(counter.summary())
+    lines.append(f"zero-loss ceiling during collection: "
+                 f"{stats.max_zero_loss_gbps():.1f} Gbps on 16 cores "
+                 f"(paper: 157.4 Gbps average ingress, zero loss)")
+    lines.append("Paper reference: top nonce 8,340x / 493x / 309x "
+                 "(incl. an all-zero nonce) out of 13.4M handshakes.")
+    emit("sec71_client_randoms", lines)
+
+
+def test_sec71_client_randoms(benchmark):
+    counter, stats = benchmark.pedantic(run_sec71, rounds=1, iterations=1)
+    report(counter, stats)
+    assert counter.handshakes == N_HANDSHAKES
+    top = counter.top(3)
+    # The three broken populations are exactly the top repeaters.
+    assert {value for value, _ in top} == \
+        {STUCK_NONCE, HALF_ZERO_NONCE, ALL_ZERO_NONCE}
+    assert top[0][0] == STUCK_NONCE
+    assert counter.all_zero_count > 0
+    # Healthy clients essentially never collide.
+    healthy = counter.handshakes - sum(c for _, c in top)
+    assert counter.distinct >= healthy
+
+
+if __name__ == "__main__":
+    counter, stats = run_sec71()
+    report(counter, stats)

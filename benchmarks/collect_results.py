@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Assemble benchmarks/results/*.txt into one markdown report.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/collect_results.py > benchmarks/RESULTS.md
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Presentation order and titles.
+SECTIONS = [
+    ("fig5_throughput", "Figure 5 — zero-loss throughput"),
+    ("fig6_ids_comparison", "Figure 6 — IDS comparison"),
+    ("fig7_filter_decomposition", "Figure 7 — filter decomposition"),
+    ("fig8_memory", "Figure 8 — memory over time"),
+    ("fig9_video_cdf", "Figure 9 — video byte CDFs"),
+    ("table2_campus_stats", "Table 2 — campus traffic statistics"),
+    ("fig12_codegen_speedup", "Figure 12 — compiled vs interpreted"),
+    ("fig13_packet_sizes", "Figure 13 — packet sizes"),
+    ("sec71_client_randoms", "Section 7.1 — client randoms"),
+    ("appxB_compile_time", "Appendix B — compilation cost"),
+    ("ablation_lazy_reassembly", "Ablation — lazy reassembly"),
+    ("ablation_filter_layers", "Ablation — filter layers"),
+    ("futurework_p4_prefilter", "Future work — P4 pre-filter"),
+    ("futurework_queued_callbacks", "Future work — queued callbacks"),
+    ("micro_rss_balance", "Micro — RSS balance"),
+]
+
+
+def main() -> int:
+    if not RESULTS_DIR.is_dir():
+        print("no results directory; run the benchmarks first",
+              file=sys.stderr)
+        return 1
+    print("# Benchmark results\n")
+    print("Generated from `benchmarks/results/` — regenerate with "
+          "`pytest benchmarks/ --benchmark-only`.\n")
+    missing = []
+    for name, title in SECTIONS:
+        path = RESULTS_DIR / f"{name}.txt"
+        if not path.exists():
+            missing.append(name)
+            continue
+        print(f"## {title}\n")
+        print("```")
+        print(path.read_text().rstrip())
+        print("```\n")
+    for stray in sorted(RESULTS_DIR.glob("*.txt")):
+        if stray.stem not in {name for name, _ in SECTIONS}:
+            print(f"## {stray.stem}\n")
+            print("```")
+            print(stray.read_text().rstrip())
+            print("```\n")
+    if missing:
+        print(f"*(not yet generated: {', '.join(missing)})*",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+from pathlib import Path
+
+# Allow `import _util` from benchmark modules regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

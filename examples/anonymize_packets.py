@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Anonymized packet analysis (Section 7.2).
+
+Subscribe to raw packets of HTTP connections and write them to a pcap
+with prefix-preserving IP encryption applied — shareable traces whose
+subnet structure survives anonymization. The paper's version of this
+application is 11 lines of Rust around the ipcrypt crate; the callback
+below is the same shape.
+
+Run:
+    python examples/anonymize_packets.py [output.pcap]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import Runtime, RuntimeConfig
+from repro.analysis import PrefixPreservingEncryptor, anonymize_packet
+from repro.traffic import CampusTrafficGenerator, read_pcap, write_pcap
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        tempfile.gettempdir(), "anonymized_http.pcap")
+    encryptor = PrefixPreservingEncryptor(os.urandom(16))
+    anonymized = []
+
+    def callback(packet) -> None:
+        anonymized.append(anonymize_packet(packet.mbuf, encryptor))
+
+    runtime = Runtime(
+        RuntimeConfig(cores=16),
+        filter_str="http and ipv4",
+        datatype="packet",
+        callback=callback,
+    )
+
+    traffic = CampusTrafficGenerator(seed=3).packets(duration=0.5,
+                                                     gbps=0.3)
+    report = runtime.run(iter(traffic))
+
+    write_pcap(out_path, anonymized)
+    print(f"wrote {len(anonymized)} anonymized HTTP packets "
+          f"to {out_path}")
+    print(f"(processed {report.stats.ingress_packets} ingress packets; "
+          f"filter delivered {report.stats.callbacks})")
+
+    # Round-trip sanity: the file is ordinary pcap and the addresses
+    # really did change.
+    sample = read_pcap(out_path)[:3]
+    from repro.packet import parse_stack
+    for mbuf in sample:
+        stack = parse_stack(mbuf)
+        print(f"  anonymized flow: {stack.ip.src_addr()} -> "
+              f"{stack.ip.dst_addr()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs cannot build. This shim lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

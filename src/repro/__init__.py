@@ -1,0 +1,65 @@
+"""repro — a Python reproduction of *Retina: Analyzing 100GbE Traffic
+on Commodity Hardware* (SIGCOMM 2022).
+
+Quickstart::
+
+    from repro import Runtime, RuntimeConfig
+    from repro.traffic import CampusTrafficGenerator
+
+    cfg = RuntimeConfig(cores=8)
+    runtime = Runtime(
+        cfg,
+        filter_str="tls.sni ~ '.*\\\\.com$'",
+        datatype="tls_handshake",
+        callback=lambda hs: print(hs.sni(), hs.cipher()),
+    )
+    traffic = CampusTrafficGenerator(seed=1).packets(duration=1.0,
+                                                     gbps=2.0)
+    report = runtime.run(traffic)
+    print(report.stats.describe())
+"""
+
+from repro.config import RuntimeConfig
+from repro.core import (
+    ConnectionRecord,
+    CostModel,
+    CycleLedger,
+    DnsTransaction,
+    HttpTransaction,
+    Level,
+    QuicHandshake,
+    RawPacket,
+    Runtime,
+    RuntimeReport,
+    SshHandshake,
+    Stage,
+    Subscription,
+    TlsHandshake,
+)
+from repro.conntrack.table import TimeoutConfig
+from repro.filter import compile_filter, CompiledFilter, FilterResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Runtime",
+    "RuntimeReport",
+    "RuntimeConfig",
+    "Subscription",
+    "TimeoutConfig",
+    "Level",
+    "Stage",
+    "CostModel",
+    "CycleLedger",
+    "RawPacket",
+    "ConnectionRecord",
+    "TlsHandshake",
+    "HttpTransaction",
+    "SshHandshake",
+    "DnsTransaction",
+    "QuicHandshake",
+    "compile_filter",
+    "CompiledFilter",
+    "FilterResult",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Analysis applications built on the public API (Section 7's case
+studies): IP anonymization, TLS nonce anomaly detection, and video
+traffic feature extraction."""
+
+from repro.analysis.ipcrypt import (
+    IpCrypt,
+    PrefixPreservingEncryptor,
+    anonymize_packet,
+)
+from repro.analysis.anomalies import ClientRandomCounter
+from repro.analysis.fingerprints import Ja3Counter
+from repro.analysis.logwriter import (
+    BufferedRecordWriter,
+    DirectRecordWriter,
+    render_record,
+)
+from repro.analysis.profiling import TrafficProfiler
+from repro.analysis.video import VideoSessionAggregator, VideoSessionFeatures
+
+__all__ = [
+    "IpCrypt",
+    "PrefixPreservingEncryptor",
+    "anonymize_packet",
+    "ClientRandomCounter",
+    "Ja3Counter",
+    "DirectRecordWriter",
+    "BufferedRecordWriter",
+    "render_record",
+    "TrafficProfiler",
+    "VideoSessionAggregator",
+    "VideoSessionFeatures",
+]

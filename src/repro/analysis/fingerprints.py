@@ -1,0 +1,65 @@
+"""TLS client fingerprinting at scale (a Section 7.1-style study).
+
+Section 7.1 motivates passive measurement by the "long-tail of client
+configurations in less popular applications, which are more likely to
+contain vulnerabilities". JA3 fingerprints are how operators find that
+tail: common fingerprints are mainstream browsers/libraries; rare ones
+are the interesting population. :class:`Ja3Counter` is the callback
+side of that study.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class Ja3Counter:
+    """Counts JA3 fingerprints across TLS handshake deliveries."""
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+        self.sni_examples: Dict[str, Set[str]] = {}
+        self.handshakes = 0
+        self.no_fingerprint = 0
+
+    def __call__(self, handshake) -> None:
+        """Use directly as a ``tls_handshake`` subscription callback."""
+        fingerprint = handshake.data.ja3()
+        self.handshakes += 1
+        if fingerprint is None:
+            self.no_fingerprint += 1
+            return
+        self.counts[fingerprint] += 1
+        sni = handshake.sni()
+        if sni:
+            examples = self.sni_examples.setdefault(fingerprint, set())
+            if len(examples) < 5:
+                examples.add(sni)
+
+    # -- analysis -------------------------------------------------------------
+    @property
+    def distinct(self) -> int:
+        return len(self.counts)
+
+    def top(self, k: int = 10) -> List[Tuple[str, int]]:
+        return self.counts.most_common(k)
+
+    def long_tail(self, max_count: int = 1) -> List[str]:
+        """Fingerprints seen at most ``max_count`` times — the rare
+        client implementations worth a closer look."""
+        return [fp for fp, count in self.counts.items()
+                if count <= max_count]
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.handshakes} handshakes, {self.distinct} distinct "
+            f"JA3 fingerprints, {len(self.long_tail())} singletons",
+        ]
+        for fingerprint, count in self.top(5):
+            domains = sorted(self.sni_examples.get(fingerprint, ()))[:3]
+            lines.append(
+                f"  {fingerprint}  x{count}  "
+                f"(e.g. {', '.join(domains) if domains else 'no SNI'})")
+        return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""IP address anonymization (the Section 7.2 application).
+
+Two schemes, matching the paper's use of the Rust ``ipcrypt`` crate:
+
+* :class:`IpCrypt` — format-preserving IPv4 encryption: a 4-byte ARX
+  block cipher under a 16-byte key (Aumasson's ipcrypt construction:
+  four rounds of key mixing around three ARX permutations). An
+  encrypted address is a valid IPv4 address and decrypts exactly.
+* :class:`PrefixPreservingEncryptor` — Crypto-PAn-style prefix
+  preservation: two addresses sharing an *n*-bit prefix encrypt to
+  addresses sharing an *n*-bit prefix, so subnet structure survives
+  anonymization (what Section 7.2 means by "preserving subnet
+  structures").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import ipaddress
+from typing import Union
+
+from repro.packet.builder import checksum16
+from repro.packet.ethernet import Ethernet
+from repro.packet.ipv4 import Ipv4
+from repro.packet.mbuf import Mbuf
+
+IPv4Like = Union[str, ipaddress.IPv4Address]
+
+
+def _rotl8(value: int, shift: int) -> int:
+    return ((value << shift) | (value >> (8 - shift))) & 0xFF
+
+
+def _permute_fwd(state: list) -> None:
+    b0, b1, b2, b3 = state
+    b0 = (b0 + b1) & 0xFF
+    b2 = (b2 + b3) & 0xFF
+    b1 = _rotl8(b1, 2) ^ b0
+    b3 = _rotl8(b3, 5) ^ b2
+    b0 = _rotl8(b0, 4)
+    b0 = (b0 + b3) & 0xFF
+    b2 = (b2 + b1) & 0xFF
+    b1 = _rotl8(b1, 3) ^ b2
+    b3 = _rotl8(b3, 7) ^ b0
+    b2 = _rotl8(b2, 4)
+    state[:] = [b0, b1, b2, b3]
+
+
+def _rotr8(value: int, shift: int) -> int:
+    return ((value >> shift) | (value << (8 - shift))) & 0xFF
+
+
+def _permute_bwd(state: list) -> None:
+    b0, b1, b2, b3 = state
+    b2 = _rotr8(b2, 4)
+    b1 = _rotr8(b1 ^ b2, 3)
+    b3 = _rotr8(b3 ^ b0, 7)
+    b0 = (b0 - b3) & 0xFF
+    b2 = (b2 - b1) & 0xFF
+    b0 = _rotr8(b0, 4)
+    b1 = _rotr8(b1 ^ b0, 2)
+    b3 = _rotr8(b3 ^ b2, 5)
+    b0 = (b0 - b1) & 0xFF
+    b2 = (b2 - b3) & 0xFF
+    state[:] = [b0, b1, b2, b3]
+
+
+class IpCrypt:
+    """Format-preserving IPv4 encryption under a 16-byte key."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError("ipcrypt key must be exactly 16 bytes")
+        self._subkeys = [key[i:i + 4] for i in range(0, 16, 4)]
+
+    def encrypt(self, addr: IPv4Like) -> ipaddress.IPv4Address:
+        state = list(ipaddress.IPv4Address(addr).packed)
+        for round_index in range(3):
+            self._xor_key(state, round_index)
+            _permute_fwd(state)
+        self._xor_key(state, 3)
+        return ipaddress.IPv4Address(bytes(state))
+
+    def decrypt(self, addr: IPv4Like) -> ipaddress.IPv4Address:
+        state = list(ipaddress.IPv4Address(addr).packed)
+        self._xor_key(state, 3)
+        for round_index in (2, 1, 0):
+            _permute_bwd(state)
+            self._xor_key(state, round_index)
+        return ipaddress.IPv4Address(bytes(state))
+
+    def _xor_key(self, state: list, round_index: int) -> None:
+        subkey = self._subkeys[round_index]
+        for i in range(4):
+            state[i] ^= subkey[i]
+
+
+class PrefixPreservingEncryptor:
+    """Crypto-PAn-style prefix-preserving IPv4 anonymization.
+
+    Bit *i* of the output is bit *i* of the input XOR a pseudorandom
+    function of the *i*-bit input prefix, so equal prefixes map to
+    equal prefixes (and nothing longer).
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("need at least a 16-byte key")
+        self._key = bytes(key)
+
+    def _prf_bit(self, prefix_bits: int, length: int) -> int:
+        digest = hashlib.sha256(
+            self._key + length.to_bytes(1, "big")
+            + prefix_bits.to_bytes(4, "big")
+        ).digest()
+        return digest[0] & 1
+
+    def encrypt(self, addr: IPv4Like) -> ipaddress.IPv4Address:
+        value = int(ipaddress.IPv4Address(addr))
+        out = 0
+        for i in range(32):
+            prefix = value >> (32 - i) if i else 0
+            flip = self._prf_bit(prefix, i)
+            bit = (value >> (31 - i)) & 1
+            out = (out << 1) | (bit ^ flip)
+        return ipaddress.IPv4Address(out)
+
+
+def anonymize_packet(mbuf: Mbuf, encryptor: PrefixPreservingEncryptor
+                     ) -> Mbuf:
+    """Return a copy of an IPv4 frame with src/dst addresses encrypted
+    (and the IPv4 header checksum fixed up) — the Section 7.2 callback
+    body."""
+    eth = Ethernet.parse(mbuf)
+    ip = Ipv4.parse_from(eth)
+    data = bytearray(mbuf.data)
+    src = encryptor.encrypt(ip.src_addr()).packed
+    dst = encryptor.encrypt(ip.dst_addr()).packed
+    ip_off = ip.offset
+    data[ip_off + 12:ip_off + 16] = src
+    data[ip_off + 16:ip_off + 20] = dst
+    data[ip_off + 10:ip_off + 12] = b"\x00\x00"
+    header = bytes(data[ip_off:ip_off + ip.header_len()])
+    csum = checksum16(header)
+    data[ip_off + 10:ip_off + 12] = csum.to_bytes(2, "big")
+    return Mbuf(bytes(data), timestamp=mbuf.timestamp, port=mbuf.port,
+                queue=mbuf.queue)

@@ -1,0 +1,26 @@
+"""IDS / monitor baselines for the Figure 6 comparison.
+
+The paper compares Retina against I/O-optimized builds of Zeek, Snort,
+and Suricata on a single core, all performing the same task: log
+connections matching a TLS server name. These baselines embody the
+architectural property the comparison isolates — *full visibility*
+pipelines that decode every packet, track every flow, and copy-based
+reassemble every TCP byte stream, with no subscription-aware early
+discard. Each runs real work over the same packets (header decode,
+buffered reassembly, TLS parsing, and for Snort an exhaustive
+content scan) and charges a per-system cost model calibrated to the
+paper's measured single-core rates.
+"""
+
+from repro.baselines.common import BaselineReport, EagerAnalyzer
+from repro.baselines.zeek_like import ZeekLikeAnalyzer
+from repro.baselines.snort_like import SnortLikeAnalyzer
+from repro.baselines.suricata_like import SuricataLikeAnalyzer
+
+__all__ = [
+    "BaselineReport",
+    "EagerAnalyzer",
+    "ZeekLikeAnalyzer",
+    "SnortLikeAnalyzer",
+    "SuricataLikeAnalyzer",
+]

@@ -1,0 +1,147 @@
+"""Command-line interface: run a subscription over a pcap or synthetic
+traffic.
+
+Examples::
+
+    python -m repro --filter "tls.sni ~ 'netflix'" \\
+        --datatype tls_handshake --pcap trace.pcap
+
+    python -m repro --filter "tcp" --datatype connection \\
+        --synthetic campus --duration 0.5 --gbps 0.2 --cores 8 --monitor
+
+    python -m repro --describe-filter "(ipv4 and tcp.port >= 100 and \\
+        tls.sni ~ 'netflix') or http"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import Runtime, RuntimeConfig, compile_filter
+from repro.core.datatypes import SUBSCRIBABLES
+from repro.core.monitor import StatsMonitor
+from repro.errors import RetinaError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Retina-reproduction traffic analysis runtime",
+    )
+    parser.add_argument("--filter", default="", dest="filter_str",
+                        help="subscription filter (default: match all)")
+    parser.add_argument("--datatype", default="packet",
+                        choices=sorted(SUBSCRIBABLES),
+                        help="subscribable data type")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--pcap", help="read traffic from a pcap file")
+    source.add_argument("--synthetic", choices=["campus", "https"],
+                        help="generate synthetic traffic")
+    parser.add_argument("--duration", type=float, default=0.5,
+                        help="synthetic traffic duration (virtual s)")
+    parser.add_argument("--gbps", type=float, default=0.2,
+                        help="synthetic campus traffic rate")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="synthetic traffic seed")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--mode", default="codegen",
+                        choices=["codegen", "interp"],
+                        help="filter execution backend")
+    parser.add_argument("--no-hardware-filter", action="store_true",
+                        help="disable NIC flow-rule offload")
+    parser.add_argument("--sink-fraction", type=float, default=0.0,
+                        help="flow-sample fraction dropped at the NIC")
+    parser.add_argument("--print-limit", type=int, default=10,
+                        help="print at most N deliveries (0: none)")
+    parser.add_argument("--monitor", action="store_true",
+                        help="emit periodic throughput/loss/memory lines")
+    parser.add_argument("--json-stats", metavar="PATH",
+                        help="write the run's aggregate stats as JSON")
+    parser.add_argument("--describe-filter", metavar="FILTER",
+                        help="print a filter's decomposition and exit")
+    return parser
+
+
+def _render(obj) -> str:
+    name = type(obj).__name__
+    if hasattr(obj, "sni"):
+        return f"{name}: sni={obj.sni()} cipher={getattr(obj, 'cipher', lambda: None)()}"
+    if hasattr(obj, "uri"):
+        return f"{name}: {obj.method()} {obj.uri()} -> {obj.status_code()}"
+    if hasattr(obj, "query_name"):
+        return f"{name}: {obj.query_name()} rc={obj.response_code()}"
+    if hasattr(obj, "five_tuple") and hasattr(obj, "total_packets"):
+        return (f"{name}: {obj.five_tuple} pkts={obj.total_packets} "
+                f"bytes={obj.total_bytes} svc={obj.service}")
+    if hasattr(obj, "mbuf"):
+        return f"{name}: {len(obj.mbuf)}B @ {obj.timestamp:.6f}"
+    return f"{name}: {obj!r}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.describe_filter is not None:
+        try:
+            compiled = compile_filter(args.describe_filter)
+        except RetinaError as exc:
+            print(f"filter error: {exc}", file=sys.stderr)
+            return 2
+        print(compiled.describe())
+        print()
+        print("generated code:")
+        print(compiled.generated_source)
+        return 0
+
+    if args.pcap:
+        from repro.traffic.pcap import iter_pcap
+        traffic = iter_pcap(args.pcap)
+    elif args.synthetic == "https":
+        from repro.traffic import HttpsWorkloadGenerator
+        traffic = iter(HttpsWorkloadGenerator(seed=args.seed).packets(
+            requests_per_second=50, duration=args.duration))
+    else:
+        from repro.traffic import CampusTrafficGenerator
+        traffic = iter(CampusTrafficGenerator(seed=args.seed).packets(
+            duration=args.duration, gbps=args.gbps))
+
+    printed = 0
+
+    def callback(obj) -> None:
+        nonlocal printed
+        if printed < args.print_limit:
+            print(_render(obj))
+            printed += 1
+        elif printed == args.print_limit:
+            print("... (further deliveries suppressed)")
+            printed += 1
+
+    try:
+        config = RuntimeConfig(
+            cores=args.cores,
+            filter_mode=args.mode,
+            hardware_filter=not args.no_hardware_filter,
+            sink_fraction=args.sink_fraction,
+        )
+        runtime = Runtime(config, filter_str=args.filter_str,
+                          datatype=args.datatype, callback=callback)
+    except RetinaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    monitor = StatsMonitor(emit=print) if args.monitor else None
+    report = runtime.run(traffic, monitor=monitor)
+    print()
+    print(report.stats.describe())
+    if args.json_stats:
+        import json
+        with open(args.json_stats, "w") as handle:
+            json.dump(report.stats.to_dict(), handle, indent=2)
+        print(f"(stats written to {args.json_stats})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

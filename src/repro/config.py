@@ -1,0 +1,88 @@
+"""Runtime configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.conntrack.table import TimeoutConfig
+from repro.core.cycles import CostModel
+from repro.errors import ConfigError
+from repro.filter.hardware import NicCapabilities, connectx5_capabilities
+from repro.stream.reassembly import DEFAULT_OOO_CAPACITY
+
+
+@dataclass
+class RuntimeConfig:
+    """Everything a Retina deployment configures.
+
+    Defaults mirror the paper's: ConnectX-5-class NIC, 5 s establish /
+    5 min inactivity timeouts, 500-packet out-of-order ring, hardware
+    filtering on, 3 GHz cores.
+    """
+
+    #: Receive cores (one RSS queue each).
+    cores: int = 4
+    #: Connection timeout scheme (Figure 8 ablations swap this).
+    timeouts: TimeoutConfig = field(default_factory=TimeoutConfig)
+    #: Out-of-order ring capacity per flow direction.
+    ooo_capacity: int = DEFAULT_OOO_CAPACITY
+    #: NIC capability profile used to validate hardware rules.
+    nic: NicCapabilities = field(default_factory=connectx5_capabilities)
+    #: Install the hardware filter (Section 6.1 disables it).
+    hardware_filter: bool = True
+    #: Fraction of four-tuples redirected to the sink queue (Section 6.1
+    #: flow sampling; 0.0 = analyze everything).
+    sink_fraction: float = 0.0
+    #: Simulated per-callback cost in CPU cycles (the paper's busy-loop
+    #: proxy for callback complexity).
+    callback_cycles: float = 0.0
+    #: Stage cost model (Figure 7 calibration).
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Filter execution backend: "codegen" or "interp" (Appendix B).
+    filter_mode: str = "codegen"
+    #: Stream reassembly strategy: "lazy" (the paper's pass-through
+    #: reorderer) or "buffered" (the traditional copy-based baseline,
+    #: for the ablation benchmark). The buffered strategy charges the
+    #: reassembly stage per payload byte copied rather than per packet.
+    reassembler: str = "lazy"
+    #: Callback execution model: "inline" (the paper's design — the
+    #: callback runs on the receive core) or "queued" (the future-work
+    #: model — a dedicated worker pool behind a hand-off queue).
+    callback_execution: str = "inline"
+    #: Worker cores for the queued execution model.
+    callback_workers: int = 2
+    #: Receive-core cost of handing a result to the queue (serialize +
+    #: MPSC enqueue), charged instead of the callback cost.
+    enqueue_cycles: float = 250.0
+    #: Reassemble fragmented IPv4 datagrams before filtering. Off by
+    #: default — like Retina (and kernel-bypass pipelines generally),
+    #: non-first fragments simply fail port-based filters.
+    reassemble_fragments: bool = False
+    #: Give up probing a connection after this many payload bytes
+    #: without any parser matching.
+    probe_byte_limit: int = 4096
+    #: Memory ceiling for the Figure 8 OOM experiment (bytes); None
+    #: disables the check.
+    memory_limit_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError("need at least one core")
+        if not 0.0 <= self.sink_fraction <= 1.0:
+            raise ConfigError("sink_fraction must be in [0, 1]")
+        if self.filter_mode not in ("codegen", "interp"):
+            raise ConfigError(f"unknown filter_mode {self.filter_mode!r}")
+        if self.ooo_capacity < 0:
+            raise ConfigError("ooo_capacity must be >= 0")
+        if self.reassembler not in ("lazy", "buffered"):
+            raise ConfigError(f"unknown reassembler {self.reassembler!r}")
+        if self.callback_execution not in ("inline", "queued"):
+            raise ConfigError(
+                f"unknown callback_execution {self.callback_execution!r}")
+        if self.callback_workers < 1:
+            raise ConfigError("callback_workers must be >= 1")
+
+    def with_(self, **kwargs) -> "RuntimeConfig":
+        """A modified copy (convenience for benchmark sweeps)."""
+        return replace(self, **kwargs)

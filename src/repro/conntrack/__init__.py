@@ -1,0 +1,24 @@
+"""Stateful connection processing (Section 5.2 substrate).
+
+Per-core connection tables keyed by a direction-canonical five-tuple,
+hierarchical timer wheels for the two-tier timeout scheme (a short
+connection-establishment timeout to expire single unanswered SYNs and a
+longer inactivity timeout for established connections), and the
+per-connection state machine of Figure 4.
+"""
+
+from repro.conntrack.five_tuple import FiveTuple
+from repro.conntrack.timerwheel import ConnectionTimers, TimerWheel
+from repro.conntrack.conn import ConnState, Connection, TcpConnState
+from repro.conntrack.table import ConnTable, TimeoutConfig
+
+__all__ = [
+    "FiveTuple",
+    "TimerWheel",
+    "ConnectionTimers",
+    "Connection",
+    "ConnState",
+    "TcpConnState",
+    "ConnTable",
+    "TimeoutConfig",
+]

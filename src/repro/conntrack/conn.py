@@ -1,0 +1,281 @@
+"""Per-connection state (Figure 4 states + bookkeeping).
+
+A :class:`Connection` carries everything the pipeline needs to lazily
+reconstruct data for one flow: the Figure 4 parsing state (Probe /
+Parse / Track / Delete), TCP establishment tracking for the two-tier
+timeouts, per-direction packet/byte counters, the stream reassembler,
+the probing/parsing context, and the filter progress tags
+(``pkt_term_node`` / ``conn_term_node``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional
+
+from repro.conntrack.five_tuple import FiveTuple
+from repro.packet.mbuf import Mbuf
+from repro.packet.tcp import TcpFlags
+
+
+class ConnState(enum.Enum):
+    """Figure 4 connection processing states."""
+
+    PROBE = "probe"      # sniffing payload to identify the L7 protocol
+    PARSE = "parse"      # running the application-layer parser
+    TRACK = "track"      # tracking without parsing (filter satisfied)
+    DELETE = "delete"    # remove from the table
+
+
+class TcpConnState(enum.Enum):
+    """Coarse TCP liveness for timeout tiering."""
+
+    SYN_SENT = "syn_sent"
+    ESTABLISHED = "established"
+    CLOSING = "closing"       # saw FIN in one direction
+    CLOSED = "closed"         # both FINs or RST
+
+
+#: Baseline bytes of state per tracked connection, used for the
+#: Figure 8 memory model. Chosen to be of the order of Retina's real
+#: per-connection footprint (struct + hash-table slot + reassembly and
+#: parser context).
+CONN_BASE_MEMORY_BYTES = 512
+
+
+class Connection:
+    """Tracked state for one five-tuple."""
+
+    __slots__ = (
+        "five_tuple", "key", "state", "tcp_state",
+        "first_ts", "last_ts", "syn_ts", "established_ts",
+        "pkts_orig", "pkts_resp", "bytes_orig", "bytes_resp",
+        "payload_bytes_orig", "payload_bytes_resp",
+        "ooo_orig", "ooo_resp",
+        "pkt_term_node", "conn_term_node", "matched", "delivered",
+        "parser", "service_name", "reassembler",
+        "buffered_mbufs", "buffered_bytes", "user_data",
+        "history", "_next_seq_orig", "_next_seq_resp", "weirds",
+    )
+
+    def __init__(self, five_tuple: FiveTuple, now: float) -> None:
+        self.five_tuple = five_tuple
+        self.key = five_tuple.canonical()
+        self.state = ConnState.PROBE
+        self.tcp_state = (
+            TcpConnState.SYN_SENT if five_tuple.protocol == 6 else
+            TcpConnState.ESTABLISHED
+        )
+        self.first_ts = now
+        self.last_ts = now
+        self.syn_ts: Optional[float] = None
+        self.established_ts: Optional[float] = None
+        self.pkts_orig = 0
+        self.pkts_resp = 0
+        self.bytes_orig = 0
+        self.bytes_resp = 0
+        self.payload_bytes_orig = 0
+        self.payload_bytes_resp = 0
+        self.ooo_orig = 0
+        self.ooo_resp = 0
+        #: Deepest packet-filter trie node matched for this connection.
+        self.pkt_term_node: Optional[int] = None
+        #: Deepest connection-filter trie node matched.
+        self.conn_term_node: Optional[int] = None
+        #: True once the full (all-layer) filter matched.
+        self.matched = False
+        #: True once the subscription has delivered this connection
+        #: (prevents double delivery from linger-expiry after FIN).
+        self.delivered = False
+        #: Active application-layer parser context (or None).
+        self.parser: Optional[Any] = None
+        #: Identified L7 service name, once probing succeeds.
+        self.service_name: Optional[str] = None
+        #: Per-direction stream reassembler (set by the pipeline when
+        #: the subscription needs in-order bytes).
+        self.reassembler: Optional[Any] = None
+        #: Packets buffered before a full filter match (Figure 4a).
+        self.buffered_mbufs: List[Mbuf] = []
+        self.buffered_bytes = 0
+        #: Subscription-owned per-connection data (Trackable state).
+        self.user_data: Optional[Any] = None
+        #: Zeek-style history string of flag events ("S", "SA", "F"...).
+        self.history: List[str] = []
+        # Lightweight per-direction sequence tracking for out-of-order
+        # accounting — cheap enough to run even in TRACK state, where
+        # the full reassembler has been torn down.
+        self._next_seq_orig: Optional[int] = None
+        self._next_seq_resp: Optional[int] = None
+        #: Zeek-style protocol anomalies ("weirds") observed on this
+        #: connection, name → count. Real-world traffic is unpredictable
+        #: and malicious (the paper's Security goal); these are the
+        #: analysis-visible symptoms.
+        self.weirds: Dict[str, int] = {}
+
+    # -- accessors used by the connection filter ---------------------------
+    def service(self) -> Optional[str]:
+        """Identified application protocol (the conn-filter accessor)."""
+        return self.service_name
+
+    @property
+    def established(self) -> bool:
+        return self.tcp_state in (TcpConnState.ESTABLISHED,
+                                  TcpConnState.CLOSING)
+
+    @property
+    def is_single_syn(self) -> bool:
+        """An unanswered SYN: one originator packet, no response."""
+        return (
+            self.five_tuple.protocol == 6
+            and self.tcp_state is TcpConnState.SYN_SENT
+            and self.pkts_resp == 0
+            and self.pkts_orig <= 1
+        )
+
+    @property
+    def total_packets(self) -> int:
+        return self.pkts_orig + self.pkts_resp
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_orig + self.bytes_resp
+
+    # -- updates ---------------------------------------------------------------
+    def record_packet(
+        self,
+        from_orig: bool,
+        wire_bytes: int,
+        payload_bytes: int,
+        now: float,
+        tcp_flags: Optional[TcpFlags] = None,
+        seq: Optional[int] = None,
+    ) -> bool:
+        """Update counters and TCP liveness; returns True if the packet
+        newly established the connection (timer migration point)."""
+        self.last_ts = now
+        if from_orig:
+            self.pkts_orig += 1
+            self.bytes_orig += wire_bytes
+            self.payload_bytes_orig += payload_bytes
+        else:
+            self.pkts_resp += 1
+            self.bytes_resp += wire_bytes
+            self.payload_bytes_resp += payload_bytes
+        if tcp_flags is None:
+            return False
+        self._check_weird(from_orig, payload_bytes, tcp_flags)
+        if seq is not None:
+            self._track_sequence(from_orig, seq, payload_bytes, tcp_flags)
+        return self._track_tcp(from_orig, tcp_flags, now)
+
+    def weird(self, name: str) -> None:
+        """Record one protocol anomaly on this connection."""
+        self.weirds[name] = self.weirds.get(name, 0) + 1
+
+    def _check_weird(self, from_orig: bool, payload_bytes: int,
+                     flags: TcpFlags) -> None:
+        if flags & TcpFlags.SYN and flags & TcpFlags.FIN:
+            self.weird("syn_and_fin")
+        if flags & TcpFlags.SYN and payload_bytes > 0:
+            self.weird("data_on_syn")
+        if self.tcp_state is TcpConnState.SYN_SENT:
+            if flags & TcpFlags.FIN and not (flags & TcpFlags.SYN):
+                self.weird("fin_without_handshake")
+            elif payload_bytes > 0 and from_orig and \
+                    not (flags & TcpFlags.SYN) and self.pkts_orig <= 1:
+                self.weird("data_before_established")
+        if self.tcp_state is TcpConnState.CLOSED and payload_bytes > 0:
+            self.weird("data_after_close")
+
+    def _track_sequence(self, from_orig: bool, seq: int,
+                        payload_bytes: int, flags: TcpFlags) -> None:
+        """Count late (out-of-order or retransmitted) data segments."""
+        span = payload_bytes
+        if flags & (TcpFlags.SYN | TcpFlags.FIN):
+            span += 1
+        expected = self._next_seq_orig if from_orig else self._next_seq_resp
+        if expected is not None and payload_bytes > 0:
+            diff = (seq - expected) % (1 << 32)
+            if diff >= (1 << 31):  # seq below the highest seen: late
+                if from_orig:
+                    self.ooo_orig += 1
+                else:
+                    self.ooo_resp += 1
+                return  # do not move the high-water mark backwards
+            if diff > 4_000_000:
+                # A forward jump far beyond any plausible in-flight
+                # window: sequence desync or injected segment.
+                self.weird("large_seq_jump")
+        end = (seq + span) % (1 << 32)
+        if expected is None:
+            new_expected = end
+        else:
+            ahead = (end - expected) % (1 << 32)
+            new_expected = end if ahead < (1 << 31) else expected
+        if from_orig:
+            self._next_seq_orig = new_expected
+        else:
+            self._next_seq_resp = new_expected
+
+    def _track_tcp(self, from_orig: bool, flags: TcpFlags,
+                   now: float) -> bool:
+        newly_established = False
+        if flags & TcpFlags.RST:
+            self.tcp_state = TcpConnState.CLOSED
+            self.history.append("R")
+            return False
+        if flags & TcpFlags.SYN:
+            if flags & TcpFlags.ACK:
+                self.history.append("SA")
+                if self.tcp_state is TcpConnState.SYN_SENT:
+                    self.tcp_state = TcpConnState.ESTABLISHED
+                    self.established_ts = now
+                    newly_established = True
+            else:
+                self.history.append("S")
+                if self.syn_ts is None:
+                    self.syn_ts = now
+            return newly_established
+        if flags & TcpFlags.FIN:
+            self.history.append("F")
+            if self.tcp_state is TcpConnState.CLOSING:
+                self.tcp_state = TcpConnState.CLOSED
+            elif self.tcp_state is not TcpConnState.CLOSED:
+                self.tcp_state = TcpConnState.CLOSING
+            return False
+        # A plain data/ACK packet from the responder also proves
+        # bidirectionality (handles taps that miss the SYN-ACK).
+        if self.tcp_state is TcpConnState.SYN_SENT and not from_orig:
+            self.tcp_state = TcpConnState.ESTABLISHED
+            self.established_ts = now
+            newly_established = True
+        return newly_established
+
+    def buffer_packet(self, mbuf: Mbuf) -> None:
+        """Hold a packet until the filter fully matches (Figure 4a)."""
+        self.buffered_mbufs.append(mbuf)
+        self.buffered_bytes += len(mbuf)
+
+    def drain_buffered(self) -> List[Mbuf]:
+        mbufs = self.buffered_mbufs
+        self.buffered_mbufs = []
+        self.buffered_bytes = 0
+        return mbufs
+
+    @property
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes for the Figure 8 memory model."""
+        total = CONN_BASE_MEMORY_BYTES + self.buffered_bytes
+        if self.reassembler is not None:
+            total += self.reassembler.memory_bytes
+        return total
+
+    @property
+    def terminated(self) -> bool:
+        return self.tcp_state is TcpConnState.CLOSED
+
+    def __repr__(self) -> str:
+        return (
+            f"Connection({self.five_tuple}, {self.state.value}, "
+            f"{self.tcp_state.value}, pkts={self.total_packets})"
+        )

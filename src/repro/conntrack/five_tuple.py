@@ -1,0 +1,65 @@
+"""Direction-canonical connection keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.packet.stack import PacketStack
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """(src, dst, sport, dport, proto) identifying one connection.
+
+    ``orig`` fields record the *originator* — the endpoint that sent the
+    first packet the tracker saw. :meth:`canonical` produces a
+    direction-insensitive key so both directions of a flow map to the
+    same table entry (which symmetric RSS guarantees land on the same
+    core).
+    """
+
+    src_ip: bytes
+    dst_ip: bytes
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    @classmethod
+    def from_stack(cls, stack: PacketStack) -> Optional["FiveTuple"]:
+        """Extract the five-tuple, or None for non-IP/transport frames."""
+        if stack.ip is None or stack.transport is None:
+            return None
+        return cls(
+            stack.ip.src_addr().packed,
+            stack.ip.dst_addr().packed,
+            stack.transport.src_port(),
+            stack.transport.dst_port(),
+            stack.ip.next_protocol(),
+        )
+
+    def canonical(self) -> Tuple:
+        """Direction-insensitive hashable key."""
+        fwd = (self.src_ip, self.src_port)
+        rev = (self.dst_ip, self.dst_port)
+        if fwd <= rev:
+            return (self.src_ip, self.src_port, self.dst_ip,
+                    self.dst_port, self.protocol)
+        return (self.dst_ip, self.dst_port, self.src_ip,
+                self.src_port, self.protocol)
+
+    def reversed(self) -> "FiveTuple":
+        return FiveTuple(self.dst_ip, self.src_ip, self.dst_port,
+                         self.src_port, self.protocol)
+
+    def same_direction(self, other: "FiveTuple") -> bool:
+        """True if ``other`` flows in this tuple's direction."""
+        return (self.src_ip, self.src_port) == (other.src_ip, other.src_port)
+
+    def __str__(self) -> str:
+        import ipaddress
+
+        src = ipaddress.ip_address(self.src_ip)
+        dst = ipaddress.ip_address(self.dst_ip)
+        proto = {6: "tcp", 17: "udp"}.get(self.protocol, str(self.protocol))
+        return f"{src}:{self.src_port} -> {dst}:{self.dst_port}/{proto}"

@@ -1,0 +1,143 @@
+"""Per-core connection hash table with timer-wheel expiration.
+
+One :class:`ConnTable` exists per core; symmetric RSS guarantees both
+directions of a flow land on the same core, so tables need no
+cross-core synchronization (Section 5.2, citing Girondi et al.). The
+table owns the two-tier :class:`~repro.conntrack.timerwheel.ConnectionTimers`
+and exposes a small API the pipeline drives:
+
+* :meth:`get_or_create` on packet arrival,
+* :meth:`touch` to refresh timeouts and migrate establishment tiers,
+* :meth:`expire` to harvest timed-out connections,
+* :meth:`remove` for filter-driven early deletion (Figure 4's dashed
+  transitions) and natural termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.conntrack.conn import Connection, ConnState
+from repro.conntrack.five_tuple import FiveTuple
+from repro.conntrack.timerwheel import ConnectionTimers
+
+
+@dataclass(frozen=True)
+class TimeoutConfig:
+    """Timeout scheme; ``None`` disables a tier (Figure 8 ablations)."""
+
+    establish_timeout: Optional[float] = 5.0
+    inactivity_timeout: Optional[float] = 300.0
+
+    @classmethod
+    def retina_default(cls) -> "TimeoutConfig":
+        return cls(5.0, 300.0)
+
+    @classmethod
+    def inactivity_only(cls) -> "TimeoutConfig":
+        """The Figure 8 middle curve: a flat 5-minute timeout."""
+        return cls(None, 300.0)
+
+    @classmethod
+    def no_timeouts(cls) -> "TimeoutConfig":
+        """The Figure 8 out-of-memory curve."""
+        return cls(None, None)
+
+
+class ConnTable:
+    """Hash table of live connections for one core."""
+
+    def __init__(self, timeouts: TimeoutConfig = TimeoutConfig()) -> None:
+        self.timeouts = timeouts
+        self._conns: Dict[Tuple, Connection] = {}
+        self._timers = ConnectionTimers(
+            timeouts.establish_timeout, timeouts.inactivity_timeout
+        )
+        # Lifetime statistics.
+        self.created = 0
+        self.removed = 0
+        self.expired_establish = 0
+        self.expired_inactive = 0
+
+    def __len__(self) -> int:
+        return len(self._conns)
+
+    def __iter__(self) -> Iterator[Connection]:
+        return iter(self._conns.values())
+
+    def lookup(self, five_tuple: FiveTuple) -> Optional[Connection]:
+        return self._conns.get(five_tuple.canonical())
+
+    def get_or_create(
+        self, five_tuple: FiveTuple, now: float
+    ) -> Tuple[Connection, bool]:
+        """Return (connection, created_flag) for the packet's flow."""
+        key = five_tuple.canonical()
+        conn = self._conns.get(key)
+        if conn is not None:
+            return conn, False
+        conn = Connection(five_tuple, now)
+        self._conns[key] = conn
+        self._timers.on_new_connection(key, now)
+        self.created += 1
+        return conn, True
+
+    def touch(self, conn: Connection, now: float,
+              newly_established: bool) -> None:
+        """Refresh the connection's timeout after a packet."""
+        if newly_established:
+            self._timers.on_established(conn.key, now)
+        else:
+            self._timers.on_activity(conn.key, now, conn.established)
+
+    def schedule_removal(self, conn: Connection, now: float,
+                         linger: float = 5.0) -> bool:
+        """TIME_WAIT-like linger for a closed, already-delivered
+        connection: keep the (lightweight) entry briefly so trailing
+        segments of the teardown don't re-create the flow."""
+        return self._timers.schedule_removal(conn.key, now, linger)
+
+    def remove(self, conn: Connection) -> None:
+        """Delete a connection (filter miss, termination, or callback
+        completion — the Figure 4 DELETE transitions)."""
+        if self._conns.pop(conn.key, None) is not None:
+            self._timers.on_remove(conn.key)
+            self.removed += 1
+            conn.state = ConnState.DELETE
+
+    def expire(self, now: float) -> List[Connection]:
+        """Harvest connections whose timers fired.
+
+        Expired connections are removed from the table and returned so
+        the pipeline can deliver them (an unanswered SYN is still a
+        connection record the user may have subscribed to).
+        """
+        expired: List[Connection] = []
+        for key in self._timers.advance(now):
+            conn = self._conns.pop(key, None)
+            if conn is None:
+                continue
+            if conn.established:
+                self.expired_inactive += 1
+            else:
+                self.expired_establish += 1
+            conn.state = ConnState.DELETE
+            self.removed += 1
+            expired.append(conn)
+        return expired
+
+    def drain(self) -> List[Connection]:
+        """Remove and return every live connection (end of run)."""
+        conns = list(self._conns.values())
+        for conn in conns:
+            self._timers.on_remove(conn.key)
+            conn.state = ConnState.DELETE
+        self._conns.clear()
+        self.removed += len(conns)
+        return conns
+
+    @property
+    def memory_bytes(self) -> int:
+        """Estimated bytes of connection state currently resident."""
+        return sum(conn.memory_bytes for conn in self._conns.values())

@@ -1,0 +1,51 @@
+"""The Retina core: runtime, subscriptions, pipeline, cycle accounting.
+
+The public API mirrors the paper's programming model::
+
+    from repro import Runtime, RuntimeConfig
+
+    cfg = RuntimeConfig(cores=8)
+    runtime = Runtime(
+        cfg,
+        filter_str="tls.sni ~ '.*\\\\.com$'",
+        datatype="tls_handshake",
+        callback=lambda hs: print(hs.sni(), hs.cipher()),
+    )
+    report = runtime.run(traffic)
+"""
+
+from repro.core.cycles import CostModel, CycleLedger, Stage
+from repro.core.datatypes import (
+    ConnectionRecord,
+    DnsTransaction,
+    HttpTransaction,
+    QuicHandshake,
+    RawPacket,
+    SshHandshake,
+    SUBSCRIBABLES,
+    TlsHandshake,
+)
+from repro.core.subscription import Level, Subscription
+from repro.core.pipeline import CorePipeline
+from repro.core.runtime import Runtime, RuntimeReport
+from repro.core.stats import CoreStats
+
+__all__ = [
+    "Stage",
+    "CostModel",
+    "CycleLedger",
+    "Level",
+    "Subscription",
+    "RawPacket",
+    "ConnectionRecord",
+    "TlsHandshake",
+    "HttpTransaction",
+    "SshHandshake",
+    "DnsTransaction",
+    "QuicHandshake",
+    "SUBSCRIBABLES",
+    "CorePipeline",
+    "Runtime",
+    "RuntimeReport",
+    "CoreStats",
+]

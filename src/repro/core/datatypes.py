@@ -1,0 +1,255 @@
+"""Subscribable data types (Section 3.2.2's three abstraction levels).
+
+Each class bundles what the callback receives plus the class-level
+metadata the framework uses to derive the processing state machine
+(Figure 4): the abstraction level, which application parsers must be
+probed, and how the connection should be treated after a filter match.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.conntrack.conn import Connection
+from repro.conntrack.five_tuple import FiveTuple
+from repro.packet.mbuf import Mbuf
+from repro.packet.stack import PacketStack
+from repro.protocols.base import Session
+
+
+class Level(enum.Enum):
+    """Data abstraction levels (OSI bands, Section 3.2.2)."""
+
+    PACKET = "packet"          # L2-3: raw frames, order of arrival
+    CONNECTION = "connection"  # L4: reassembled connection records
+    SESSION = "session"        # L5-7: parsed application sessions
+
+
+@dataclass
+class RawPacket:
+    """A raw frame, optionally in the context of a matched connection."""
+
+    level = Level.PACKET
+    app_parsers = ()  # class metadata, not a dataclass field
+    name = "packet"
+
+    mbuf: Mbuf = None
+    #: Set when the packet was delivered via a connection-level match.
+    five_tuple: Optional[FiveTuple] = None
+
+    def data(self) -> bytes:
+        return self.mbuf.data
+
+    @property
+    def timestamp(self) -> float:
+        return self.mbuf.timestamp
+
+
+@dataclass
+class ConnectionRecord:
+    """A terminated (or expired) connection's summary record."""
+
+    level = Level.CONNECTION
+    app_parsers = ()  # class metadata, not a dataclass field
+    name = "connection"
+
+    five_tuple: FiveTuple = None
+    first_ts: float = 0.0
+    last_ts: float = 0.0
+    syn_ts: Optional[float] = None
+    established_ts: Optional[float] = None
+    pkts_orig: int = 0
+    pkts_resp: int = 0
+    bytes_orig: int = 0
+    bytes_resp: int = 0
+    payload_bytes_orig: int = 0
+    payload_bytes_resp: int = 0
+    ooo_orig: int = 0
+    ooo_resp: int = 0
+    history: str = ""
+    service: Optional[str] = None
+    terminated_gracefully: bool = False
+    #: Protocol anomalies observed ("weirds"), name → count.
+    weirds: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_connection(cls, conn: Connection) -> "ConnectionRecord":
+        # OOO counts come from the connection's lightweight sequence
+        # tracker, which runs in every state (the reassembler only
+        # exists while probing/parsing).
+        ooo_orig = conn.ooo_orig
+        ooo_resp = conn.ooo_resp
+        return cls(
+            five_tuple=conn.five_tuple,
+            first_ts=conn.first_ts,
+            last_ts=conn.last_ts,
+            syn_ts=conn.syn_ts,
+            established_ts=conn.established_ts,
+            pkts_orig=conn.pkts_orig,
+            pkts_resp=conn.pkts_resp,
+            bytes_orig=conn.bytes_orig,
+            bytes_resp=conn.bytes_resp,
+            payload_bytes_orig=conn.payload_bytes_orig,
+            payload_bytes_resp=conn.payload_bytes_resp,
+            ooo_orig=ooo_orig,
+            ooo_resp=ooo_resp,
+            history="".join(conn.history),
+            service=conn.service_name,
+            terminated_gracefully=conn.terminated,
+            weirds=dict(conn.weirds),
+        )
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.last_ts - self.first_ts)
+
+    @property
+    def total_packets(self) -> int:
+        return self.pkts_orig + self.pkts_resp
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_orig + self.bytes_resp
+
+    @property
+    def is_single_syn(self) -> bool:
+        return (self.history == "S" and self.pkts_resp == 0
+                and self.pkts_orig <= 1)
+
+
+@dataclass
+class _SessionSubscribable:
+    """Common shape for parsed-session subscriptions."""
+
+    level = Level.SESSION
+    app_parsers = ()  # class metadata; subclasses narrow it
+
+    session: Session = None
+    five_tuple: FiveTuple = None
+
+    @property
+    def data(self) -> Any:
+        return self.session.data
+
+    @property
+    def timestamp(self) -> float:
+        return self.session.timestamp
+
+
+class TlsHandshake(_SessionSubscribable):
+    """A parsed TLS handshake (Figure 1's subscription type)."""
+
+    app_parsers = ("tls",)
+    name = "tls_handshake"
+
+    def sni(self) -> Optional[str]:
+        return self.data.sni()
+
+    def cipher(self) -> Optional[str]:
+        return self.data.cipher()
+
+    def version(self) -> Optional[str]:
+        return self.data.version()
+
+    def client_random(self) -> Optional[bytes]:
+        return self.data.client_random
+
+
+class HttpTransaction(_SessionSubscribable):
+    """A parsed HTTP request/response pair."""
+
+    app_parsers = ("http",)
+    name = "http_transaction"
+
+    def method(self) -> Optional[str]:
+        return self.data.method()
+
+    def uri(self) -> Optional[str]:
+        return self.data.uri()
+
+    def host(self) -> Optional[str]:
+        return self.data.host()
+
+    def user_agent(self) -> Optional[str]:
+        return self.data.user_agent()
+
+    def status_code(self) -> Optional[int]:
+        return self.data.status_code()
+
+
+class SshHandshake(_SessionSubscribable):
+    """A parsed SSH identification exchange."""
+
+    app_parsers = ("ssh",)
+    name = "ssh_handshake"
+
+    def client_software(self) -> Optional[str]:
+        return self.data.client_software()
+
+    def server_software(self) -> Optional[str]:
+        return self.data.server_software()
+
+
+class DnsTransaction(_SessionSubscribable):
+    """A parsed DNS query/response transaction."""
+
+    app_parsers = ("dns",)
+    name = "dns_transaction"
+
+    def query_name(self) -> Optional[str]:
+        return self.data.query_name()
+
+    def response_code(self) -> Optional[int]:
+        return self.data.response_code()
+
+
+@dataclass
+class StreamChunk:
+    """One in-order chunk of a matched connection's byte-stream.
+
+    The "fully reconstructed byte-stream" subscribable Section 3.3
+    names and Section 5.2's example ("TLS byte-streams with domains
+    ending in .com") subscribes to: once the filter fully matches, the
+    callback receives every in-order payload chunk of the connection —
+    including the chunks that arrived while the filter was still being
+    evaluated, which the framework buffers.
+    """
+
+    level = Level.CONNECTION
+    app_parsers = ()  # parsers come from the filter, if any
+    name = "byte_stream"
+    #: Marks this datatype as streaming reassembled payload bytes.
+    streams_bytes = True
+
+    payload: bytes = b""
+    from_orig: bool = True
+    timestamp: float = 0.0
+    five_tuple: FiveTuple = None
+
+
+class QuicHandshake(_SessionSubscribable):
+    """A parsed QUIC connection start (invariant-header fields)."""
+
+    app_parsers = ("quic",)
+    name = "quic_handshake"
+
+    def version(self) -> Optional[str]:
+        return self.data.version()
+
+    def dcid(self) -> Optional[str]:
+        return self.data.dcid()
+
+
+#: Name → subscribable class, for the string-based Runtime API.
+SUBSCRIBABLES: Dict[str, Type] = {
+    RawPacket.name: RawPacket,
+    ConnectionRecord.name: ConnectionRecord,
+    TlsHandshake.name: TlsHandshake,
+    HttpTransaction.name: HttpTransaction,
+    SshHandshake.name: SshHandshake,
+    DnsTransaction.name: DnsTransaction,
+    QuicHandshake.name: QuicHandshake,
+    StreamChunk.name: StreamChunk,
+}

@@ -1,0 +1,120 @@
+"""Real-time monitoring (Section 5.3).
+
+Retina "provides logs and real-time monitoring of packet loss,
+throughput, and memory usage that can be used as feedback to adjust
+the filter or improve callback efficiency". :class:`StatsMonitor`
+implements that feedback channel for the reproduction: attached to a
+:class:`~repro.core.runtime.Runtime`, it snapshots the pipeline at a
+fixed virtual-time cadence and renders the paper's suggested signals —
+ingress rate, implied packet loss, callback rate, live connections,
+and resident memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """One snapshot of the running pipeline."""
+
+    timestamp: float
+    interval: float
+    ingress_packets: int
+    ingress_bytes: int
+    interval_gbps: float
+    callbacks: int
+    live_connections: int
+    memory_bytes: int
+    busy_fraction: float  # busiest core's cycle demand / capacity
+
+    @property
+    def loss_fraction(self) -> float:
+        """Implied packet loss: a core over 100% busy is dropping."""
+        if self.busy_fraction <= 1.0:
+            return 0.0
+        return 1.0 - 1.0 / self.busy_fraction
+
+    def format(self) -> str:
+        loss = self.loss_fraction
+        return (
+            f"[{self.timestamp:9.3f}s] {self.interval_gbps:7.3f} Gbps  "
+            f"pkts={self.ingress_packets}  cb={self.callbacks}  "
+            f"conns={self.live_connections}  "
+            f"mem={self.memory_bytes / 1e6:.1f}MB  "
+            f"busy={self.busy_fraction * 100:5.1f}%  "
+            f"loss={'%.2f%%' % (loss * 100) if loss else '0'}"
+        )
+
+
+class StatsMonitor:
+    """Periodic pipeline snapshots with optional live emission."""
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        emit: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._emit = emit
+        self.samples: List[MonitorSample] = []
+        self._last_ts: Optional[float] = None
+        self._last_packets = 0
+        self._last_bytes = 0
+        self._last_callbacks = 0
+        self._last_busy = 0.0
+
+    def observe(self, runtime, now: float) -> None:
+        """Called by the runtime; snapshots when the interval elapsed."""
+        if self._last_ts is None:
+            self._last_ts = now
+            return
+        if now - self._last_ts < self.interval:
+            return
+        elapsed = now - self._last_ts
+        received_packets = sum(n.stats.received_packets
+                               for n in runtime.nics)
+        received_bytes = sum(n.stats.received_bytes for n in runtime.nics)
+        callbacks = sum(p.stats.callbacks for p in runtime.pipelines)
+        busiest = max(
+            (p.stats.ledger.busy_seconds for p in runtime.pipelines),
+            default=0.0,
+        )
+        sample = MonitorSample(
+            timestamp=now,
+            interval=elapsed,
+            ingress_packets=received_packets - self._last_packets,
+            ingress_bytes=received_bytes - self._last_bytes,
+            interval_gbps=(received_bytes - self._last_bytes) * 8
+            / elapsed / 1e9,
+            callbacks=callbacks - self._last_callbacks,
+            live_connections=runtime.live_connections,
+            memory_bytes=runtime.memory_bytes,
+            busy_fraction=(busiest - self._last_busy) / elapsed,
+        )
+        self.samples.append(sample)
+        if self._emit is not None:
+            self._emit(sample.format())
+        self._last_ts = now
+        self._last_packets = received_packets
+        self._last_bytes = received_bytes
+        self._last_callbacks = callbacks
+        self._last_busy = busiest
+
+    # -- feedback signals (Section 5.3's tuning loop) ------------------------
+    @property
+    def sustained_loss(self) -> bool:
+        """True if the last few samples all imply packet loss — the
+        paper's cue to buffer writes, add cores, or narrow the filter."""
+        recent = self.samples[-3:]
+        return bool(recent) and all(s.loss_fraction > 0 for s in recent)
+
+    def peak_memory(self) -> int:
+        return max((s.memory_bytes for s in self.samples), default=0)
+
+    def log_lines(self) -> List[str]:
+        return [s.format() for s in self.samples]

@@ -1,0 +1,486 @@
+"""Per-core processing pipeline (Figure 2, right side).
+
+One :class:`CorePipeline` runs per receive queue and implements the
+work-conserving, lazily reconstructing data path:
+
+1. software packet filter immediately after "capture",
+2. fast-path callback for packet subscriptions with packet-only filters,
+3. connection tracking (per-core table, two-tier timer wheels),
+4. lazy stream reassembly only for connections that still need payload,
+5. protocol probing restricted to the subscription's parser set,
+6. the connection filter at probe resolution, the session filter at
+   session completion, with Figure 4's state transitions in between,
+7. inline callback execution.
+
+Every stage charges its calibrated cost to the core's cycle ledger —
+that ledger is this reproduction's stand-in for a 3 GHz core's time.
+
+One documented deviation from the paper: where Retina deletes a
+connection the filter has rejected (or already delivered), this
+pipeline keeps a 512-byte "ignore" tombstone in the table until the
+inactivity timeout. The tombstone prevents subsequent packets of the
+same flow from re-creating the connection and re-probing ciphertext;
+CPU behaviour matches the paper's, and memory stays bounded by the same
+timer wheels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:  # avoid a config<->core import cycle at runtime
+    from repro.config import RuntimeConfig
+
+from repro.conntrack.conn import ConnState, Connection
+from repro.conntrack.five_tuple import FiveTuple
+from repro.conntrack.table import ConnTable
+from repro.core.cycles import Stage
+from repro.core.datatypes import (
+    ConnectionRecord,
+    Level,
+    RawPacket,
+    StreamChunk,
+)
+from repro.core.stats import CoreStats
+from repro.core.subscription import Subscription
+from repro.packet.ipv4 import PROTO_TCP, PROTO_UDP
+from repro.packet.mbuf import Mbuf
+from repro.packet.stack import parse_stack
+from repro.protocols.base import ParseResult, ProbeResult, Session
+from repro.stream.buffered import BufferedReassembler
+from repro.stream.pdu import L4Pdu, StreamSegment
+from repro.stream.reassembly import LazyReassembler
+
+#: Sentinel for "filter already satisfied before the session layer":
+#: the session filter is skipped and sessions match unconditionally.
+FILTER_SATISFIED = -1
+
+class _ProbeContext:
+    """Candidate parsers plus segments seen while still undecided."""
+
+    __slots__ = ("candidates", "pending", "bytes_probed")
+
+    def __init__(self, candidates) -> None:
+        self.candidates = candidates
+        self.pending: List[StreamSegment] = []
+        self.bytes_probed = 0
+
+
+class CorePipeline:
+    """The per-core data path."""
+
+    def __init__(
+        self,
+        core_id: int,
+        subscription: Subscription,
+        config: "RuntimeConfig",
+        executor=None,
+    ) -> None:
+        self.core_id = core_id
+        self.sub = subscription
+        self.config = config
+        self.table = ConnTable(config.timeouts)
+        self.stats = CoreStats(config.cost_model)
+        self._filter = subscription.filter
+        self._level = subscription.level
+        if executor is None:
+            from repro.core.executor import InlineExecutor
+            executor = InlineExecutor(subscription.callback,
+                                      config.callback_cycles)
+        self._executor = executor
+        self._probe_protocols = sorted(subscription.probe_protocols)
+        self._now = 0.0
+        self._last_expire = 0.0
+
+    # ------------------------------------------------------------------
+    # packet entry point
+    # ------------------------------------------------------------------
+    def process_packet(self, mbuf: Mbuf) -> None:
+        self._now = max(self._now, mbuf.timestamp)
+        self.stats.record_packet(len(mbuf))
+        ledger = self.stats.ledger
+        ledger.charge(Stage.CAPTURE)
+        ledger.charge(Stage.PACKET_FILTER)
+        result = self._filter.packet_filter(mbuf)
+        if not result.matched:
+            return
+        if not self.sub.needs_conntrack:
+            # Packet subscription with a packet-only filter: Section 5.1
+            # fast path, the callback runs right after the filter.
+            self._deliver(RawPacket(mbuf=mbuf))
+            return
+        self._stateful(mbuf, result)
+
+    # ------------------------------------------------------------------
+    # stateful processing
+    # ------------------------------------------------------------------
+    def _stateful(self, mbuf: Mbuf, result) -> None:
+        ledger = self.stats.ledger
+        ledger.charge(Stage.CONN_TRACK)
+        stack = parse_stack(mbuf)
+        five_tuple = FiveTuple.from_stack(stack)
+        if five_tuple is None:
+            # Non-transport traffic cannot be tracked; packet-level
+            # subscriptions with a satisfied filter still get it.
+            if result.terminal and self._level is Level.PACKET:
+                self._deliver(RawPacket(mbuf=mbuf))
+            return
+        conn, created = self.table.get_or_create(five_tuple, self._now)
+        if created:
+            self.stats.conns_created += 1
+            self._init_connection(conn, result)
+        from_orig = conn.five_tuple.same_direction(five_tuple)
+        payload = stack.l4_payload()
+        flags = stack.tcp.flags() if stack.tcp is not None else None
+        seq = stack.tcp.seq_no() if stack.tcp is not None else None
+        newly_established = conn.record_packet(
+            from_orig, len(mbuf), len(payload), self._now, flags, seq
+        )
+        self.table.touch(conn, self._now, newly_established)
+
+        state = conn.state
+        if state is ConnState.TRACK:
+            if self._level is Level.PACKET and conn.matched:
+                self._deliver(RawPacket(mbuf=mbuf,
+                                        five_tuple=conn.five_tuple))
+            elif self.sub.streams_bytes and conn.matched:
+                # Byte-stream subscriptions keep the reorderer alive
+                # past the filter match: the stream IS the data.
+                segments = self._reassemble(conn, stack, five_tuple,
+                                            payload)
+                self._handle_stream_segments(conn, segments)
+        elif state in (ConnState.PROBE, ConnState.PARSE):
+            if self.sub.buffers_packets and not conn.matched:
+                conn.buffer_packet(mbuf)
+            segments = self._reassemble(conn, stack, five_tuple, payload)
+            if self.sub.streams_bytes:
+                self._handle_stream_segments(conn, segments)
+            if segments:
+                if conn.state is ConnState.PROBE:
+                    self._probe(conn, segments)
+                elif conn.state is ConnState.PARSE:
+                    self._parse(conn, segments)
+        # DELETE (ignore tombstone): nothing to do.
+
+        if conn.terminated and conn.state is not ConnState.DELETE:
+            self._finalize(conn, delivered_by="termination")
+        self._maybe_expire()
+
+    def _init_connection(self, conn: Connection, result) -> None:
+        conn.pkt_term_node = result.node
+        needs_sessions = self._level is Level.SESSION
+        if result.terminal:
+            conn.matched = True
+            conn.conn_term_node = FILTER_SATISFIED
+            if needs_sessions or (
+                self.sub.identify_services
+                and self._level is Level.CONNECTION
+            ):
+                # Session subscriptions must parse; service-labeling
+                # connection subscriptions probe until identification.
+                self._enter_probe(conn)
+            else:
+                conn.state = ConnState.TRACK
+                if self.sub.streams_bytes:
+                    # The stream itself is the subscription data.
+                    self._create_reassembler(conn)
+        else:
+            self._enter_probe(conn)
+
+    def _enter_probe(self, conn: Connection) -> None:
+        conn.state = ConnState.PROBE
+        if self.sub.streams_bytes or self._probe_protocols:
+            self._create_reassembler(conn)
+        if not self._probe_protocols:
+            # The filter needs a connection-layer decision but no
+            # parser can make one: resolve immediately as no service.
+            self._on_service_resolved(conn, None)
+            return
+        candidates = self.sub.parser_registry.create_set(
+            self._probe_protocols)
+        conn.parser = _ProbeContext(candidates)
+
+    def _create_reassembler(self, conn: Connection) -> None:
+        if conn.five_tuple.protocol != PROTO_TCP or \
+                conn.reassembler is not None:
+            return
+        if self.config.reassembler == "buffered":
+            conn.reassembler = BufferedReassembler()
+        else:
+            conn.reassembler = LazyReassembler(self.config.ooo_capacity)
+
+    # -- reassembly ----------------------------------------------------------
+    def _reassemble(self, conn: Connection, stack, five_tuple,
+                    payload: bytes) -> List[StreamSegment]:
+        if conn.five_tuple.protocol == PROTO_UDP:
+            if not payload:
+                return []
+            return [StreamSegment(payload,
+                                  conn.five_tuple.same_direction(five_tuple),
+                                  self._now)]
+        if conn.reassembler is None:
+            return []
+        pdu = L4Pdu.from_stack(stack, five_tuple, conn.five_tuple)
+        # Every segment of a connection still being probed/parsed goes
+        # through the reorderer (sequence tracking examines ACKs too).
+        model = self.stats.ledger.model
+        if self.config.reassembler == "buffered":
+            # Traditional design additionally memcpys every payload
+            # byte into the stream buffer.
+            self.stats.ledger.charge_cycles(
+                Stage.REASSEMBLY,
+                model.reassembly +
+                model.reassembly_copy_per_byte * len(payload),
+            )
+        else:
+            self.stats.ledger.charge(Stage.REASSEMBLY)
+        return conn.reassembler.push(pdu)
+
+    # -- probing ---------------------------------------------------------------
+    def _probe(self, conn: Connection, segments: List[StreamSegment]) -> None:
+        context = conn.parser
+        if not isinstance(context, _ProbeContext):
+            return
+        ledger = self.stats.ledger
+        for segment in segments:
+            if not segment.payload:
+                continue
+            context.pending.append(segment)
+            context.bytes_probed += len(segment.payload)
+            ledger.charge(Stage.PARSING)
+            still_unsure = []
+            for parser in context.candidates:
+                outcome = parser.probe(segment)
+                if outcome is ProbeResult.MATCH:
+                    self._on_service_resolved(conn, parser)
+                    return
+                if outcome is ProbeResult.UNSURE:
+                    still_unsure.append(parser)
+            context.candidates = still_unsure
+            if not context.candidates or \
+                    context.bytes_probed > self.config.probe_byte_limit:
+                if context.bytes_probed > self.config.probe_byte_limit:
+                    self.stats.probe_giveups += 1
+                self._on_service_resolved(conn, None)
+                return
+
+    def _on_service_resolved(self, conn: Connection, parser) -> None:
+        """Probe finished: run the connection filter and transition."""
+        context = conn.parser if isinstance(conn.parser, _ProbeContext) \
+            else None
+        pending = context.pending if context is not None else []
+        if parser is not None:
+            conn.service_name = parser.protocol
+            conn.parser = parser
+        else:
+            conn.parser = None
+
+        if conn.matched:
+            # Filter satisfied before the connection layer. Session
+            # subscriptions still need parsed sessions; everything else
+            # just keeps tracking.
+            if self._level is Level.SESSION and parser is not None:
+                conn.state = ConnState.PARSE
+                self._parse(conn, pending)
+            elif self._level is Level.SESSION:
+                self._discard(conn)  # can never produce a session
+            else:
+                self._stop_heavy_processing(conn, ConnState.TRACK)
+            return
+
+        result = self._filter.connection_filter(conn, conn.pkt_term_node)
+        if not result.matched:
+            self._discard(conn)
+            return
+        conn.conn_term_node = result.node
+        if result.terminal:
+            conn.matched = True
+            self._on_full_match(conn)
+            if self._level is Level.SESSION:
+                if parser is None:
+                    self._discard(conn)
+                else:
+                    conn.state = ConnState.PARSE
+                    self._parse(conn, pending)
+            else:
+                # Packet/connection subscriptions need no parsed
+                # sessions: stop probing/reassembling, keep tracking.
+                self._stop_heavy_processing(conn, ConnState.TRACK)
+            return
+        # Session predicates remain: parse until sessions complete.
+        if parser is None:
+            self._discard(conn)
+            return
+        conn.state = ConnState.PARSE
+        self._parse(conn, pending)
+
+    # -- parsing ---------------------------------------------------------------
+    def _parse(self, conn: Connection, segments: List[StreamSegment]) -> None:
+        ledger = self.stats.ledger
+        for segment in segments:
+            if conn.state is not ConnState.PARSE:
+                break
+            if not segment.payload:
+                continue
+            ledger.charge(Stage.PARSING)
+            result = conn.parser.parse(segment)
+            sessions = conn.parser.drain_sessions()
+            for session in sessions:
+                self._on_session(conn, session)
+                if conn.state is not ConnState.PARSE:
+                    break
+            if result is ParseResult.ERROR:
+                self._on_parse_error(conn)
+                break
+
+    def _on_session(self, conn: Connection, session: Session) -> None:
+        self.stats.ledger.charge(Stage.SESSION_FILTER)
+        self.stats.sessions_parsed += 1
+        if conn.conn_term_node == FILTER_SATISFIED:
+            matched = True
+        else:
+            matched = self._filter.session_filter(session,
+                                                  conn.conn_term_node)
+        parser = conn.parser
+        if matched:
+            self.stats.sessions_matched += 1
+            if self._level is Level.SESSION:
+                self._deliver(self.sub.datatype(
+                    session=session, five_tuple=conn.five_tuple))
+                next_state = parser.session_match_state()
+                if next_state == "parse":
+                    conn.state = ConnState.PARSE
+                else:
+                    # Figure 4b: nothing more can come of this
+                    # connection — deliver and drop it early.
+                    self._discard(conn)
+            else:
+                conn.matched = True
+                self._on_full_match(conn)
+                self._stop_heavy_processing(
+                    conn,
+                    ConnState.TRACK,
+                )
+        else:
+            next_state = parser.session_nomatch_state() if parser else \
+                "delete"
+            if next_state == "delete" and not conn.matched:
+                self._discard(conn)
+            # "parse": keep going — later sessions may match (HTTP).
+
+    def _on_parse_error(self, conn: Connection) -> None:
+        """Malformed L7 data: keep the connection if already matched,
+        otherwise it can no longer satisfy the filter."""
+        if conn.matched and self._level is not Level.SESSION:
+            self._stop_heavy_processing(conn, ConnState.TRACK)
+        else:
+            self._discard(conn)
+
+    def _on_full_match(self, conn: Connection) -> None:
+        """The whole filter just matched mid-connection."""
+        if self._level is Level.PACKET and conn.buffered_mbufs:
+            for mbuf in conn.drain_buffered():
+                self._deliver(RawPacket(mbuf=mbuf,
+                                        five_tuple=conn.five_tuple))
+        if self.sub.streams_bytes and conn.user_data:
+            # Release the stream chunks held while the filter resolved.
+            for segment in conn.user_data:
+                self._deliver_chunk(conn, segment)
+            conn.user_data = None
+
+    def _handle_stream_segments(self, conn: Connection,
+                                segments) -> None:
+        """Byte-stream subscriptions: deliver (or hold) in-order chunks."""
+        if not segments:
+            return
+        if conn.matched:
+            for segment in segments:
+                self._deliver_chunk(conn, segment)
+        else:
+            if conn.user_data is None:
+                conn.user_data = []
+            conn.user_data.extend(segments)
+
+    def _deliver_chunk(self, conn: Connection, segment) -> None:
+        self._deliver(StreamChunk(
+            payload=segment.payload,
+            from_orig=segment.from_orig,
+            timestamp=segment.timestamp,
+            five_tuple=conn.five_tuple,
+        ))
+
+    # -- state transitions -----------------------------------------------------
+    def _stop_heavy_processing(self, conn: Connection,
+                               state: ConnState) -> None:
+        """Enter TRACK: free the parser (and the reassembler, unless
+        the subscription streams bytes), keep counters."""
+        conn.state = state
+        conn.parser = None
+        if not self.sub.streams_bytes:
+            conn.reassembler = None
+        if self._level is not Level.PACKET:
+            conn.buffered_mbufs = []
+            conn.buffered_bytes = 0
+
+    def _discard(self, conn: Connection) -> None:
+        """Filter rejected (or nothing more to deliver): drop all heavy
+        state and leave an inert tombstone (see module docstring)."""
+        conn.state = ConnState.DELETE
+        conn.parser = None
+        conn.reassembler = None
+        conn.buffered_mbufs = []
+        conn.buffered_bytes = 0
+        conn.user_data = None
+
+    # -- termination and expiry --------------------------------------------------
+    def _finalize(self, conn: Connection, delivered_by: str) -> None:
+        """Connection ended (FIN/RST): deliver, then linger briefly.
+
+        The entry stays in the table as a lightweight TIME_WAIT-like
+        tombstone so the trailing ACK of the FIN exchange does not
+        re-create the connection; a short timer removes it.
+        """
+        self._deliver_connection(conn)
+        self._discard(conn)
+        # With no timer tiers configured (the Figure 8 no-timeout
+        # ablation) the tombstone simply stays resident — consistent
+        # with "nothing is ever freed".
+        self.table.schedule_removal(conn, self._now)
+
+    def _deliver_connection(self, conn: Connection) -> None:
+        if self.sub.streams_bytes:
+            return  # chunks were delivered as they arrived
+        if (self._level is Level.CONNECTION and conn.matched
+                and not conn.delivered):
+            conn.delivered = True
+            self._deliver(ConnectionRecord.from_connection(conn))
+            self.stats.conns_delivered += 1
+
+    def _maybe_expire(self, force: bool = False) -> None:
+        if not force and self._now - self._last_expire < 0.25:
+            return
+        self._last_expire = self._now
+        for conn in self.table.expire(self._now):
+            self._deliver_connection(conn)
+
+    def advance_time(self, now: float) -> None:
+        """Move virtual time forward (idle periods, end of trace)."""
+        self._now = max(self._now, now)
+        self._maybe_expire(force=True)
+
+    def drain(self) -> None:
+        """End of run: deliver still-live matched connections."""
+        for conn in self.table.drain():
+            self._deliver_connection(conn)
+
+    # -- delivery ---------------------------------------------------------------
+    def _deliver(self, obj) -> None:
+        rx_cycles = self._executor.submit(obj)
+        self.stats.ledger.charge_cycles(Stage.CALLBACK, rx_cycles)
+        self.stats.callbacks += 1
+
+    # -- monitoring ---------------------------------------------------------------
+    def sample_memory(self) -> None:
+        self.stats.sample_memory(
+            self._now, len(self.table), self.table.memory_bytes
+        )

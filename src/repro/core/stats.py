@@ -1,0 +1,200 @@
+"""Runtime statistics and monitoring (Section 5.3's feedback signals).
+
+Retina exposes real-time logs of packet loss, throughput, and memory
+usage so users can tune filters and callbacks. :class:`CoreStats`
+tracks one core; :class:`AggregateStats` merges cores for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cycles import CostModel, CycleLedger, Stage
+
+
+class CoreStats:
+    """Counters for one processing core."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.ledger = CycleLedger(cost_model)
+        self.packets = 0
+        self.bytes = 0
+        self.callbacks = 0
+        self.sessions_parsed = 0
+        self.sessions_matched = 0
+        self.conns_created = 0
+        self.conns_delivered = 0
+        self.probe_giveups = 0
+        #: (timestamp, live_connections, memory_bytes) samples.
+        self.memory_samples: List[Tuple[float, int, int]] = []
+
+    def record_packet(self, wire_bytes: int) -> None:
+        self.packets += 1
+        self.bytes += wire_bytes
+
+    def sample_memory(self, ts: float, live_conns: int,
+                      memory_bytes: int) -> None:
+        self.memory_samples.append((ts, live_conns, memory_bytes))
+
+
+@dataclass
+class AggregateStats:
+    """Whole-runtime view across cores, with derived metrics."""
+
+    cores: int
+    cost_model: CostModel
+    duration: float
+    ingress_packets: int
+    ingress_bytes: int
+    hw_dropped_packets: int
+    sink_dropped_packets: int
+    processed_packets: int
+    processed_bytes: int
+    callbacks: int
+    sessions_parsed: int
+    sessions_matched: int
+    conns_created: int
+    conns_delivered: int
+    stage_invocations: Dict[Stage, int]
+    stage_cycles: Dict[Stage, float]
+    per_core_busy_seconds: List[float]
+    memory_samples: List[Tuple[float, int, int]]
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.stage_cycles.values())
+
+    @property
+    def cycles_per_ingress_packet(self) -> float:
+        if not self.ingress_packets:
+            return 0.0
+        return self.total_cycles / self.ingress_packets
+
+    @property
+    def cycles_per_ingress_byte(self) -> float:
+        if not self.ingress_bytes:
+            return 0.0
+        return self.total_cycles / self.ingress_bytes
+
+    @property
+    def offered_rate_gbps(self) -> float:
+        """Ingress rate over the traffic's (virtual) duration."""
+        if self.duration <= 0:
+            return 0.0
+        return self.ingress_bytes * 8 / self.duration / 1e9
+
+    def max_zero_loss_gbps(self, cores: Optional[int] = None) -> float:
+        """The headline metric: the highest ingress bit-rate this
+        pipeline could sustain with zero packet loss.
+
+        Per-core capacity is ``cpu_hz`` cycles/second; the pipeline
+        consumes ``cycles_per_ingress_byte``. With load balanced over
+        ``cores``, the zero-loss ceiling is
+        ``cores * cpu_hz / cycles_per_byte * 8`` bits/s. The bound uses
+        the *most loaded* core to respect imperfect RSS balance.
+        """
+        cores = cores if cores is not None else self.cores
+        if self.ingress_bytes == 0 or self.total_cycles == 0:
+            return float("inf")
+        busiest = max(self.per_core_busy_seconds) if \
+            self.per_core_busy_seconds else 0.0
+        if busiest <= 0:
+            return float("inf")
+        # Normalize: the busiest core consumed `busiest` CPU-seconds for
+        # its share; scale capacity accordingly.
+        per_core_share = self.ingress_bytes / self.cores
+        bytes_per_second_per_core = per_core_share / busiest
+        return bytes_per_second_per_core * cores * 8 / 1e9
+
+    @property
+    def loss_fraction(self) -> float:
+        """Packet loss implied by cycle demand vs. capacity over the
+        run's virtual duration (0.0 = kept up with ingress)."""
+        if self.duration <= 0:
+            return 0.0
+        capacity = self.duration  # seconds of CPU per core
+        worst = max(self.per_core_busy_seconds, default=0.0)
+        if worst <= capacity:
+            return 0.0
+        return 1.0 - capacity / worst
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        if not self.memory_samples:
+            return 0
+        return max(m for _, _, m in self.memory_samples)
+
+    @property
+    def peak_live_connections(self) -> int:
+        if not self.memory_samples:
+            return 0
+        return max(c for _, c, _ in self.memory_samples)
+
+    def stage_fractions(self) -> Dict[Stage, float]:
+        """Fraction of ingress packets that triggered each stage
+        (Figure 7's x-axis)."""
+        if not self.ingress_packets:
+            return {stage: 0.0 for stage in Stage}
+        return {
+            stage: self.stage_invocations[stage] / self.ingress_packets
+            for stage in Stage
+        }
+
+    def stage_mean_cycles(self) -> Dict[Stage, float]:
+        """Average cycles per invocation per stage (Figure 7's labels)."""
+        out: Dict[Stage, float] = {}
+        for stage in Stage:
+            n = self.stage_invocations[stage]
+            out[stage] = self.stage_cycles[stage] / n if n else 0.0
+        return out
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable summary (for tooling and the CLI)."""
+        return {
+            "cores": self.cores,
+            "duration_s": self.duration,
+            "ingress_packets": self.ingress_packets,
+            "ingress_bytes": self.ingress_bytes,
+            "hw_dropped_packets": self.hw_dropped_packets,
+            "sink_dropped_packets": self.sink_dropped_packets,
+            "processed_packets": self.processed_packets,
+            "callbacks": self.callbacks,
+            "sessions_parsed": self.sessions_parsed,
+            "sessions_matched": self.sessions_matched,
+            "conns_created": self.conns_created,
+            "conns_delivered": self.conns_delivered,
+            "offered_rate_gbps": self.offered_rate_gbps,
+            "max_zero_loss_gbps": self.max_zero_loss_gbps(),
+            "loss_fraction": self.loss_fraction,
+            "cycles_per_ingress_packet": self.cycles_per_ingress_packet,
+            "stage_invocations": {
+                stage.value: count
+                for stage, count in self.stage_invocations.items()
+            },
+            "stage_cycles": {
+                stage.value: cycles
+                for stage, cycles in self.stage_cycles.items()
+            },
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "peak_live_connections": self.peak_live_connections,
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"ingress: {self.ingress_packets} pkts / "
+            f"{self.ingress_bytes} B over {self.duration:.3f}s "
+            f"({self.offered_rate_gbps:.2f} Gbps offered)",
+            f"hw-dropped: {self.hw_dropped_packets}, "
+            f"sink-dropped: {self.sink_dropped_packets}, "
+            f"processed: {self.processed_packets}",
+            f"callbacks: {self.callbacks}, sessions parsed: "
+            f"{self.sessions_parsed} (matched {self.sessions_matched})",
+            f"connections: {self.conns_created} created, "
+            f"{self.conns_delivered} delivered",
+            f"cycles/pkt: {self.cycles_per_ingress_packet:.1f}, "
+            f"zero-loss ceiling: {self.max_zero_loss_gbps():.1f} Gbps "
+            f"on {self.cores} cores",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Subscriptions: filter + data type + callback, and the derived
+processing plan (which layers run, which parsers probe).
+
+This is the compile-time "Subscription" box of Figure 2: from the
+filter's decomposition and the data type's metadata, Retina derives how
+much of the pipeline each connection needs — whether packets can
+short-circuit to the callback, whether connections must be tracked,
+which protocols to probe for, and what happens to a connection after a
+session matches or fails the filter (Figure 4's transitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Set, Type
+
+from repro.core.datatypes import Level, SUBSCRIBABLES
+from repro.errors import SubscriptionError
+from repro.filter import CompiledFilter, compile_filter
+from repro.filter.fields import FieldRegistry, DEFAULT_REGISTRY
+from repro.filter.hardware import NicCapabilities
+from repro.protocols.registry import ParserRegistry, default_parser_registry
+
+
+class Subscription:
+    """A compiled subscription: what to deliver, filtered how."""
+
+    def __init__(
+        self,
+        filter_str: str,
+        datatype,
+        callback: Callable,
+        filter_mode: str = "codegen",
+        nic: Optional[NicCapabilities] = None,
+        field_registry: FieldRegistry = DEFAULT_REGISTRY,
+        parser_registry: Optional[ParserRegistry] = None,
+        identify_services: bool = False,
+    ) -> None:
+        if isinstance(datatype, str):
+            try:
+                datatype = SUBSCRIBABLES[datatype]
+            except KeyError:
+                raise SubscriptionError(
+                    f"unknown subscribable type '{datatype}'; known: "
+                    f"{sorted(SUBSCRIBABLES)}"
+                ) from None
+        self.datatype: Type = datatype
+        self.callback = callback
+        self.level: Level = datatype.level
+        self.filter: CompiledFilter = compile_filter(
+            filter_str, registry=field_registry, mode=filter_mode, nic=nic
+        )
+        self.parser_registry = parser_registry or default_parser_registry()
+        #: Probe every registered parser even when neither the filter
+        #: nor the data type requires one — for profiling-style
+        #: subscriptions that want the L7 service labeled on every
+        #: connection record (at the probing cost that implies).
+        self.identify_services = identify_services
+        self._validate()
+
+    def _validate(self) -> None:
+        filter_apps = self.filter.app_protocols
+        datatype_apps = set(self.datatype.app_parsers)
+        if datatype_apps and filter_apps and not (
+            filter_apps & datatype_apps
+        ):
+            raise SubscriptionError(
+                f"filter constrains protocols {sorted(filter_apps)} but the "
+                f"subscribed type only produces {sorted(datatype_apps)}: "
+                f"the subscription can never fire"
+            )
+        for proto in self.probe_protocols:
+            if proto not in self.parser_registry:
+                raise SubscriptionError(
+                    f"no parser registered for '{proto}'"
+                )
+
+    # -- derived plan ---------------------------------------------------------
+    @property
+    def probe_protocols(self) -> Set[str]:
+        """Protocols the connection tracker must probe for.
+
+        The union of what the filter constrains and what the data type
+        needs — restricted to the data type's protocols when it has
+        them (probing for anything else could never be delivered).
+        """
+        filter_apps = self.filter.app_protocols
+        datatype_apps = set(self.datatype.app_parsers)
+        if datatype_apps:
+            return datatype_apps
+        if filter_apps:
+            return filter_apps
+        if self.identify_services:
+            return set(self.parser_registry.protocols())
+        return set()
+
+    @property
+    def needs_conntrack(self) -> bool:
+        """Stateful processing needed? (Section 5.2's dispatch rule:
+        connection/session subscriptions always; packet subscriptions
+        only when the filter reaches past the packet layer.)"""
+        if self.level is not Level.PACKET:
+            return True
+        return self.filter.needs_connection_layer
+
+    @property
+    def needs_probe(self) -> bool:
+        return bool(self.probe_protocols)
+
+    @property
+    def streams_bytes(self) -> bool:
+        """True for the byte-stream subscribable: in-order payload is
+        itself the delivered data."""
+        return getattr(self.datatype, "streams_bytes", False)
+
+    @property
+    def needs_reassembly(self) -> bool:
+        """In-order payload needed? To probe/parse L7 protocols, or as
+        the subscription data itself (byte streams)."""
+        return self.needs_probe or self.streams_bytes
+
+    @property
+    def buffers_packets(self) -> bool:
+        """Packet-level subscription gated on conn/session filters must
+        buffer packets until the filter resolves (Figure 4a)."""
+        return self.level is Level.PACKET and self.needs_conntrack
+
+    def __repr__(self) -> str:
+        return (
+            f"Subscription({self.filter.text!r}, "
+            f"datatype={self.datatype.__name__})"
+        )

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Retina reproduction.
+
+All library errors derive from :class:`RetinaError` so applications can
+catch framework failures with a single ``except`` clause while still
+distinguishing categories (filter compilation, packet parsing, hardware
+rule validation, runtime configuration).
+"""
+
+from __future__ import annotations
+
+
+class RetinaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FilterError(RetinaError):
+    """Base class for filter-language failures."""
+
+
+class FilterSyntaxError(FilterError):
+    """The filter string could not be tokenized or parsed.
+
+    Carries the offending position so tools can point at the error.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class FilterSemanticsError(FilterError):
+    """The filter parsed but refers to unknown protocols/fields or uses
+    an operator unsupported for the field's type."""
+
+
+class PacketParseError(RetinaError):
+    """A packet's bytes could not be parsed as the requested header.
+
+    Mirrors Retina's ``Packet::parse_to`` returning ``Err``: filters treat
+    this as a non-match rather than a fatal condition.
+    """
+
+
+class HardwareRuleError(RetinaError):
+    """A filter predicate could not be expressed as a NIC flow rule.
+
+    Retina handles this by widening the hardware filter (the software
+    packet filter picks up the slack); this error is how the capability
+    layer reports the incompatibility to the rule generator.
+    """
+
+
+class ConfigError(RetinaError):
+    """Invalid runtime configuration (core counts, timeouts, ring sizes)."""
+
+
+class ProtocolError(RetinaError):
+    """An application-layer parser encountered malformed protocol data."""
+
+
+class SubscriptionError(RetinaError):
+    """The subscription (filter + data type + callback) is inconsistent,
+    e.g. a session-level filter attached to a packet-only fast path that
+    cannot supply connection state."""

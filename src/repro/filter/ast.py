@@ -1,0 +1,201 @@
+"""Abstract syntax for the filter language (Table 1 of the paper).
+
+A filter is a logical expression over *predicates*. Each predicate is
+either unary (``ipv4`` — "the packet/connection is ipv4/tls/...") or
+binary (``ipv4.ttl > 64`` — compare a protocol field against a
+constant). RHS constants may be integers, strings, IPv4/IPv6 addresses
+or CIDR prefixes, or integer ranges (``80..100``).
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import FilterSemanticsError
+from repro.filter.fields import (
+    DEFAULT_REGISTRY,
+    FieldRegistry,
+    Layer,
+    ValueType,
+)
+
+
+class Op(enum.Enum):
+    """Binary predicate operators."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "in"
+    MATCHES = "matches"
+
+
+#: Operators valid per value type.
+_OPS_FOR_TYPE = {
+    ValueType.INT: {Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE, Op.IN},
+    ValueType.STRING: {Op.EQ, Op.NE, Op.MATCHES},
+    ValueType.ADDR: {Op.EQ, Op.NE, Op.IN},
+}
+
+RhsValue = Union[
+    int,
+    str,
+    ipaddress.IPv4Address,
+    ipaddress.IPv6Address,
+    ipaddress.IPv4Network,
+    ipaddress.IPv6Network,
+    Tuple[int, int],
+]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An atomic constraint.
+
+    ``field``/``op``/``value`` are ``None`` for unary predicates.
+    """
+
+    protocol: str
+    field: Optional[str] = None
+    op: Optional[Op] = None
+    value: Optional[RhsValue] = None
+
+    @property
+    def is_unary(self) -> bool:
+        return self.field is None
+
+    def __str__(self) -> str:
+        if self.is_unary:
+            return self.protocol
+        value = self.value
+        if isinstance(value, str):
+            rhs = f"'{value}'"
+        elif isinstance(value, tuple):
+            rhs = f"{value[0]}..{value[1]}"
+        else:
+            rhs = str(value)
+        op = "~" if self.op is Op.MATCHES else self.op.value
+        return f"{self.protocol}.{self.field} {op} {rhs}"
+
+    def validate(self, registry: FieldRegistry = DEFAULT_REGISTRY) -> None:
+        """Check protocol/field existence and operator/type agreement."""
+        proto = registry.protocol(self.protocol)
+        if self.is_unary:
+            return
+        fdef = registry.field(self.protocol, self.field)
+        if self.op not in _OPS_FOR_TYPE[fdef.vtype]:
+            raise FilterSemanticsError(
+                f"operator '{self.op.value}' not valid for "
+                f"{fdef.vtype.value} field {self.protocol}.{self.field}"
+            )
+        self._validate_value(fdef.vtype, proto.name)
+
+    def _validate_value(self, vtype: ValueType, proto_name: str) -> None:
+        value = self.value
+        if vtype is ValueType.INT:
+            if self.op is Op.IN:
+                if not (isinstance(value, tuple) and len(value) == 2):
+                    raise FilterSemanticsError(
+                        f"{self}: 'in' on an int field needs a lo..hi range"
+                    )
+            elif not isinstance(value, int):
+                raise FilterSemanticsError(f"{self}: expected integer RHS")
+        elif vtype is ValueType.STRING:
+            if not isinstance(value, str):
+                raise FilterSemanticsError(f"{self}: expected string RHS")
+            if self.op is Op.MATCHES:
+                try:
+                    re.compile(value)
+                except re.error as exc:
+                    raise FilterSemanticsError(
+                        f"{self}: bad regex: {exc}"
+                    ) from exc
+        elif vtype is ValueType.ADDR:
+            if self.op is Op.IN:
+                if not isinstance(
+                    value, (ipaddress.IPv4Network, ipaddress.IPv6Network)
+                ):
+                    raise FilterSemanticsError(
+                        f"{self}: 'in' on an address field needs a CIDR prefix"
+                    )
+            elif not isinstance(
+                value, (ipaddress.IPv4Address, ipaddress.IPv6Address)
+            ):
+                raise FilterSemanticsError(f"{self}: expected an IP address")
+            # An ipv6 literal on an ipv4 field (or vice versa) can never
+            # match; reject early rather than silently never matching.
+            want = 4 if proto_name == "ipv4" else 6 if proto_name == "ipv6" else None
+            if want is not None and value.version != want:
+                raise FilterSemanticsError(
+                    f"{self}: IPv{value.version} literal on an "
+                    f"IPv{want} field"
+                )
+
+    def layer(self, registry: FieldRegistry = DEFAULT_REGISTRY) -> Layer:
+        """The filter layer this predicate is evaluated at."""
+        proto = registry.protocol(self.protocol)
+        if self.is_unary:
+            return proto.layer
+        return proto.field_layer
+
+
+class Expr:
+    """Base class for filter expression nodes."""
+
+    def predicates(self) -> List[Predicate]:
+        raise NotImplementedError
+
+    def validate(self, registry: FieldRegistry = DEFAULT_REGISTRY) -> None:
+        for pred in self.predicates():
+            pred.validate(registry)
+
+
+@dataclass(frozen=True)
+class Pred(Expr):
+    """Leaf node wrapping a single predicate."""
+
+    predicate: Predicate
+
+    def predicates(self) -> List[Predicate]:
+        return [self.predicate]
+
+    def __str__(self) -> str:
+        return str(self.predicate)
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction of two or more sub-expressions."""
+
+    operands: Tuple[Expr, ...]
+
+    def predicates(self) -> List[Predicate]:
+        return [p for operand in self.operands for p in operand.predicates()]
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction of two or more sub-expressions."""
+
+    operands: Tuple[Expr, ...]
+
+    def predicates(self) -> List[Predicate]:
+        return [p for operand in self.operands for p in operand.predicates()]
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(o) for o in self.operands) + ")"
+
+
+#: The always-true filter (subscribe to all traffic) is represented by
+#: an empty conjunction.
+MATCH_ALL = And(())

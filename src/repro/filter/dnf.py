@@ -1,0 +1,157 @@
+"""Disjunctive-normal-form conversion and pattern expansion.
+
+Following Section 4.1 of the paper, the filter expression is first
+flattened into a set of *patterns* (conjunctions of atomic predicates).
+Each pattern is then *expanded* using encapsulation metadata from the
+protocol registry so that its predicates appear in the order headers
+are parsed on the wire: ``eth`` → ``ipv4|ipv6`` (+ fields) →
+``tcp|udp`` (+ fields) → app protocol (connection layer) → app fields
+(session layer). Patterns that leave the IP version or transport
+unspecified are duplicated per admissible alternative (Figure 3 shows
+``http`` expanding into ipv4 and ipv6 chains).
+
+Internally contradictory patterns (``ipv4 and ipv6``, ``tls and http``)
+are pruned; pruning *all* patterns is a semantic error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import FilterSemanticsError
+from repro.filter.ast import And, Expr, Or, Pred, Predicate
+from repro.filter.fields import DEFAULT_REGISTRY, FieldRegistry, Layer
+
+#: A pattern is an ordered conjunction of predicates.
+Pattern = List[Predicate]
+
+_IP_PROTOS = ("ipv4", "ipv6")
+_TRANSPORTS = ("tcp", "udp", "icmp")
+
+
+def to_dnf(expr: Expr) -> List[Pattern]:
+    """Flatten an expression tree into a list of conjunctions."""
+    if isinstance(expr, Pred):
+        return [[expr.predicate]]
+    if isinstance(expr, And):
+        patterns: List[Pattern] = [[]]
+        for operand in expr.operands:
+            sub = to_dnf(operand)
+            patterns = [p + q for p in patterns for q in sub]
+        return patterns
+    if isinstance(expr, Or):
+        patterns = []
+        for operand in expr.operands:
+            patterns.extend(to_dnf(operand))
+        return patterns
+    raise TypeError(f"unexpected expression node {type(expr).__name__}")
+
+
+def expand_patterns(
+    expr: Expr, registry: FieldRegistry = DEFAULT_REGISTRY
+) -> List[Pattern]:
+    """Convert to DNF and expand each pattern into parse-order chains.
+
+    Returns the fully expanded, de-duplicated pattern list. Raises
+    :class:`FilterSemanticsError` if every pattern is contradictory.
+    """
+    raw = to_dnf(expr)
+    expanded: List[Pattern] = []
+    seen: Set[tuple] = set()
+    any_input = False
+    for pattern in raw:
+        any_input = True
+        if not pattern:
+            # An empty conjunction (match-all) subsumes everything,
+            # including non-IP traffic: the trie root itself terminates.
+            return [[]]
+        for chain in _expand_one(pattern, registry):
+            key = tuple(str(p) for p in chain)
+            if key not in seen:
+                seen.add(key)
+                expanded.append(chain)
+    if any_input and not expanded:
+        raise FilterSemanticsError(
+            "filter is unsatisfiable: every DNF pattern is contradictory"
+        )
+    if not any_input:
+        # MATCH_ALL: a single empty pattern (the trie root is terminal).
+        return [[]]
+    return expanded
+
+
+def _expand_one(
+    pattern: Pattern, registry: FieldRegistry
+) -> List[Pattern]:
+    """Expand a single conjunction into zero or more ordered chains."""
+    preds = _dedup(pattern)
+    by_proto: Dict[str, List[Predicate]] = {}
+    for pred in preds:
+        by_proto.setdefault(pred.protocol, []).append(pred)
+
+    ip_versions = [p for p in _IP_PROTOS if p in by_proto]
+    transports = [p for p in _TRANSPORTS if p in by_proto]
+    app_protos = [
+        name for name in by_proto
+        if registry.protocol(name).layer is Layer.CONNECTION
+    ]
+
+    if len(ip_versions) > 1 or len(transports) > 1 or len(app_protos) > 1:
+        return []  # contradictory conjunction, prune
+
+    app = app_protos[0] if app_protos else None
+    ip_choices = ip_versions or list(_IP_PROTOS)
+    if transports:
+        transport_choices: List[Optional[str]] = list(transports)
+    elif app is not None:
+        # A transport predicate was not written but the app protocol
+        # constrains it (tls rides tcp; dns rides udp or tcp).
+        transport_choices = list(registry.protocol(app).transports)
+    else:
+        transport_choices = [None]
+
+    chains: List[Pattern] = []
+    for ip_proto in ip_choices:
+        for transport in transport_choices:
+            chain = _build_chain(by_proto, ip_proto, transport, app)
+            if chain is not None:
+                chains.append(chain)
+    return chains
+
+
+def _build_chain(
+    by_proto: Dict[str, List[Predicate]],
+    ip_proto: str,
+    transport: Optional[str],
+    app: Optional[str],
+) -> Optional[Pattern]:
+    """Assemble one ordered chain in header parse order."""
+    chain: Pattern = [Predicate("eth")]
+    chain.extend(_proto_section(by_proto, "eth", unary_done=True))
+    chain.append(Predicate(ip_proto))
+    chain.extend(_proto_section(by_proto, ip_proto, unary_done=True))
+    if transport is not None:
+        chain.append(Predicate(transport))
+        chain.extend(_proto_section(by_proto, transport, unary_done=True))
+    if app is not None:
+        chain.append(Predicate(app))
+        chain.extend(_proto_section(by_proto, app, unary_done=True))
+    return _dedup(chain)
+
+
+def _proto_section(
+    by_proto: Dict[str, List[Predicate]], proto: str, unary_done: bool
+) -> Pattern:
+    """Binary predicates of ``proto`` in stable order."""
+    return [p for p in by_proto.get(proto, ()) if not p.is_unary]
+
+
+def _dedup(pattern: Sequence[Predicate]) -> Pattern:
+    seen: Set[str] = set()
+    out: Pattern = []
+    for pred in pattern:
+        key = str(pred)
+        if key not in seen:
+            seen.add(key)
+            out.append(pred)
+    return out

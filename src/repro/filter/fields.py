@@ -1,0 +1,287 @@
+"""Extensible registry of filterable protocols and fields.
+
+In Retina, filter identifiers are not hard-wired into the framework:
+protocol modules expose the fields the filter language may reference
+(Section 3.3). This module is the Python equivalent — a registry that
+protocol modules populate at import time and that the filter parser,
+code generator, and hardware-rule expander consult.
+
+Layers follow the paper's decomposition:
+
+* ``PACKET`` — evaluable per packet from headers (eth/ipv4/ipv6/tcp/udp).
+* ``CONNECTION`` — evaluable once the L7 protocol is identified
+  (unary app-protocol predicates such as ``tls``).
+* ``SESSION`` — evaluable only after a full application-layer session is
+  parsed (e.g. ``tls.sni``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FilterSemanticsError
+
+
+class Layer(enum.IntEnum):
+    """Filter layer a predicate is evaluated at (ordering matters)."""
+
+    PACKET = 0
+    CONNECTION = 1
+    SESSION = 2
+
+
+class ValueType(enum.Enum):
+    """Type of a field's value, constraining the operators allowed."""
+
+    INT = "int"
+    STRING = "string"
+    ADDR = "addr"
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """A filterable field exposed by a protocol module.
+
+    Attributes:
+        name: Field name as written in filters (``ttl`` in ``ipv4.ttl``).
+        vtype: Value type, used to validate operators and RHS literals.
+        accessors: Accessor method names on the parsed object. Synthetic
+            fields like ``tcp.port`` list two accessors with OR
+            semantics (either side matching satisfies the predicate).
+        hw_supported: Whether typical NIC flow tables can match on it.
+    """
+
+    name: str
+    vtype: ValueType
+    accessors: Tuple[str, ...]
+    hw_supported: bool = False
+
+
+@dataclass(frozen=True)
+class ProtocolDef:
+    """A protocol known to the filter language.
+
+    Attributes:
+        name: Protocol identifier as written in filters.
+        layer: Layer of the protocol's *unary* predicate.
+        fields: Binary-predicate fields, keyed by name.
+        field_layer: Layer at which the binary fields are evaluated
+            (session for app protocols, packet for header protocols).
+        encapsulates: For packet-layer protocols, the protocols that may
+            appear directly above this one (used for chain expansion).
+        transports: For app-layer protocols, which transport protocols
+            can carry them (used for chain expansion).
+        hw_supported: Whether the unary predicate can become a NIC rule.
+    """
+
+    name: str
+    layer: Layer
+    fields: Dict[str, FieldDef] = field(default_factory=dict)
+    field_layer: Layer = Layer.PACKET
+    encapsulates: Tuple[str, ...] = ()
+    transports: Tuple[str, ...] = ()
+    hw_supported: bool = False
+
+
+class FieldRegistry:
+    """Registry mapping protocol names to their definitions."""
+
+    def __init__(self) -> None:
+        self._protocols: Dict[str, ProtocolDef] = {}
+
+    def register(self, proto: ProtocolDef) -> None:
+        """Register (or replace) a protocol definition."""
+        self._protocols[proto.name] = proto
+
+    def protocol(self, name: str) -> ProtocolDef:
+        try:
+            return self._protocols[name]
+        except KeyError:
+            raise FilterSemanticsError(f"unknown protocol '{name}'") from None
+
+    def field(self, proto_name: str, field_name: str) -> FieldDef:
+        proto = self.protocol(proto_name)
+        try:
+            return proto.fields[field_name]
+        except KeyError:
+            raise FilterSemanticsError(
+                f"protocol '{proto_name}' has no field '{field_name}'"
+            ) from None
+
+    def protocols(self) -> List[str]:
+        return sorted(self._protocols)
+
+    def app_protocols(self) -> List[str]:
+        return sorted(
+            name for name, p in self._protocols.items()
+            if p.layer is Layer.CONNECTION
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._protocols
+
+
+def _int_field(name: str, accessors: Sequence[str], hw: bool = False) -> FieldDef:
+    return FieldDef(name, ValueType.INT, tuple(accessors), hw)
+
+
+def _str_field(name: str, accessors: Sequence[str]) -> FieldDef:
+    return FieldDef(name, ValueType.STRING, tuple(accessors))
+
+
+def _addr_field(name: str, accessors: Sequence[str], hw: bool = False) -> FieldDef:
+    return FieldDef(name, ValueType.ADDR, tuple(accessors), hw)
+
+
+def default_registry() -> FieldRegistry:
+    """Build the registry with the built-in protocol modules.
+
+    Header protocols mirror :mod:`repro.packet`; application protocols
+    mirror :mod:`repro.protocols`. New protocol modules extend the
+    language simply by registering here.
+    """
+    reg = FieldRegistry()
+
+    reg.register(ProtocolDef(
+        name="eth",
+        layer=Layer.PACKET,
+        fields={"ethertype": _int_field("ethertype", ["next_protocol"])},
+        encapsulates=("ipv4", "ipv6"),
+        hw_supported=True,
+    ))
+    ip_fields_v4 = {
+        "src_addr": _addr_field("src_addr", ["src_addr"], hw=True),
+        "dst_addr": _addr_field("dst_addr", ["dst_addr"], hw=True),
+        "addr": _addr_field("addr", ["src_addr", "dst_addr"], hw=True),
+        "ttl": _int_field("ttl", ["ttl"]),
+        "dscp": _int_field("dscp", ["dscp"]),
+        "ecn": _int_field("ecn", ["ecn"]),
+        "total_length": _int_field("total_length", ["total_length"]),
+        "identification": _int_field("identification", ["identification"]),
+        "protocol": _int_field("protocol", ["protocol"], hw=True),
+    }
+    reg.register(ProtocolDef(
+        name="ipv4",
+        layer=Layer.PACKET,
+        fields=ip_fields_v4,
+        encapsulates=("tcp", "udp"),
+        hw_supported=True,
+    ))
+    reg.register(ProtocolDef(
+        name="ipv6",
+        layer=Layer.PACKET,
+        fields={
+            "src_addr": _addr_field("src_addr", ["src_addr"], hw=True),
+            "dst_addr": _addr_field("dst_addr", ["dst_addr"], hw=True),
+            "addr": _addr_field("addr", ["src_addr", "dst_addr"], hw=True),
+            "hop_limit": _int_field("hop_limit", ["hop_limit"]),
+            "flow_label": _int_field("flow_label", ["flow_label"]),
+        },
+        encapsulates=("tcp", "udp"),
+        hw_supported=True,
+    ))
+    reg.register(ProtocolDef(
+        name="tcp",
+        layer=Layer.PACKET,
+        fields={
+            "src_port": _int_field("src_port", ["src_port"], hw=True),
+            "dst_port": _int_field("dst_port", ["dst_port"], hw=True),
+            "port": _int_field("port", ["src_port", "dst_port"], hw=True),
+            "flags": _int_field("flags", ["flags"]),
+            "window": _int_field("window", ["window"]),
+            "seq_no": _int_field("seq_no", ["seq_no"]),
+        },
+        hw_supported=True,
+    ))
+    reg.register(ProtocolDef(
+        name="udp",
+        layer=Layer.PACKET,
+        fields={
+            "src_port": _int_field("src_port", ["src_port"], hw=True),
+            "dst_port": _int_field("dst_port", ["dst_port"], hw=True),
+            "port": _int_field("port", ["src_port", "dst_port"], hw=True),
+            "length": _int_field("length", ["length"]),
+        },
+        hw_supported=True,
+    ))
+    reg.register(ProtocolDef(
+        name="icmp",
+        layer=Layer.PACKET,
+        fields={
+            "type": _int_field("type", ["icmp_type"]),
+            "code": _int_field("code", ["code"]),
+            "identifier": _int_field("identifier", ["identifier"]),
+            "sequence": _int_field("sequence", ["sequence"]),
+        },
+    ))
+
+    # Application-layer protocols: the unary predicate is a CONNECTION
+    # predicate (decided once the service is identified); binary fields
+    # are SESSION predicates (decided once the session is fully parsed).
+    reg.register(ProtocolDef(
+        name="tls",
+        layer=Layer.CONNECTION,
+        field_layer=Layer.SESSION,
+        transports=("tcp",),
+        fields={
+            "sni": _str_field("sni", ["sni"]),
+            "cipher": _str_field("cipher", ["cipher"]),
+            "version": _str_field("version", ["version"]),
+            "client_version": _str_field("client_version", ["client_version"]),
+            "cert_count": _int_field("cert_count", ["cert_count"]),
+        },
+    ))
+    reg.register(ProtocolDef(
+        name="http",
+        layer=Layer.CONNECTION,
+        field_layer=Layer.SESSION,
+        transports=("tcp",),
+        fields={
+            "method": _str_field("method", ["method"]),
+            "uri": _str_field("uri", ["uri"]),
+            "host": _str_field("host", ["host"]),
+            "user_agent": _str_field("user_agent", ["user_agent"]),
+            "version": _str_field("version", ["version"]),
+            "status_code": _int_field("status_code", ["status_code"]),
+        },
+    ))
+    reg.register(ProtocolDef(
+        name="ssh",
+        layer=Layer.CONNECTION,
+        field_layer=Layer.SESSION,
+        transports=("tcp",),
+        fields={
+            "client_version": _str_field("client_version", ["client_version"]),
+            "server_version": _str_field("server_version", ["server_version"]),
+            "client_software": _str_field("client_software", ["client_software"]),
+            "server_software": _str_field("server_software", ["server_software"]),
+        },
+    ))
+    reg.register(ProtocolDef(
+        name="dns",
+        layer=Layer.CONNECTION,
+        field_layer=Layer.SESSION,
+        transports=("udp", "tcp"),
+        fields={
+            "query_name": _str_field("query_name", ["query_name"]),
+            "query_type": _str_field("query_type", ["query_type"]),
+            "response_code": _int_field("response_code", ["response_code"]),
+        },
+    ))
+    reg.register(ProtocolDef(
+        name="quic",
+        layer=Layer.CONNECTION,
+        field_layer=Layer.SESSION,
+        transports=("udp",),
+        fields={
+            "version": _str_field("version", ["version"]),
+            "dcid": _str_field("dcid", ["dcid"]),
+        },
+    ))
+    return reg
+
+
+#: Shared default registry used when callers do not supply their own.
+DEFAULT_REGISTRY = default_registry()

@@ -1,0 +1,235 @@
+"""Hardware packet-filter generation (Section 4.1, "Hardware Packet Filter").
+
+Commodity NICs can match-and-drop flows at zero CPU cost but differ in
+which protocols, fields, and operands their flow tables support. As in
+Retina, each filter predicate is expanded into a candidate flow-rule
+item and *validated* against the device's capability profile; items the
+NIC cannot express are dropped, widening the rule (the software packet
+filter implements the remaining logic). The final rule set is therefore
+always at least as broad as the subscription filter. Validated
+predicates are cached, mirroring the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.filter.ast import Op, Predicate
+from repro.filter.dnf import Pattern
+from repro.filter.fields import DEFAULT_REGISTRY, FieldRegistry, Layer
+from repro.filter.interp import evaluate_binary
+from repro.packet.stack import PacketStack
+
+
+@dataclass(frozen=True)
+class NicCapabilities:
+    """What a NIC's flow table can match on.
+
+    Attributes:
+        name: Profile name (for logs and repr).
+        protocols: Unary protocol matches the NIC understands.
+        field_ops: Allowed operators per (protocol, field). Fields not
+            present cannot be matched in hardware at all.
+        max_rules: Flow-table capacity; rule generation falls back to
+            accept-all when exceeded.
+    """
+
+    name: str
+    protocols: FrozenSet[str]
+    field_ops: Dict[Tuple[str, str], FrozenSet[Op]]
+    max_rules: int = 1024
+
+    def supports_unary(self, proto: str) -> bool:
+        return proto in self.protocols
+
+    def supports_binary(self, pred: Predicate) -> bool:
+        ops = self.field_ops.get((pred.protocol, pred.field))
+        if ops is None or pred.op not in ops:
+            return False
+        # Range membership needs explicit range support; CIDR membership
+        # is the common case NICs do support for addresses.
+        return True
+
+
+def connectx5_capabilities() -> NicCapabilities:
+    """A ConnectX-5-like profile: 5-tuple exact matches plus CIDR
+    prefixes on addresses; no ordered comparisons (the paper's example:
+    ``tcp.port >= 100`` cannot be offloaded)."""
+    eq_only = frozenset({Op.EQ})
+    addr_ops = frozenset({Op.EQ, Op.IN})
+    return NicCapabilities(
+        name="connectx5",
+        protocols=frozenset({"eth", "ipv4", "ipv6", "tcp", "udp"}),
+        field_ops={
+            ("ipv4", "src_addr"): addr_ops,
+            ("ipv4", "dst_addr"): addr_ops,
+            ("ipv4", "addr"): addr_ops,
+            ("ipv6", "src_addr"): addr_ops,
+            ("ipv6", "dst_addr"): addr_ops,
+            ("ipv6", "addr"): addr_ops,
+            ("tcp", "src_port"): eq_only,
+            ("tcp", "dst_port"): eq_only,
+            ("tcp", "port"): eq_only,
+            ("udp", "src_port"): eq_only,
+            ("udp", "dst_port"): eq_only,
+            ("udp", "port"): eq_only,
+        },
+    )
+
+
+def intel_e810_capabilities() -> NicCapabilities:
+    """An E810-like profile: like CX-5 but with port ranges."""
+    base = connectx5_capabilities()
+    field_ops = dict(base.field_ops)
+    port_ops = frozenset({Op.EQ, Op.IN})
+    for proto in ("tcp", "udp"):
+        for fname in ("src_port", "dst_port", "port"):
+            field_ops[(proto, fname)] = port_ops
+    return NicCapabilities("intel_e810", base.protocols, field_ops)
+
+
+def no_offload_capabilities() -> NicCapabilities:
+    """A NIC with no usable flow table (hardware filtering disabled)."""
+    return NicCapabilities("none", frozenset(), {}, max_rules=0)
+
+
+def p4_capabilities(
+    registry: FieldRegistry = DEFAULT_REGISTRY,
+) -> NicCapabilities:
+    """A P4-programmable device in the filtering layer (the paper's
+    conclusion suggests exactly this future optimization).
+
+    A P4 pipeline can match on arbitrary packet-layer header fields
+    with exact, range, and ordered comparisons (ternary/range tables) —
+    everything except payload regexes. The capability table is built
+    from the registry, so protocol modules added later are covered.
+    """
+    int_ops = frozenset({Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE, Op.IN})
+    addr_ops = frozenset({Op.EQ, Op.NE, Op.IN})
+    protocols = set()
+    field_ops: Dict[Tuple[str, str], FrozenSet[Op]] = {}
+    for proto_name in registry.protocols():
+        proto = registry.protocol(proto_name)
+        if proto.layer is not Layer.PACKET:
+            continue
+        protocols.add(proto_name)
+        for field_name, fdef in proto.fields.items():
+            from repro.filter.fields import ValueType
+            if fdef.vtype is ValueType.INT:
+                field_ops[(proto_name, field_name)] = int_ops
+            elif fdef.vtype is ValueType.ADDR:
+                field_ops[(proto_name, field_name)] = addr_ops
+    return NicCapabilities("p4", frozenset(protocols), field_ops,
+                           max_rules=65536)
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One hardware flow rule: protocol chain + field match items.
+
+    ``action`` is ``"rss"`` (deliver and load-balance) for rules derived
+    from filter patterns; the device applies an implicit ``ELSE → DROP``
+    unless the rule set is accept-all.
+    """
+
+    protocols: Tuple[str, ...]
+    items: Tuple[Predicate, ...] = ()
+    action: str = "rss"
+
+    def matches(self, stack: PacketStack,
+                registry: FieldRegistry = DEFAULT_REGISTRY) -> bool:
+        """Evaluate the rule against a parsed packet."""
+        headers = {
+            "eth": stack.eth,
+            "ipv4": stack.ip if stack.ip is not None and
+            stack.ip.version() == 4 else None,
+            "ipv6": stack.ip if stack.ip is not None and
+            stack.ip.version() == 6 else None,
+            "tcp": stack.tcp,
+            "udp": stack.udp,
+        }
+        for proto in self.protocols:
+            if headers.get(proto) is None:
+                return False
+        for pred in self.items:
+            obj = headers.get(pred.protocol)
+            if obj is None or not evaluate_binary(pred, obj, registry):
+                return False
+        return True
+
+    def describe(self) -> str:
+        chain = "-".join(p.upper() for p in self.protocols) or "ANY"
+        items = " ".join(str(p) for p in self.items)
+        suffix = f" [{items}]" if items else ""
+        return f"{chain}{suffix} -> {self.action.upper()}"
+
+
+class HardwareFilter:
+    """The validated flow-rule set installed on the (simulated) NIC."""
+
+    def __init__(self, rules: Sequence[FlowRule], accept_all: bool) -> None:
+        self.rules = list(rules)
+        self.accept_all = accept_all
+
+    def admits(self, stack: PacketStack,
+               registry: FieldRegistry = DEFAULT_REGISTRY) -> bool:
+        """True if the packet survives hardware filtering."""
+        if self.accept_all:
+            return True
+        return any(rule.matches(stack, registry) for rule in self.rules)
+
+    def describe(self) -> List[str]:
+        if self.accept_all:
+            return ["* -> RSS"]
+        return [rule.describe() for rule in self.rules] + ["ELSE -> DROP"]
+
+
+def generate_hardware_filter(
+    patterns: Sequence[Pattern],
+    capabilities: NicCapabilities,
+    registry: FieldRegistry = DEFAULT_REGISTRY,
+) -> HardwareFilter:
+    """Expand filter patterns into validated NIC flow rules.
+
+    Every pattern yields one rule containing only the predicates the NIC
+    supports (validated-with-cache, as in the paper); unsupported
+    predicates are simply omitted, widening the rule. A pattern with no
+    hardware-expressible constraints — or an empty (match-all) pattern —
+    forces the accept-all configuration.
+    """
+    validation_cache: Dict[str, bool] = {}
+
+    def supported(pred: Predicate) -> bool:
+        key = str(pred)
+        cached = validation_cache.get(key)
+        if cached is None:
+            if pred.is_unary:
+                cached = capabilities.supports_unary(pred.protocol)
+            else:
+                cached = capabilities.supports_binary(pred)
+            validation_cache[key] = cached
+        return cached
+
+    rules: List[FlowRule] = []
+    seen: set = set()
+    for pattern in patterns:
+        packet_preds = [
+            p for p in pattern if p.layer(registry) is Layer.PACKET
+        ]
+        protocols = tuple(
+            p.protocol for p in packet_preds if p.is_unary and supported(p)
+        )
+        items = tuple(
+            p for p in packet_preds if not p.is_unary and supported(p)
+        )
+        if not protocols and not items:
+            return HardwareFilter([], accept_all=True)
+        rule = FlowRule(protocols, items)
+        key = rule.describe()
+        if key not in seen:
+            seen.add(key)
+            rules.append(rule)
+    if not rules or len(rules) > capabilities.max_rules:
+        return HardwareFilter([], accept_all=True)
+    return HardwareFilter(rules, accept_all=False)

@@ -1,0 +1,99 @@
+"""Tokenizer for the filter language.
+
+The token set is deliberately small: quoted strings, comparison
+operators, parentheses, and "atoms" — unquoted runs of identifier/value
+characters (``tls.sni``, ``443``, ``3::b/125``, ``80..100``). Atoms are
+disambiguated by the parser from their position: before an operator they
+are ``proto[.field]`` references, after one they are literals. The
+keywords ``and``/``or``/``in``/``matches`` get their own token kinds.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import FilterSyntaxError
+
+
+class TokKind(enum.Enum):
+    ATOM = "atom"
+    STRING = "string"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    AND = "and"
+    OR = "or"
+    IN = "in"
+    MATCHES = "matches"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    pos: int
+
+
+_KEYWORDS = {
+    "and": TokKind.AND,
+    "or": TokKind.OR,
+    "in": TokKind.IN,
+    "matches": TokKind.MATCHES,
+}
+
+# Order matters: multi-char operators before single-char prefixes.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<op>!=|>=|<=|=|>|<|~)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<atom>[A-Za-z0-9_.:/\-]+)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`FilterSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise FilterSyntaxError(
+                f"unexpected character {text[pos]!r} at {pos}", pos
+            )
+        if match.lastgroup != "ws":
+            tokens.append(_make_token(match))
+        pos = match.end()
+    tokens.append(Token(TokKind.EOF, "", len(text)))
+    return tokens
+
+
+def _make_token(match: "re.Match[str]") -> Token:
+    kind = match.lastgroup
+    text = match.group()
+    pos = match.start()
+    if kind == "string":
+        # Strip quotes, process escapes for \' and \\ only (regex bodies
+        # frequently contain backslashes that must survive verbatim).
+        body = text[1:-1].replace("\\'", "'")
+        return Token(TokKind.STRING, body, pos)
+    if kind == "op":
+        if text == "~":
+            return Token(TokKind.MATCHES, text, pos)
+        return Token(TokKind.OP, text, pos)
+    if kind == "lparen":
+        return Token(TokKind.LPAREN, text, pos)
+    if kind == "rparen":
+        return Token(TokKind.RPAREN, text, pos)
+    keyword = _KEYWORDS.get(text)
+    if keyword is not None:
+        return Token(keyword, text, pos)
+    return Token(TokKind.ATOM, text, pos)

@@ -1,0 +1,179 @@
+"""Recursive-descent parser for the filter language.
+
+Grammar (``or`` binds loosest, ``and`` tighter, parentheses tightest)::
+
+    expr      := term ( 'or' term )*
+    term      := factor ( 'and' factor )*
+    factor    := '(' expr ')' | predicate
+    predicate := proto [ '.' field [ op rhs ] ]
+    op        := '=' | '!=' | '<' | '<=' | '>' | '>=' | 'in' | 'matches' | '~'
+    rhs       := int | int '..' int | 'string' | ip [ '/' prefix ]
+
+The parser also performs semantic validation against the field registry
+so that a successfully parsed :class:`~repro.filter.ast.Expr` is known
+to reference only registered protocols/fields with type-correct
+operators — mirroring how Retina's filters are statically verified at
+compile time.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from typing import List, Optional
+
+from repro.errors import FilterSyntaxError
+from repro.filter.ast import And, Expr, MATCH_ALL, Op, Or, Pred, Predicate
+from repro.filter.fields import DEFAULT_REGISTRY, FieldRegistry
+from repro.filter.lexer import TokKind, Token, tokenize
+
+_RANGE_RE = re.compile(r"^(\d+)\.\.(\d+)$")
+_INT_RE = re.compile(r"^\d+$|^0x[0-9a-fA-F]+$")
+
+
+def parse_filter(
+    text: str, registry: FieldRegistry = DEFAULT_REGISTRY
+) -> Expr:
+    """Parse and validate a filter string into an expression tree.
+
+    An empty or whitespace-only string yields the match-all filter.
+    """
+    if not text.strip():
+        return MATCH_ALL
+    parser = _Parser(tokenize(text), registry)
+    expr = parser.parse_expr()
+    parser.expect(TokKind.EOF)
+    expr.validate(registry)
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], registry: FieldRegistry) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._registry = registry
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def expect(self, kind: TokKind) -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            raise FilterSyntaxError(
+                f"expected {kind.value}, found {token.text!r} at {token.pos}",
+                token.pos,
+            )
+        return self.advance()
+
+    # -- grammar -----------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        operands = [self.parse_term()]
+        while self.peek().kind is TokKind.OR:
+            self.advance()
+            operands.append(self.parse_term())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def parse_term(self) -> Expr:
+        operands = [self.parse_factor()]
+        while self.peek().kind is TokKind.AND:
+            self.advance()
+            operands.append(self.parse_factor())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def parse_factor(self) -> Expr:
+        token = self.peek()
+        if token.kind is TokKind.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(TokKind.RPAREN)
+            return expr
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expr:
+        head = self.expect(TokKind.ATOM)
+        protocol, field = self._split_head(head)
+        token = self.peek()
+        if token.kind is TokKind.OP:
+            op = Op(self.advance().text)
+        elif token.kind is TokKind.MATCHES:
+            self.advance()
+            op = Op.MATCHES
+        elif token.kind is TokKind.IN:
+            self.advance()
+            op = Op.IN
+        else:
+            if field is not None:
+                raise FilterSyntaxError(
+                    f"field reference '{head.text}' needs a comparison "
+                    f"operator at {head.pos}",
+                    head.pos,
+                )
+            return Pred(Predicate(protocol))
+        if field is None:
+            raise FilterSyntaxError(
+                f"unary predicate '{protocol}' cannot take an operator "
+                f"at {token.pos}",
+                token.pos,
+            )
+        value = self._parse_rhs(op)
+        return Pred(Predicate(protocol, field, op, value))
+
+    def _split_head(self, token: Token):
+        text = token.text
+        if "." in text:
+            protocol, _, field = text.partition(".")
+            if not protocol or not field or "." in field:
+                raise FilterSyntaxError(
+                    f"malformed field reference '{text}' at {token.pos}",
+                    token.pos,
+                )
+            return protocol, field
+        return text, None
+
+    def _parse_rhs(self, op: Op):
+        token = self.peek()
+        if token.kind is TokKind.STRING:
+            return self.advance().text
+        if token.kind is not TokKind.ATOM:
+            raise FilterSyntaxError(
+                f"expected a value, found {token.text!r} at {token.pos}",
+                token.pos,
+            )
+        text = self.advance().text
+        range_match = _RANGE_RE.match(text)
+        if range_match:
+            lo, hi = int(range_match.group(1)), int(range_match.group(2))
+            if lo > hi:
+                raise FilterSyntaxError(
+                    f"empty range {text} at {token.pos}", token.pos
+                )
+            return (lo, hi)
+        if _INT_RE.match(text):
+            return int(text, 0)
+        value = self._try_ip(text)
+        if value is not None:
+            return value
+        raise FilterSyntaxError(
+            f"cannot interpret value '{text}' at {token.pos} "
+            f"(strings must be quoted)",
+            token.pos,
+        )
+
+    @staticmethod
+    def _try_ip(text: str):
+        try:
+            if "/" in text:
+                return ipaddress.ip_network(text, strict=False)
+            return ipaddress.ip_address(text)
+        except ValueError:
+            return None

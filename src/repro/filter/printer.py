@@ -1,0 +1,60 @@
+"""Filter expression pretty-printing.
+
+Renders an :class:`~repro.filter.ast.Expr` back into filter syntax that
+:func:`~repro.filter.parser.parse_filter` accepts, with minimal
+parenthesization. The round-trip property (``parse(print(e))``
+equivalent to ``e``) is enforced in the test suite and makes filters
+safe to persist, log, and display.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+from repro.filter.ast import And, Expr, MATCH_ALL, Op, Or, Pred, Predicate
+
+
+def format_predicate(pred: Predicate) -> str:
+    """One predicate in parseable filter syntax."""
+    if pred.is_unary:
+        return pred.protocol
+    value = pred.value
+    if isinstance(value, str):
+        escaped = value.replace("'", "\\'")
+        rhs = f"'{escaped}'"
+    elif isinstance(value, tuple):
+        rhs = f"{value[0]}..{value[1]}"
+    elif isinstance(value, (ipaddress.IPv4Network, ipaddress.IPv6Network,
+                            ipaddress.IPv4Address, ipaddress.IPv6Address)):
+        rhs = str(value)
+    else:
+        rhs = str(value)
+    op = "matches" if pred.op is Op.MATCHES else pred.op.value
+    return f"{pred.protocol}.{pred.field} {op} {rhs}"
+
+
+def format_filter(expr: Expr) -> str:
+    """Render an expression tree back to filter syntax.
+
+    ``or`` operands that are conjunctions get parentheses; everything
+    else relies on precedence (``and`` binds tighter than ``or``).
+    """
+    if expr == MATCH_ALL:
+        return ""
+    return _format(expr, parent=None)
+
+
+def _format(expr: Expr, parent) -> str:
+    if isinstance(expr, Pred):
+        return format_predicate(expr.predicate)
+    if isinstance(expr, And):
+        body = " and ".join(_format(op, And) for op in expr.operands)
+        if parent is Or or parent is None:
+            return body
+        return f"({body})"
+    if isinstance(expr, Or):
+        body = " or ".join(_format(op, Or) for op in expr.operands)
+        if parent is None:
+            return body
+        return f"({body})"
+    raise TypeError(f"unexpected node {type(expr).__name__}")

@@ -1,0 +1,131 @@
+"""Reference (oracle) filter evaluation.
+
+Evaluates a parsed filter expression *directly* — no DNF, no trie, no
+decomposition — against a complete view of a connection: its packets'
+headers, its identified service, and its parsed sessions. Used by the
+test suite as an oracle for the decomposed four-layer pipeline: for any
+flow, the subscription must deliver iff the reference says the filter
+is satisfiable by that flow.
+
+Semantics per layer (matching the decomposed filters):
+
+* a packet-layer predicate holds for the flow if **some packet** of the
+  flow satisfies it (the packet filter admits the flow on any match);
+* a connection-layer predicate holds if the identified service is that
+  protocol;
+* a session-layer predicate holds if **some parsed session** satisfies
+  it.
+
+A conjunction must hold with a *consistent* witness packet for its
+packet-layer predicates (they are checked against the same packet, as
+the packet filter does), while session predicates may be witnessed by
+any one session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.filter.ast import And, Expr, Or, Pred, Predicate
+from repro.filter.dnf import expand_patterns
+from repro.filter.fields import DEFAULT_REGISTRY, FieldRegistry, Layer
+from repro.filter.interp import evaluate_binary
+from repro.packet.mbuf import Mbuf
+from repro.packet.stack import PacketStack, parse_stack
+
+
+class FlowView:
+    """Everything the oracle may look at for one flow."""
+
+    def __init__(
+        self,
+        packets: Sequence[Mbuf],
+        service: Optional[str] = None,
+        sessions: Sequence[Any] = (),
+    ) -> None:
+        self.stacks: List[PacketStack] = [parse_stack(m) for m in packets]
+        self.service = service
+        self.sessions = list(sessions)
+
+
+def _headers_of(stack: PacketStack) -> dict:
+    headers = {"eth": stack.eth}
+    if stack.ip is not None:
+        key = "ipv4" if stack.ip.version() == 4 else "ipv6"
+        headers[key] = stack.ip
+    if stack.tcp is not None:
+        headers["tcp"] = stack.tcp
+    if stack.udp is not None:
+        headers["udp"] = stack.udp
+    if stack.icmp is not None:
+        headers["icmp"] = stack.icmp
+    return headers
+
+
+def _packet_pred_holds(pred: Predicate, headers: dict,
+                       registry: FieldRegistry) -> bool:
+    obj = headers.get(pred.protocol)
+    if obj is None:
+        return False
+    if pred.is_unary:
+        return True
+    return evaluate_binary(pred, obj, registry)
+
+
+def _conn_pred_holds(pred: Predicate, view: FlowView) -> bool:
+    return view.service == pred.protocol
+
+
+def _session_pred_holds(pred: Predicate, session: Any,
+                        registry: FieldRegistry) -> bool:
+    if session is None:
+        return False
+    if getattr(session, "protocol", None) != pred.protocol:
+        return False
+    if pred.is_unary:
+        return True
+    return evaluate_binary(pred, session.data, registry)
+
+
+def flow_matches(
+    expr: Expr,
+    view: FlowView,
+    registry: FieldRegistry = DEFAULT_REGISTRY,
+) -> bool:
+    """True if the flow can satisfy the filter expression.
+
+    Works pattern by pattern over the expanded DNF (so witness
+    consistency rules match the decomposed filters'): a pattern holds
+    if some packet satisfies all its packet predicates, the service
+    satisfies its connection predicate, and some session satisfies all
+    its session predicates.
+    """
+    patterns = expand_patterns(expr, registry)
+    for pattern in patterns:
+        if not pattern:
+            return True  # match-all
+        packet_preds = [p for p in pattern
+                        if p.layer(registry) is Layer.PACKET]
+        conn_preds = [p for p in pattern
+                      if p.layer(registry) is Layer.CONNECTION]
+        session_preds = [p for p in pattern
+                         if p.layer(registry) is Layer.SESSION]
+        if not any(
+            all(_packet_pred_holds(p, _headers_of(stack), registry)
+                for p in packet_preds)
+            for stack in view.stacks
+        ):
+            continue
+        if conn_preds and not all(
+            _conn_pred_holds(p, view) for p in conn_preds
+        ):
+            continue
+        if session_preds:
+            if not any(
+                all(_session_pred_holds(p, session, registry)
+                    for p in session_preds)
+                for session in view.sessions
+            ):
+                continue
+        return True
+    return False

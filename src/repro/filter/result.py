@@ -1,0 +1,54 @@
+"""Filter evaluation results shared by all sub-filter layers."""
+
+from __future__ import annotations
+
+
+class FilterResult:
+    """Outcome of applying a sub-filter, mirroring Retina's enum.
+
+    * ``no_match()`` — the data cannot satisfy any filter pattern;
+      downstream processing for it can stop.
+    * ``terminal(node)`` — some pattern is fully satisfied; ``node`` is
+      the trie node id of the matched pattern's leaf.
+    * ``non_terminal(node)`` — a pattern's prefix matched up to trie
+      node ``node``; later layers resume matching from there.
+    """
+
+    __slots__ = ("matched", "terminal", "node")
+
+    def __init__(self, matched: bool, terminal: bool, node: int) -> None:
+        self.matched = matched
+        self.terminal = terminal
+        self.node = node
+
+    @classmethod
+    def no_match(cls) -> "FilterResult":
+        return _NO_MATCH
+
+    @classmethod
+    def match_terminal(cls, node: int) -> "FilterResult":
+        return cls(True, True, node)
+
+    @classmethod
+    def match_non_terminal(cls, node: int) -> "FilterResult":
+        return cls(True, False, node)
+
+    def __repr__(self) -> str:
+        if not self.matched:
+            return "FilterResult.NoMatch"
+        kind = "Terminal" if self.terminal else "NonTerminal"
+        return f"FilterResult.Match{kind}({self.node})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FilterResult)
+            and self.matched == other.matched
+            and self.terminal == other.terminal
+            and self.node == other.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.matched, self.terminal, self.node))
+
+
+_NO_MATCH = FilterResult(False, False, -1)

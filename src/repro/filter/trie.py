@@ -1,0 +1,231 @@
+"""Predicate trie: the intermediate representation for filter compilation.
+
+Input data must match at least one root-to-leaf path to satisfy the
+filter. As in the paper, every node has a single parent (patterns
+sharing a prefix share nodes; divergence forks), nodes are tagged with
+the layer they evaluate at (packet / connection / session) and with
+whether a pattern *terminates* there, and an optimization pass prunes
+branches subsumed by a terminal ancestor.
+
+The trie also knows how to slice itself into the three software
+sub-filters:
+
+* the **packet sub-filter** — the packet-layer prefix of the trie;
+* the **connection sub-filter** — for each packet-layer leaf, the
+  connection-layer predicates reachable from the matched path;
+* the **session sub-filter** — for each connection-layer node, the
+  session-layer predicate subtree below it.
+
+One deliberate deviation from the paper's Figure 3: when a packet
+matches a *deep* packet-layer node (e.g. ``tcp.port >= 100``), patterns
+branching from shallower ancestors (e.g. plain ``http`` under ``tcp``)
+are still live. The figure's generated connection filter checks only
+the deepest node's children; we collect connection predicates from the
+entire matched path so such patterns are not lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.filter.ast import Predicate
+from repro.filter.dnf import Pattern
+from repro.filter.fields import DEFAULT_REGISTRY, FieldRegistry, Layer
+
+
+@dataclass
+class TrieNode:
+    """One predicate in the trie."""
+
+    id: int
+    pred: Optional[Predicate]  # None only for the root
+    layer: Layer
+    parent: Optional["TrieNode"] = None
+    children: List["TrieNode"] = dc_field(default_factory=list)
+    #: True if some filter pattern's last predicate is this node.
+    terminal: bool = False
+
+    def child_matching(self, pred: Predicate) -> Optional["TrieNode"]:
+        key = str(pred)
+        for child in self.children:
+            if child.pred is not None and str(child.pred) == key:
+                return child
+        return None
+
+    def path(self) -> List["TrieNode"]:
+        """Nodes from root (exclusive) to self (inclusive)."""
+        nodes: List[TrieNode] = []
+        node: Optional[TrieNode] = self
+        while node is not None and node.pred is not None:
+            nodes.append(node)
+            node = node.parent
+        nodes.reverse()
+        return nodes
+
+    def __repr__(self) -> str:
+        label = str(self.pred) if self.pred is not None else "root"
+        star = "*" if self.terminal else ""
+        return f"<{self.id}:{label}{star}>"
+
+
+class PredicateTrie:
+    """Trie over expanded filter patterns plus sub-filter projections."""
+
+    def __init__(
+        self,
+        patterns: Sequence[Pattern],
+        registry: FieldRegistry = DEFAULT_REGISTRY,
+    ) -> None:
+        self.registry = registry
+        self.root = TrieNode(0, None, Layer.PACKET, terminal=False)
+        self._next_id = 1
+        self._nodes: Dict[int, TrieNode] = {0: self.root}
+        for pattern in patterns:
+            self._insert(pattern)
+        self._prune_subsumed(self.root)
+        self._order_children(self.root)
+
+    # -- construction ------------------------------------------------------
+    def _insert(self, pattern: Pattern) -> None:
+        node = self.root
+        if not pattern:
+            node.terminal = True
+            return
+        for pred in pattern:
+            child = node.child_matching(pred)
+            if child is None:
+                child = TrieNode(
+                    self._next_id, pred, pred.layer(self.registry),
+                    parent=node,
+                )
+                self._next_id += 1
+                self._nodes[child.id] = child
+                node.children.append(child)
+            node = child
+        node.terminal = True
+
+    def _prune_subsumed(self, node: TrieNode) -> None:
+        """Drop subtrees below terminal nodes (they cannot change the
+        match outcome: the terminal ancestor already accepts)."""
+        if node.terminal:
+            for child in node.children:
+                self._forget(child)
+            node.children = []
+            return
+        for child in node.children:
+            self._prune_subsumed(child)
+
+    def _order_children(self, node: TrieNode) -> None:
+        """Order sibling branches so subtrees containing a terminal
+        packet-layer node are evaluated first.
+
+        The generated packet filter returns the first matching branch's
+        report. If a packet satisfies two sibling branches — one ending
+        a pure-packet pattern (terminal) and one merely prefixing a
+        connection-layer pattern — the terminal match must win, since
+        the filter as a whole is already satisfied.
+        """
+        node.children.sort(
+            key=lambda c: 0 if self._has_packet_terminal(c) else 1
+        )
+        for child in node.children:
+            self._order_children(child)
+
+    def _has_packet_terminal(self, node: TrieNode) -> bool:
+        if node.layer is not Layer.PACKET:
+            return False
+        if node.terminal:
+            return True
+        return any(self._has_packet_terminal(c) for c in node.children)
+
+    def _forget(self, node: TrieNode) -> None:
+        self._nodes.pop(node.id, None)
+        for child in node.children:
+            self._forget(child)
+
+    # -- lookups -------------------------------------------------------------
+    def node(self, node_id: int) -> TrieNode:
+        return self._nodes[node_id]
+
+    def nodes(self) -> List[TrieNode]:
+        return [self._nodes[i] for i in sorted(self._nodes)]
+
+    @property
+    def match_all(self) -> bool:
+        """True if the root itself is terminal (empty filter)."""
+        return self.root.terminal
+
+    # -- sub-filter projections ----------------------------------------------
+    def packet_nodes(self) -> List[TrieNode]:
+        return [n for n in self.nodes() if n.pred and n.layer is Layer.PACKET]
+
+    def packet_report_nodes(self) -> List[TrieNode]:
+        """Packet-layer nodes at which the packet filter reports a match.
+
+        A node reports if it ends some pattern's packet-layer prefix:
+        either the whole pattern terminates there, or the pattern
+        continues with connection/session predicates. (A node can be a
+        report point *and* have deeper packet-layer children from other
+        patterns — Figure 3's node 2 under node 4 — in which case the
+        generated code prefers the deepest matching report.)
+        """
+        report = []
+        for node in self.packet_nodes():
+            if node.terminal or any(
+                c.layer is not Layer.PACKET for c in node.children
+            ):
+                report.append(node)
+        return report
+
+    def connection_candidates(self, pkt_leaf: TrieNode) -> List[TrieNode]:
+        """Connection-layer nodes live after a packet-filter match at
+        ``pkt_leaf`` — children of every node along the matched path.
+
+        (See the module docstring for why the whole path is scanned.)
+        """
+        candidates: List[TrieNode] = []
+        for path_node in [self.root] + pkt_leaf.path():
+            for child in path_node.children:
+                if child.layer is Layer.CONNECTION:
+                    candidates.append(child)
+        return candidates
+
+    def session_subtree(self, conn_node: TrieNode) -> List[List[TrieNode]]:
+        """Session-layer predicate chains below ``conn_node``.
+
+        Each returned list is a conjunction (a root-to-leaf path through
+        session-layer nodes); the connection matches if any chain does.
+        Empty result means the connection node is itself terminal.
+        """
+        chains: List[List[TrieNode]] = []
+
+        def walk(node: TrieNode, acc: List[TrieNode]) -> None:
+            if node.terminal or not node.children:
+                if acc:
+                    chains.append(list(acc))
+                return
+            for child in node.children:
+                if child.layer is Layer.SESSION:
+                    acc.append(child)
+                    walk(child, acc)
+                    acc.pop()
+
+        walk(conn_node, [])
+        return chains
+
+    # -- introspection ---------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable dump of the trie (for docs/tests/debugging)."""
+        lines: List[str] = []
+
+        def walk(node: TrieNode, depth: int) -> None:
+            label = str(node.pred) if node.pred else "root"
+            star = " [terminal]" if node.terminal else ""
+            layer = node.layer.name.lower() if node.pred else ""
+            lines.append(f"{'  ' * depth}{node.id}: {label} {layer}{star}".rstrip())
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Simulated commodity NIC (Section 5.1 substrate).
+
+Models the hardware primitives Retina relies on: a validated flow-rule
+table (hardware packet filter), symmetric Receive Side Scaling via a
+Toeplitz hash and redirection table, per-queue dispatch, and the
+redirection-table "sink queue" trick the paper uses for connection-
+aware sampling (Section 6.1).
+"""
+
+from repro.nic.rss import (
+    SYMMETRIC_RSS_KEY,
+    RedirectionTable,
+    rss_input_bytes,
+    toeplitz_hash,
+)
+from repro.nic.device import NicPortStats, SimNic
+
+__all__ = [
+    "SimNic",
+    "NicPortStats",
+    "RedirectionTable",
+    "toeplitz_hash",
+    "rss_input_bytes",
+    "SYMMETRIC_RSS_KEY",
+]

@@ -1,0 +1,114 @@
+"""Symmetric Receive Side Scaling: Toeplitz hash + redirection table.
+
+Retina relies on symmetric RSS [Woo & Park 2012] so both directions of
+a connection hash to the same receive queue, letting per-core
+connection tables run with zero cross-core synchronization. Symmetry
+comes from using a repeating 16-bit key pattern (``0x6d5a...``): every
+hashed field (IPv4/IPv6 address words, ports) is 16-bit aligned, so
+swapping source and destination leaves the Toeplitz output unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.packet.stack import PacketStack
+
+#: The standard symmetric RSS key (repeating 0x6d5a), 40 bytes — long
+#: enough for the IPv6 4-tuple input (36 bytes + 32-bit window).
+SYMMETRIC_RSS_KEY = bytes.fromhex("6d5a" * 20)
+
+
+def toeplitz_hash(key: bytes, data: bytes) -> int:
+    """Compute the 32-bit Toeplitz hash of ``data`` under ``key``.
+
+    Classic definition: for each set bit *i* of the input, XOR in the
+    32-bit window of the key starting at bit *i*.
+    """
+    if len(key) < len(data) + 4:
+        raise ValueError(
+            f"key too short: {len(key)} bytes for {len(data)} bytes of input"
+        )
+    key_int = int.from_bytes(key, "big")
+    key_bits = len(key) * 8
+    result = 0
+    for i, byte in enumerate(data):
+        if not byte:
+            continue
+        for bit in range(8):
+            if byte & (0x80 >> bit):
+                shift = key_bits - 32 - (i * 8 + bit)
+                result ^= (key_int >> shift) & 0xFFFFFFFF
+    return result
+
+
+def rss_input_bytes(stack: PacketStack) -> Optional[bytes]:
+    """Canonical RSS hash input for a parsed packet.
+
+    4-tuple of (src ip, dst ip, src port, dst port); ``None`` for
+    packets without an IP layer (they go to queue 0 by convention).
+    Non-TCP/UDP IP packets hash over addresses only.
+    """
+    if stack.ip is None:
+        return None
+    src = stack.ip.src_addr().packed
+    dst = stack.ip.dst_addr().packed
+    transport = stack.transport
+    if transport is None:
+        return src + dst
+    ports = transport.src_port().to_bytes(2, "big") + \
+        transport.dst_port().to_bytes(2, "big")
+    return src + dst + ports
+
+
+class RedirectionTable:
+    """The NIC's RSS indirection table: hash LSBs → receive queue.
+
+    Also implements the paper's Section 6.1 sampling trick: entries can
+    be re-pointed at a *sink* queue whose packets are dropped, reducing
+    the effective ingress rate while preserving flow consistency
+    (every packet of a four-tuple hits the same table entry).
+    """
+
+    def __init__(self, num_queues: int, size: int = 512) -> None:
+        if num_queues < 1:
+            raise ValueError("need at least one receive queue")
+        if size < num_queues:
+            raise ValueError("table smaller than queue count")
+        self.size = size
+        self.num_queues = num_queues
+        self.entries: List[int] = [i % num_queues for i in range(size)]
+        self._sink_fraction = 0.0
+        self.sink_queue: Optional[int] = None
+
+    def lookup(self, rss_hash: int) -> int:
+        return self.entries[rss_hash % self.size]
+
+    def set_sink_fraction(self, fraction: float, sink_queue: int) -> None:
+        """Point ``fraction`` of the table's entries at ``sink_queue``.
+
+        Entries are chosen deterministically (strided) so repeated
+        configuration is reproducible; remaining entries are rebalanced
+        round-robin over the true receive queues.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        self._sink_fraction = fraction
+        self.sink_queue = sink_queue if fraction > 0 else None
+        sink_count = round(self.size * fraction)
+        # Spread sink entries evenly across the table.
+        sink_slots = set()
+        if sink_count:
+            stride = self.size / sink_count
+            sink_slots = {int(i * stride) for i in range(sink_count)}
+        live = 0
+        for slot in range(self.size):
+            if slot in sink_slots:
+                self.entries[slot] = sink_queue
+            else:
+                self.entries[slot] = live % self.num_queues
+                live += 1
+
+    @property
+    def sink_fraction(self) -> float:
+        return self._sink_fraction

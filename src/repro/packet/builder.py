@@ -1,0 +1,207 @@
+"""Packet construction with correct lengths and checksums.
+
+The traffic generators synthesize real frames with these helpers, so the
+parsing path is exercised against byte-accurate packets (including IPv4
+header checksums and TCP/UDP pseudo-header checksums).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from typing import Optional, Union
+
+from repro.packet.ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6
+from repro.packet.ipv4 import PROTO_TCP, PROTO_UDP
+
+IPAddr = Union[str, ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+_DEFAULT_SRC_MAC = bytes.fromhex("02aabbccdd01")
+_DEFAULT_DST_MAC = bytes.fromhex("02aabbccdd02")
+
+
+def checksum16(data: bytes) -> int:
+    """RFC 1071 ones'-complement 16-bit checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _ip_bytes(addr: IPAddr) -> bytes:
+    return ipaddress.ip_address(addr).packed
+
+
+def build_ethernet(
+    payload: bytes,
+    ethertype: int,
+    src_mac: bytes = _DEFAULT_SRC_MAC,
+    dst_mac: bytes = _DEFAULT_DST_MAC,
+) -> bytes:
+    """Wrap ``payload`` in an Ethernet II header."""
+    return dst_mac + src_mac + struct.pack("!H", ethertype) + payload
+
+
+def build_ipv4(
+    payload: bytes,
+    src: IPAddr,
+    dst: IPAddr,
+    protocol: int,
+    ttl: int = 64,
+    identification: int = 0,
+    dscp: int = 0,
+) -> bytes:
+    """Build an IPv4 header (no options) with a valid header checksum."""
+    total_length = 20 + len(payload)
+    header = struct.pack(
+        "!BBHHHBBH4s4s",
+        (4 << 4) | 5,
+        dscp << 2,
+        total_length,
+        identification,
+        0,  # flags/fragment offset
+        ttl,
+        protocol,
+        0,  # checksum placeholder
+        _ip_bytes(src),
+        _ip_bytes(dst),
+    )
+    csum = checksum16(header)
+    return header[:10] + struct.pack("!H", csum) + header[12:] + payload
+
+
+def build_ipv6(
+    payload: bytes,
+    src: IPAddr,
+    dst: IPAddr,
+    next_header: int,
+    hop_limit: int = 64,
+    flow_label: int = 0,
+) -> bytes:
+    """Build a fixed IPv6 header (no extension headers)."""
+    first_word = (6 << 28) | (flow_label & 0xFFFFF)
+    header = struct.pack(
+        "!IHBB16s16s",
+        first_word,
+        len(payload),
+        next_header,
+        hop_limit,
+        _ip_bytes(src),
+        _ip_bytes(dst),
+    )
+    return header + payload
+
+
+def _pseudo_header(src: IPAddr, dst: IPAddr, protocol: int, length: int) -> bytes:
+    src_b, dst_b = _ip_bytes(src), _ip_bytes(dst)
+    if len(src_b) == 4:
+        return src_b + dst_b + struct.pack("!BBH", 0, protocol, length)
+    return src_b + dst_b + struct.pack("!IHBB", length, 0, 0, protocol)
+
+
+def build_tcp(
+    payload: bytes,
+    src: IPAddr,
+    dst: IPAddr,
+    src_port: int,
+    dst_port: int,
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = 0x10,
+    window: int = 65535,
+) -> bytes:
+    """Build a TCP segment with a valid pseudo-header checksum."""
+    header = struct.pack(
+        "!HHIIBBHHH",
+        src_port,
+        dst_port,
+        seq & 0xFFFFFFFF,
+        ack & 0xFFFFFFFF,
+        5 << 4,
+        flags,
+        window,
+        0,  # checksum placeholder
+        0,  # urgent pointer
+    )
+    segment = header + payload
+    csum = checksum16(_pseudo_header(src, dst, PROTO_TCP, len(segment)) + segment)
+    return segment[:16] + struct.pack("!H", csum) + segment[18:]
+
+
+def build_udp(
+    payload: bytes,
+    src: IPAddr,
+    dst: IPAddr,
+    src_port: int,
+    dst_port: int,
+) -> bytes:
+    """Build a UDP datagram with a valid pseudo-header checksum."""
+    length = 8 + len(payload)
+    header = struct.pack("!HHHH", src_port, dst_port, length, 0)
+    datagram = header + payload
+    csum = checksum16(_pseudo_header(src, dst, PROTO_UDP, length) + datagram)
+    if csum == 0:
+        csum = 0xFFFF
+    return datagram[:6] + struct.pack("!H", csum) + datagram[8:]
+
+
+def _build_l3(payload: bytes, src: IPAddr, dst: IPAddr, protocol: int,
+              ttl: int) -> bytes:
+    src_ip = ipaddress.ip_address(src)
+    if src_ip.version == 4:
+        packet = build_ipv4(payload, src, dst, protocol, ttl=ttl)
+        return build_ethernet(packet, ETHERTYPE_IPV4)
+    packet = build_ipv6(payload, src, dst, protocol, hop_limit=ttl)
+    return build_ethernet(packet, ETHERTYPE_IPV6)
+
+
+def build_tcp_packet(
+    src: IPAddr,
+    dst: IPAddr,
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = 0x10,
+    ttl: int = 64,
+    window: int = 65535,
+) -> bytes:
+    """Build a full Ethernet/IP/TCP frame (IPv4 or IPv6 by address type)."""
+    segment = build_tcp(payload, src, dst, src_port, dst_port,
+                        seq=seq, ack=ack, flags=flags, window=window)
+    return _build_l3(segment, src, dst, PROTO_TCP, ttl)
+
+
+def build_icmp_echo(
+    src: IPAddr,
+    dst: IPAddr,
+    identifier: int = 1,
+    sequence: int = 1,
+    reply: bool = False,
+    payload: bytes = b"\x00" * 32,
+    ttl: int = 64,
+) -> bytes:
+    """Build a full Ethernet/IPv4/ICMP echo request or reply frame."""
+    icmp_type = 0 if reply else 8
+    header = struct.pack("!BBHHH", icmp_type, 0, 0, identifier, sequence)
+    message = header + payload
+    csum = checksum16(message)
+    message = message[:2] + struct.pack("!H", csum) + message[4:]
+    packet = build_ipv4(message, src, dst, 1, ttl=ttl)
+    return build_ethernet(packet, ETHERTYPE_IPV4)
+
+
+def build_udp_packet(
+    src: IPAddr,
+    dst: IPAddr,
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    ttl: int = 64,
+) -> bytes:
+    """Build a full Ethernet/IP/UDP frame (IPv4 or IPv6 by address type)."""
+    datagram = build_udp(payload, src, dst, src_port, dst_port)
+    return _build_l3(datagram, src, dst, PROTO_UDP, ttl)

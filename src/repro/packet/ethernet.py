@@ -1,0 +1,62 @@
+"""Ethernet II frame header, with 802.1Q VLAN awareness."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.packet.base import HeaderView
+from repro.packet.mbuf import Mbuf
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_VLAN = 0x8100
+ETHERTYPE_QINQ = 0x88A8
+
+_ETH_LEN = 14
+_VLAN_TAG_LEN = 4
+
+
+class Ethernet(HeaderView):
+    """Ethernet II header view.
+
+    Transparently skips up to two stacked 802.1Q/802.1ad VLAN tags when
+    reporting :meth:`header_len` and :meth:`next_protocol`, so upper
+    layers parse from the right offset regardless of tagging.
+    """
+
+    MIN_LEN = _ETH_LEN
+
+    @classmethod
+    def parse(cls, mbuf: Mbuf) -> "Ethernet":
+        """Parse the frame's outermost Ethernet header."""
+        return cls(mbuf, 0)
+
+    def dst_mac(self) -> bytes:
+        return self._bytes(0, 6)
+
+    def src_mac(self) -> bytes:
+        return self._bytes(6, 6)
+
+    def ethertype(self) -> int:
+        """The EtherType in the base header (may be a VLAN TPID)."""
+        return self._u16(12)
+
+    def vlan_ids(self) -> tuple:
+        """VLAN IDs of any stacked tags, outermost first."""
+        ids = []
+        rel = 12
+        ethertype = self._u16(rel)
+        while ethertype in (ETHERTYPE_VLAN, ETHERTYPE_QINQ) and len(ids) < 2:
+            tci = self._u16(rel + 2)
+            ids.append(tci & 0x0FFF)
+            rel += _VLAN_TAG_LEN
+            ethertype = self._u16(rel)
+        return tuple(ids)
+
+    def header_len(self) -> int:
+        return _ETH_LEN + _VLAN_TAG_LEN * len(self.vlan_ids())
+
+    def next_protocol(self) -> Optional[int]:
+        """EtherType of the encapsulated protocol, past any VLAN tags."""
+        rel = 12 + _VLAN_TAG_LEN * len(self.vlan_ids())
+        return self._u16(rel)

@@ -1,0 +1,180 @@
+"""IPv4 fragment reassembly.
+
+Port-based filters cannot match non-first fragments (their transport
+header lives in the first fragment only), so a capture pipeline must
+either reassemble datagrams or accept that fragmented traffic partially
+escapes filtering. Retina — like most kernel-bypass pipelines — does
+not reassemble; this module provides the option for deployments that
+need it (``RuntimeConfig(reassemble_fragments=True)``), with the
+defensive bounds the adversarial-reassembly literature demands: a
+per-datagram byte cap, a datagram table cap, and a timeout.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.packet.builder import checksum16
+from repro.packet.ipv4 import Ipv4
+from repro.packet.mbuf import Mbuf
+from repro.packet.stack import parse_stack
+
+_MF_FLAG = 0x2000  # more-fragments bit in the flags/offset word
+
+
+def fragment_ipv4(frame: bytes, fragment_payload: int = 1208) -> List[bytes]:
+    """Split an IPv4 frame into valid fragments (builder-side).
+
+    ``fragment_payload`` is the IP payload bytes per fragment and must
+    be a multiple of 8 (fragment offsets are in 8-byte units).
+    """
+    if fragment_payload % 8:
+        raise ValueError("fragment payload must be a multiple of 8")
+    stack = parse_stack(Mbuf(frame))
+    if stack.ip is None or stack.ip.version() != 4:
+        raise ValueError("not an IPv4 frame")
+    ip = stack.ip
+    eth_header = frame[:ip.offset]
+    ip_header = bytearray(frame[ip.offset:ip.offset + ip.header_len()])
+    payload = frame[ip.offset + ip.header_len():
+                    ip.offset + ip.total_length()]
+    if len(payload) <= fragment_payload:
+        return [frame]
+    fragments = []
+    offset_units = 0
+    while offset_units * 8 < len(payload):
+        start = offset_units * 8
+        chunk = payload[start:start + fragment_payload]
+        more = start + len(chunk) < len(payload)
+        header = bytearray(ip_header)
+        struct.pack_into("!H", header, 2, len(header) + len(chunk))
+        struct.pack_into("!H", header, 6,
+                         (offset_units & 0x1FFF) | (_MF_FLAG if more else 0))
+        struct.pack_into("!H", header, 10, 0)
+        struct.pack_into("!H", header, 10, checksum16(bytes(header)))
+        fragments.append(bytes(eth_header) + bytes(header) + chunk)
+        offset_units += fragment_payload // 8
+    return fragments
+
+
+class _Datagram:
+    """Accumulation state for one fragmented datagram."""
+
+    __slots__ = ("chunks", "total_len", "bytes_held", "first_ts",
+                 "eth_header", "ip_header")
+
+    def __init__(self, first_ts: float) -> None:
+        self.chunks: Dict[int, bytes] = {}
+        self.total_len: Optional[int] = None
+        self.bytes_held = 0
+        self.first_ts = first_ts
+        self.eth_header: Optional[bytes] = None
+        self.ip_header: Optional[bytes] = None
+
+
+class FragmentReassembler:
+    """Bounded IPv4 datagram reassembly.
+
+    Returns complete frames; incomplete datagrams are bounded by
+    ``max_datagram_bytes`` (oversize → discarded), ``max_datagrams``
+    (table pressure → oldest evicted), and ``timeout`` seconds.
+    """
+
+    def __init__(
+        self,
+        max_datagram_bytes: int = 65535,
+        max_datagrams: int = 1024,
+        timeout: float = 30.0,
+    ) -> None:
+        self.max_datagram_bytes = max_datagram_bytes
+        self.max_datagrams = max_datagrams
+        self.timeout = timeout
+        self._table: Dict[Tuple, _Datagram] = {}
+        self.reassembled = 0
+        self.discarded = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @staticmethod
+    def is_fragment(ip: Ipv4) -> bool:
+        word = (ip.flags() << 13) | ip.fragment_offset()
+        return bool(word & _MF_FLAG) or ip.fragment_offset() > 0
+
+    def push(self, mbuf: Mbuf) -> Optional[Mbuf]:
+        """Insert a fragment; returns the reassembled frame when the
+        datagram completes, else None. Non-fragment frames pass
+        through unchanged."""
+        stack = parse_stack(mbuf)
+        if stack.ip is None or stack.ip.version() != 4:
+            return mbuf
+        ip = stack.ip
+        if not self.is_fragment(ip):
+            return mbuf
+        self._expire(mbuf.timestamp)
+        key = (ip.src_addr_u32(), ip.dst_addr_u32(),
+               ip.identification(), ip.protocol())
+        datagram = self._table.get(key)
+        if datagram is None:
+            if len(self._table) >= self.max_datagrams:
+                self._evict_oldest()
+            datagram = _Datagram(mbuf.timestamp)
+            self._table[key] = datagram
+        start = ip.fragment_offset() * 8
+        chunk = mbuf.data[ip.offset + ip.header_len():
+                          ip.offset + ip.total_length()]
+        more = bool(((ip.flags() << 13) | ip.fragment_offset()) & _MF_FLAG)
+        if start == 0:
+            datagram.eth_header = mbuf.data[:ip.offset]
+            datagram.ip_header = mbuf.data[ip.offset:
+                                           ip.offset + ip.header_len()]
+        if start not in datagram.chunks:
+            datagram.chunks[start] = chunk
+            datagram.bytes_held += len(chunk)
+        if not more:
+            datagram.total_len = start + len(chunk)
+        if datagram.bytes_held > self.max_datagram_bytes:
+            del self._table[key]
+            self.discarded += 1
+            return None
+        frame = self._try_complete(datagram)
+        if frame is None:
+            return None
+        del self._table[key]
+        self.reassembled += 1
+        return Mbuf(frame, timestamp=mbuf.timestamp, port=mbuf.port)
+
+    def _try_complete(self, datagram: _Datagram) -> Optional[bytes]:
+        if datagram.total_len is None or datagram.ip_header is None:
+            return None
+        payload = bytearray()
+        offset = 0
+        while offset < datagram.total_len:
+            chunk = datagram.chunks.get(offset)
+            if chunk is None:
+                return None
+            payload.extend(chunk)
+            offset += len(chunk)
+        header = bytearray(datagram.ip_header)
+        struct.pack_into("!H", header, 2, len(header) + len(payload))
+        struct.pack_into("!H", header, 6, 0)  # clear flags/offset
+        struct.pack_into("!H", header, 10, 0)
+        struct.pack_into("!H", header, 10, checksum16(bytes(header)))
+        return bytes(datagram.eth_header) + bytes(header) + bytes(payload)
+
+    def _expire(self, now: float) -> None:
+        stale = [key for key, d in self._table.items()
+                 if now - d.first_ts > self.timeout]
+        for key in stale:
+            del self._table[key]
+            self.discarded += 1
+
+    def _evict_oldest(self) -> None:
+        oldest = min(self._table, key=lambda k: self._table[k].first_ts)
+        del self._table[oldest]
+        self.discarded += 1
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(d.bytes_held for d in self._table.values())

@@ -1,0 +1,48 @@
+"""ICMP header view (echo-oriented; other types expose type/code)."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import PacketParseError
+from repro.packet.base import HeaderView
+from repro.packet.ipv4 import Ipv4, PROTO_ICMP
+
+ECHO_REPLY = 0
+DEST_UNREACHABLE = 3
+ECHO_REQUEST = 8
+TIME_EXCEEDED = 11
+
+
+class Icmp(HeaderView):
+    """ICMPv4 header parsed in place."""
+
+    MIN_LEN = 8
+
+    @classmethod
+    def parse_from(cls, ip: Ipv4) -> "Icmp":
+        if ip.next_protocol() != PROTO_ICMP:
+            raise PacketParseError("Icmp: IP protocol is not 1")
+        return cls(ip.mbuf, ip.payload_offset())
+
+    def icmp_type(self) -> int:
+        return self._u8(0)
+
+    def code(self) -> int:
+        return self._u8(1)
+
+    def checksum(self) -> int:
+        return self._u16(2)
+
+    def identifier(self) -> int:
+        """Echo identifier (meaningful for echo request/reply)."""
+        return self._u16(4)
+
+    def sequence(self) -> int:
+        return self._u16(6)
+
+    def header_len(self) -> int:
+        return 8
+
+    def next_protocol(self) -> Optional[int]:
+        return None

@@ -1,0 +1,91 @@
+"""IPv4 header view."""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Optional
+
+from repro.errors import PacketParseError
+from repro.packet.base import HeaderView
+from repro.packet.ethernet import Ethernet, ETHERTYPE_IPV4
+from repro.packet.mbuf import Mbuf
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ICMP = 1
+
+
+class Ipv4(HeaderView):
+    """IPv4 header parsed in place, options included in header length."""
+
+    MIN_LEN = 20
+
+    def __init__(self, mbuf: Mbuf, offset: int) -> None:
+        super().__init__(mbuf, offset)
+        first = self._u8(0)
+        if first >> 4 != 4:
+            raise PacketParseError("Ipv4: version field is not 4")
+        ihl = (first & 0x0F) * 4
+        if ihl < 20 or offset + ihl > len(mbuf.data):
+            raise PacketParseError(f"Ipv4: bad IHL {ihl}")
+        self._hdr_len = ihl
+
+    @classmethod
+    def parse_from(cls, eth: Ethernet) -> "Ipv4":
+        """Parse an IPv4 header from an Ethernet frame's payload."""
+        if eth.next_protocol() != ETHERTYPE_IPV4:
+            raise PacketParseError("Ipv4: ethertype is not 0x0800")
+        return cls(eth.mbuf, eth.payload_offset())
+
+    # -- fields ----------------------------------------------------------
+    def version(self) -> int:
+        return self._u8(0) >> 4
+
+    def ihl(self) -> int:
+        return self._u8(0) & 0x0F
+
+    def dscp(self) -> int:
+        return self._u8(1) >> 2
+
+    def ecn(self) -> int:
+        return self._u8(1) & 0x03
+
+    def total_length(self) -> int:
+        return self._u16(2)
+
+    def identification(self) -> int:
+        return self._u16(4)
+
+    def flags(self) -> int:
+        return self._u16(6) >> 13
+
+    def fragment_offset(self) -> int:
+        return self._u16(6) & 0x1FFF
+
+    def ttl(self) -> int:
+        return self._u8(8)
+
+    def protocol(self) -> int:
+        return self._u8(9)
+
+    def checksum(self) -> int:
+        return self._u16(10)
+
+    def src_addr(self) -> ipaddress.IPv4Address:
+        return ipaddress.IPv4Address(self._bytes(12, 4))
+
+    def dst_addr(self) -> ipaddress.IPv4Address:
+        return ipaddress.IPv4Address(self._bytes(16, 4))
+
+    def src_addr_u32(self) -> int:
+        return self._u32(12)
+
+    def dst_addr_u32(self) -> int:
+        return self._u32(16)
+
+    # -- PacketParsable ----------------------------------------------------
+    def header_len(self) -> int:
+        return self._hdr_len
+
+    def next_protocol(self) -> Optional[int]:
+        return self.protocol()

@@ -1,0 +1,87 @@
+"""IPv6 header view (fixed header; common extension headers skipped)."""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Optional
+
+from repro.errors import PacketParseError
+from repro.packet.base import HeaderView
+from repro.packet.ethernet import Ethernet, ETHERTYPE_IPV6
+from repro.packet.mbuf import Mbuf
+
+_FIXED_LEN = 40
+
+# Extension headers we can skip to reach the transport layer.
+_EXT_HEADERS = frozenset({0, 43, 60})  # hop-by-hop, routing, destination opts
+
+
+class Ipv6(HeaderView):
+    """IPv6 header view.
+
+    :meth:`header_len` and :meth:`next_protocol` account for chained
+    hop-by-hop / routing / destination-options extension headers so that
+    TCP/UDP parse from the correct offset.
+    """
+
+    MIN_LEN = _FIXED_LEN
+
+    def __init__(self, mbuf: Mbuf, offset: int) -> None:
+        super().__init__(mbuf, offset)
+        if self._u8(0) >> 4 != 6:
+            raise PacketParseError("Ipv6: version field is not 6")
+        self._resolve_extensions()
+
+    def _resolve_extensions(self) -> None:
+        """Walk extension headers to find the transport protocol/offset."""
+        proto = self._u8(6)
+        rel = _FIXED_LEN
+        data = self.mbuf.data
+        while proto in _EXT_HEADERS:
+            abs_off = self.offset + rel
+            if abs_off + 2 > len(data):
+                raise PacketParseError("Ipv6: truncated extension header")
+            proto = data[abs_off]
+            rel += (data[abs_off + 1] + 1) * 8
+        self._transport_proto = proto
+        self._hdr_len = rel
+
+    @classmethod
+    def parse_from(cls, eth: Ethernet) -> "Ipv6":
+        """Parse an IPv6 header from an Ethernet frame's payload."""
+        if eth.next_protocol() != ETHERTYPE_IPV6:
+            raise PacketParseError("Ipv6: ethertype is not 0x86DD")
+        return cls(eth.mbuf, eth.payload_offset())
+
+    # -- fields ----------------------------------------------------------
+    def version(self) -> int:
+        return self._u8(0) >> 4
+
+    def traffic_class(self) -> int:
+        return (self._u16(0) >> 4) & 0xFF
+
+    def flow_label(self) -> int:
+        return self._u32(0) & 0x000FFFFF
+
+    def payload_length(self) -> int:
+        return self._u16(4)
+
+    def next_header(self) -> int:
+        """Next-header value in the fixed header (may be an extension)."""
+        return self._u8(6)
+
+    def hop_limit(self) -> int:
+        return self._u8(7)
+
+    def src_addr(self) -> ipaddress.IPv6Address:
+        return ipaddress.IPv6Address(self._bytes(8, 16))
+
+    def dst_addr(self) -> ipaddress.IPv6Address:
+        return ipaddress.IPv6Address(self._bytes(24, 16))
+
+    # -- PacketParsable ----------------------------------------------------
+    def header_len(self) -> int:
+        return self._hdr_len
+
+    def next_protocol(self) -> Optional[int]:
+        return self._transport_proto

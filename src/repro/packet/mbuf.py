@@ -1,0 +1,51 @@
+"""Message buffer: the unit of packet data flowing through the pipeline.
+
+An :class:`Mbuf` is the reproduction's analogue of a DPDK ``rte_mbuf``:
+immutable frame bytes plus receive-side metadata (timestamp, port,
+queue). Parsed header views borrow from the mbuf rather than copying,
+mirroring Retina's zero-copy discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Mbuf:
+    """Raw frame bytes plus receive metadata.
+
+    Attributes:
+        data: The raw Ethernet frame bytes.
+        timestamp: Receive time in (virtual) seconds.
+        port: Index of the NIC port the frame arrived on.
+        queue: RSS receive queue the NIC dispatched the frame to, or
+            ``None`` before RSS assignment.
+        pkt_term_node: Predicate-trie node id recorded by the software
+            packet filter when a pattern matches non-terminally. Later
+            filter layers branch directly from this node instead of
+            re-walking the trie (Section 4.1 of the paper).
+    """
+
+    __slots__ = ("data", "timestamp", "port", "queue", "pkt_term_node")
+
+    def __init__(
+        self,
+        data: bytes,
+        timestamp: float = 0.0,
+        port: int = 0,
+        queue: Optional[int] = None,
+    ) -> None:
+        self.data = data
+        self.timestamp = timestamp
+        self.port = port
+        self.queue = queue
+        self.pkt_term_node: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"Mbuf(len={len(self.data)}, ts={self.timestamp:.6f}, "
+            f"port={self.port}, queue={self.queue})"
+        )

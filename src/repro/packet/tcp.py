@@ -1,0 +1,82 @@
+"""TCP header view."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from repro.errors import PacketParseError
+from repro.packet.base import HeaderView
+from repro.packet.ipv4 import Ipv4, PROTO_TCP
+from repro.packet.ipv6 import Ipv6
+from repro.packet.mbuf import Mbuf
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP flag bits (low byte of the flags field)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+class Tcp(HeaderView):
+    """TCP header parsed in place; options covered by the data offset."""
+
+    MIN_LEN = 20
+
+    def __init__(self, mbuf: Mbuf, offset: int) -> None:
+        super().__init__(mbuf, offset)
+        doff = (self._u8(12) >> 4) * 4
+        if doff < 20 or offset + doff > len(mbuf.data):
+            raise PacketParseError(f"Tcp: bad data offset {doff}")
+        self._hdr_len = doff
+
+    @classmethod
+    def parse_from(cls, ip: Union[Ipv4, Ipv6]) -> "Tcp":
+        """Parse a TCP header from an IP packet's payload."""
+        if ip.next_protocol() != PROTO_TCP:
+            raise PacketParseError("Tcp: IP protocol is not 6")
+        return cls(ip.mbuf, ip.payload_offset())
+
+    # -- fields ----------------------------------------------------------
+    def src_port(self) -> int:
+        return self._u16(0)
+
+    def dst_port(self) -> int:
+        return self._u16(2)
+
+    def seq_no(self) -> int:
+        return self._u32(4)
+
+    def ack_no(self) -> int:
+        return self._u32(8)
+
+    def flags(self) -> TcpFlags:
+        return TcpFlags(self._u8(13))
+
+    def window(self) -> int:
+        return self._u16(14)
+
+    def checksum(self) -> int:
+        return self._u16(16)
+
+    def urgent_pointer(self) -> int:
+        return self._u16(18)
+
+    def synack(self) -> bool:
+        return self.flags() & (TcpFlags.SYN | TcpFlags.ACK) == (
+            TcpFlags.SYN | TcpFlags.ACK
+        )
+
+    # -- PacketParsable ----------------------------------------------------
+    def header_len(self) -> int:
+        return self._hdr_len
+
+    def next_protocol(self) -> Optional[int]:
+        return None

@@ -1,0 +1,41 @@
+"""UDP header view."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import PacketParseError
+from repro.packet.base import HeaderView
+from repro.packet.ipv4 import Ipv4, PROTO_UDP
+from repro.packet.ipv6 import Ipv6
+
+
+class Udp(HeaderView):
+    """UDP header parsed in place."""
+
+    MIN_LEN = 8
+
+    @classmethod
+    def parse_from(cls, ip: Union[Ipv4, Ipv6]) -> "Udp":
+        """Parse a UDP header from an IP packet's payload."""
+        if ip.next_protocol() != PROTO_UDP:
+            raise PacketParseError("Udp: IP protocol is not 17")
+        return cls(ip.mbuf, ip.payload_offset())
+
+    def src_port(self) -> int:
+        return self._u16(0)
+
+    def dst_port(self) -> int:
+        return self._u16(2)
+
+    def length(self) -> int:
+        return self._u16(4)
+
+    def checksum(self) -> int:
+        return self._u16(6)
+
+    def header_len(self) -> int:
+        return 8
+
+    def next_protocol(self) -> Optional[int]:
+        return None

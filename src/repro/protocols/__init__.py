@@ -1,0 +1,43 @@
+"""Application-layer protocol modules (Appendix A, ``ConnParsable``).
+
+Each protocol module implements the probe/parse contract of
+:class:`~repro.protocols.base.ConnParser`: given in-order stream
+segments it first *probes* (cheaply decides whether the connection
+speaks this protocol) and then *parses* full application-layer
+sessions. The registry maps protocol names to parser factories and is
+what the connection tracker instantiates when a subscription requires
+L7 data.
+"""
+
+from repro.protocols.base import (
+    ConnParser,
+    ParseResult,
+    ProbeResult,
+    Session,
+)
+from repro.protocols.registry import ParserRegistry, default_parser_registry
+from repro.protocols.tls.parser import TlsParser
+from repro.protocols.tls.data import TlsHandshakeData
+from repro.protocols.http.parser import HttpParser, HttpTransactionData
+from repro.protocols.ssh.parser import SshParser, SshHandshakeData
+from repro.protocols.dns.parser import DnsParser, DnsTransactionData
+from repro.protocols.quic.parser import QuicParser, QuicHandshakeData
+
+__all__ = [
+    "ConnParser",
+    "ProbeResult",
+    "ParseResult",
+    "Session",
+    "ParserRegistry",
+    "default_parser_registry",
+    "TlsParser",
+    "TlsHandshakeData",
+    "HttpParser",
+    "HttpTransactionData",
+    "SshParser",
+    "SshHandshakeData",
+    "DnsParser",
+    "DnsTransactionData",
+    "QuicParser",
+    "QuicHandshakeData",
+]

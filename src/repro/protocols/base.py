@@ -1,0 +1,90 @@
+"""The ConnParsable contract: probe, parse, and session management."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.stream.pdu import StreamSegment
+
+
+class ProbeResult(enum.Enum):
+    """Outcome of sniffing initial payload for a protocol signature."""
+
+    MATCH = "match"        # this is definitely the protocol
+    UNSURE = "unsure"      # need more bytes to decide
+    NO_MATCH = "no_match"  # definitely not this protocol
+
+
+class ParseResult(enum.Enum):
+    """Outcome of feeding a segment to an identified protocol parser."""
+
+    CONTINUE = "continue"  # mid-message, keep feeding
+    DONE = "done"          # one or more sessions completed
+    ERROR = "error"        # malformed; stop parsing this connection
+
+
+@dataclass
+class Session:
+    """One parsed application-layer session (e.g. a TLS handshake)."""
+
+    protocol: str
+    data: Any
+    session_id: int = 0
+    timestamp: float = 0.0
+
+
+class ConnParser:
+    """Base class for connection-level protocol parsers.
+
+    Mirrors Retina's ``ConnParsable`` trait (Figure 10): parsers consume
+    in-order :class:`~repro.stream.pdu.StreamSegment` objects, identify
+    their protocol via :meth:`probe`, accumulate state via :meth:`parse`,
+    and surface completed :class:`Session` objects via
+    :meth:`drain_sessions`.
+    """
+
+    #: Protocol name as used in filters (must match the field registry).
+    protocol = "?"
+
+    def __init__(self) -> None:
+        self._sessions: List[Session] = []
+        self._next_session_id = 0
+
+    # -- contract -----------------------------------------------------------
+    def probe(self, segment: StreamSegment) -> ProbeResult:
+        """Cheaply decide whether the stream speaks this protocol."""
+        raise NotImplementedError
+
+    def parse(self, segment: StreamSegment) -> ParseResult:
+        """Consume one in-order segment of an identified stream."""
+        raise NotImplementedError
+
+    def sessions_parsed(self) -> int:
+        return len(self._sessions)
+
+    def drain_sessions(self) -> List[Session]:
+        """Remove and return all completed sessions."""
+        sessions = self._sessions
+        self._sessions = []
+        return sessions
+
+    # -- hooks for subscription-derived state machines -----------------------
+    def session_match_state(self) -> str:
+        """Connection state after a session matched the filter:
+        ``"parse"`` to keep parsing for more sessions (e.g. HTTP
+        pipelining) or ``"track"``/``"delete"`` when no more parsed data
+        can be produced (e.g. TLS past the handshake)."""
+        return "parse"
+
+    def session_nomatch_state(self) -> str:
+        """Connection state after a session failed the filter."""
+        return "delete"
+
+    # -- helpers ------------------------------------------------------------
+    def _finish_session(self, data: Any, timestamp: float = 0.0) -> None:
+        self._sessions.append(
+            Session(self.protocol, data, self._next_session_id, timestamp)
+        )
+        self._next_session_id += 1

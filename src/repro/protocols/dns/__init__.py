@@ -1,0 +1,11 @@
+"""DNS protocol module (wire-format parser + builder)."""
+
+from repro.protocols.dns.parser import DnsParser, DnsTransactionData
+from repro.protocols.dns.build import build_dns_query, build_dns_response
+
+__all__ = [
+    "DnsParser",
+    "DnsTransactionData",
+    "build_dns_query",
+    "build_dns_response",
+]

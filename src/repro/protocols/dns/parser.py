@@ -1,0 +1,224 @@
+"""DNS message parser (ConnParsable implementation).
+
+Parses query/response pairs from UDP datagram payloads (each stream
+segment is one datagram; the pipeline feeds UDP payloads directly).
+TCP-carried DNS with its 2-byte length prefix is also handled.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.protocols.base import ConnParser, ParseResult, ProbeResult
+from repro.protocols.dns.build import QTYPE
+from repro.stream.pdu import StreamSegment
+
+_TYPE_NAMES = {v: k for k, v in QTYPE.items()}
+_RCODE_NAMES = {0: "NOERROR", 1: "FORMERR", 2: "SERVFAIL", 3: "NXDOMAIN",
+                4: "NOTIMP", 5: "REFUSED"}
+
+
+@dataclass
+class DnsAnswer:
+    """One decoded resource record from the answer section."""
+
+    name: str
+    type_name: str
+    ttl: int
+    #: Decoded value: dotted address for A/AAAA, target name for
+    #: CNAME/NS/PTR, hex for anything else.
+    value: str
+
+
+@dataclass
+class DnsTransactionData:
+    """One query (and optionally its response)."""
+
+    txn_id: int = 0
+    query_name_value: Optional[str] = None
+    query_type_value: Optional[str] = None
+    response_code_value: Optional[int] = None
+    answer_count: int = 0
+    answers: list = None
+    query_ts: float = 0.0
+    response_ts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.answers is None:
+            self.answers = []
+
+    # -- filter accessors ---------------------------------------------------
+    def query_name(self) -> Optional[str]:
+        return self.query_name_value
+
+    def query_type(self) -> Optional[str]:
+        return self.query_type_value
+
+    def response_code(self) -> Optional[int]:
+        return self.response_code_value
+
+    def rcode_name(self) -> Optional[str]:
+        if self.response_code_value is None:
+            return None
+        return _RCODE_NAMES.get(self.response_code_value,
+                                str(self.response_code_value))
+
+
+def parse_name(message: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a (possibly compressed) DNS name; returns (name, end)."""
+    labels = []
+    jumps = 0
+    end: Optional[int] = None
+    while True:
+        if offset >= len(message) or jumps > 16:
+            raise ValueError("truncated or looping DNS name")
+        length = message[offset]
+        if length == 0:
+            offset += 1
+            break
+        if length & 0xC0 == 0xC0:
+            if offset + 2 > len(message):
+                raise ValueError("truncated compression pointer")
+            pointer = struct.unpack_from("!H", message, offset)[0] & 0x3FFF
+            if end is None:
+                end = offset + 2
+            offset = pointer
+            jumps += 1
+            continue
+        offset += 1
+        labels.append(
+            message[offset:offset + length].decode("latin-1"))
+        offset += length
+    return ".".join(labels), (end if end is not None else offset)
+
+
+class DnsParser(ConnParser):
+    """Stateful DNS parser for one flow."""
+
+    protocol = "dns"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: Dict[int, DnsTransactionData] = {}
+
+    def probe(self, segment: StreamSegment) -> ProbeResult:
+        payload = self._datagram(segment)
+        if len(payload) < 12:
+            return ProbeResult.UNSURE
+        try:
+            self._parse_message(payload, segment, commit=False)
+        except ValueError:
+            return ProbeResult.NO_MATCH
+        return ProbeResult.MATCH
+
+    def parse(self, segment: StreamSegment) -> ParseResult:
+        payload = self._datagram(segment)
+        if len(payload) < 12:
+            return ParseResult.CONTINUE
+        try:
+            finished = self._parse_message(payload, segment, commit=True)
+        except ValueError:
+            return ParseResult.ERROR
+        return ParseResult.DONE if finished else ParseResult.CONTINUE
+
+    @staticmethod
+    def _datagram(segment: StreamSegment) -> bytes:
+        """Strip the TCP length prefix if the payload carries one."""
+        payload = segment.payload
+        if len(payload) >= 14:
+            (prefix,) = struct.unpack_from("!H", payload)
+            if prefix == len(payload) - 2:
+                return payload[2:]
+        return payload
+
+    def _parse_message(self, message: bytes, segment: StreamSegment,
+                       commit: bool) -> bool:
+        txn_id, flags, qdcount, ancount = struct.unpack_from(
+            "!HHHH", message)
+        is_response = bool(flags & 0x8000)
+        rcode = flags & 0x000F
+        opcode = (flags >> 11) & 0x0F
+        if qdcount == 0 or qdcount > 16:
+            raise ValueError("implausible question count")
+        if opcode > 5:
+            raise ValueError("implausible opcode")
+        if flags & 0x0040:  # the Z bit must be zero (RFC 1035)
+            raise ValueError("reserved Z bit set")
+        offset = 12
+        qname = qtype_name = None
+        if qdcount:
+            qname, offset = parse_name(message, offset)
+            if offset + 4 > len(message):
+                raise ValueError("truncated question")
+            qtype = struct.unpack_from("!H", message, offset)[0]
+            qtype_name = _TYPE_NAMES.get(qtype, str(qtype))
+            offset += 4
+            # Additional questions (rare) are skipped.
+            for _ in range(qdcount - 1):
+                _, offset = parse_name(message, offset)
+                offset += 4
+        if not commit:
+            return False
+        answers = self._parse_answers(message, offset, ancount) \
+            if is_response else []
+        if not is_response:
+            txn = DnsTransactionData(
+                txn_id=txn_id, query_name_value=qname,
+                query_type_value=qtype_name, query_ts=segment.timestamp,
+            )
+            self._pending[txn_id] = txn
+            return False
+        txn = self._pending.pop(txn_id, None)
+        if txn is None:
+            txn = DnsTransactionData(
+                txn_id=txn_id, query_name_value=qname,
+                query_type_value=qtype_name,
+            )
+        txn.response_code_value = rcode
+        txn.answer_count = ancount
+        txn.answers = answers
+        txn.response_ts = segment.timestamp
+        self._finish_session(txn, segment.timestamp)
+        return True
+
+    @staticmethod
+    def _parse_answers(message: bytes, offset: int,
+                       ancount: int) -> list:
+        """Decode the answer section; stops quietly on truncation."""
+        import ipaddress
+
+        answers = []
+        try:
+            for _ in range(min(ancount, 64)):
+                name, offset = parse_name(message, offset)
+                if offset + 10 > len(message):
+                    break
+                rtype, _rclass, ttl, rdlength = struct.unpack_from(
+                    "!HHIH", message, offset)
+                offset += 10
+                rdata = message[offset:offset + rdlength]
+                offset += rdlength
+                if len(rdata) < rdlength:
+                    break
+                type_name = _TYPE_NAMES.get(rtype, str(rtype))
+                if type_name == "A" and rdlength == 4:
+                    value = str(ipaddress.IPv4Address(rdata))
+                elif type_name == "AAAA" and rdlength == 16:
+                    value = str(ipaddress.IPv6Address(rdata))
+                elif type_name in ("CNAME", "NS", "PTR"):
+                    value, _ = parse_name(
+                        message, offset - rdlength)
+                else:
+                    value = rdata.hex()
+                answers.append(DnsAnswer(name, type_name, ttl, value))
+        except ValueError:
+            pass
+        return answers
+
+    def session_match_state(self) -> str:
+        return "parse"  # a flow (e.g. resolver 5-tuple reuse) can carry more
+
+    def session_nomatch_state(self) -> str:
+        return "parse"

@@ -1,0 +1,5 @@
+"""HTTP/1.x protocol module."""
+
+from repro.protocols.http.parser import HttpParser, HttpTransactionData
+
+__all__ = ["HttpParser", "HttpTransactionData"]

@@ -1,0 +1,254 @@
+"""HTTP/1.x request/response parser (ConnParsable implementation).
+
+Parses request and response heads (start line + headers) from the two
+directions of a reassembled stream and pairs them into transactions.
+Bodies are skipped by Content-Length (or treated as opaque for chunked
+/ close-delimited responses) — Retina's HTTP subscription exposes
+message metadata, not entity bodies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.protocols.base import ConnParser, ParseResult, ProbeResult
+from repro.stream.pdu import StreamSegment
+
+_METHODS = (
+    b"GET ", b"POST ", b"HEAD ", b"PUT ", b"DELETE ", b"OPTIONS ",
+    b"PATCH ", b"TRACE ", b"CONNECT ",
+)
+_MAX_HEAD = 64 * 1024
+_REQUEST_RE = re.compile(
+    rb"^([A-Z]+) (\S+) HTTP/(\d\.\d)\r?\n", re.MULTILINE)
+_STATUS_RE = re.compile(rb"^HTTP/(\d\.\d) (\d{3})")
+
+
+@dataclass
+class HttpTransactionData:
+    """One request/response pair's metadata (the session data object)."""
+
+    method_value: Optional[str] = None
+    uri_value: Optional[str] = None
+    version_value: Optional[str] = None
+    request_headers: Dict[str, str] = field(default_factory=dict)
+    status_code_value: Optional[int] = None
+    response_headers: Dict[str, str] = field(default_factory=dict)
+    request_ts: float = 0.0
+    response_ts: float = 0.0
+
+    # -- filter accessors ---------------------------------------------------
+    def method(self) -> Optional[str]:
+        return self.method_value
+
+    def uri(self) -> Optional[str]:
+        return self.uri_value
+
+    def host(self) -> Optional[str]:
+        return self.request_headers.get("host")
+
+    def user_agent(self) -> Optional[str]:
+        return self.request_headers.get("user-agent")
+
+    def version(self) -> Optional[str]:
+        return self.version_value
+
+    def status_code(self) -> Optional[int]:
+        return self.status_code_value
+
+    def content_length(self) -> Optional[int]:
+        raw = self.response_headers.get("content-length")
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            return None
+
+    def __repr__(self) -> str:
+        return (
+            f"HttpTransactionData({self.method_value} {self.uri_value} "
+            f"-> {self.status_code_value})"
+        )
+
+
+class _HalfParser:
+    """Head/body scanner for one direction.
+
+    Bodies are skipped, not stored: by Content-Length when present, or
+    chunk by chunk for ``Transfer-Encoding: chunked`` messages.
+    """
+
+    __slots__ = ("buffer", "skip", "chunked")
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self.skip = 0       # body bytes still to discard
+        self.chunked = False
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Return complete message heads found after feeding ``data``."""
+        heads: List[bytes] = []
+        self.buffer.extend(data)
+        while True:
+            if self.skip:
+                consumed = min(self.skip, len(self.buffer))
+                del self.buffer[:consumed]
+                self.skip -= consumed
+                if self.skip:
+                    return heads
+            if self.chunked:
+                if not self._consume_chunks():
+                    return heads
+                continue
+            end = self.buffer.find(b"\r\n\r\n")
+            if end < 0:
+                if len(self.buffer) > _MAX_HEAD:
+                    raise ValueError("unreasonably large message head")
+                return heads
+            heads.append(bytes(self.buffer[:end]))
+            del self.buffer[:end + 4]
+            transfer = _header_value(heads[-1], b"transfer-encoding")
+            if transfer is not None and b"chunked" in transfer.lower():
+                self.chunked = True
+                continue
+            heads_cl = _header_value(heads[-1], b"content-length")
+            if heads_cl is not None:
+                try:
+                    self.skip = int(heads_cl)
+                except ValueError:
+                    raise ValueError("bad Content-Length")
+
+    def _consume_chunks(self) -> bool:
+        """Skip chunked-body framing; True once the body is consumed."""
+        while True:
+            end = self.buffer.find(b"\r\n")
+            if end < 0:
+                if len(self.buffer) > 1024:
+                    raise ValueError("unterminated chunk-size line")
+                return False
+            size_token = bytes(self.buffer[:end]).split(b";", 1)[0].strip()
+            try:
+                size = int(size_token, 16)
+            except ValueError:
+                raise ValueError(f"bad chunk size {size_token!r}")
+            if size == 0:
+                # Last chunk: consume trailer section up to its CRLF.
+                terminator = self.buffer.find(b"\r\n\r\n", end)
+                if self.buffer[end + 2:end + 4] == b"\r\n":
+                    del self.buffer[:end + 4]
+                elif terminator >= 0:
+                    del self.buffer[:terminator + 4]
+                elif len(self.buffer) - end > _MAX_HEAD:
+                    raise ValueError("unreasonably large trailer")
+                else:
+                    return False
+                self.chunked = False
+                return True
+            needed = end + 2 + size + 2  # size line + chunk + CRLF
+            if len(self.buffer) < needed:
+                # Defer: drop what we have and remember the remainder.
+                available = len(self.buffer)
+                del self.buffer[:available]
+                self.skip = needed - available
+                self.chunked = True
+                return False
+            del self.buffer[:needed]
+
+
+def _header_value(head: bytes, name: bytes) -> Optional[bytes]:
+    for line in head.split(b"\r\n")[1:]:
+        key, _, value = line.partition(b":")
+        if key.strip().lower() == name:
+            return value.strip()
+    return None
+
+
+def _parse_headers(head: bytes) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in head.split(b"\r\n")[1:]:
+        key, sep, value = line.partition(b":")
+        if not sep:
+            continue
+        headers[key.strip().lower().decode("latin-1")] = \
+            value.strip().decode("latin-1")
+    return headers
+
+
+class HttpParser(ConnParser):
+    """Stateful HTTP/1.x parser for one connection."""
+
+    protocol = "http"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._requests = _HalfParser()
+        self._responses = _HalfParser()
+        #: Requests waiting for their response (pipelining-safe FIFO).
+        self._pending: List[HttpTransactionData] = []
+
+    def probe(self, segment: StreamSegment) -> ProbeResult:
+        payload = segment.payload
+        if segment.from_orig:
+            if any(payload.startswith(m) for m in _METHODS):
+                return ProbeResult.MATCH
+            if any(m.startswith(payload[:len(m)]) for m in _METHODS):
+                return ProbeResult.UNSURE
+            return ProbeResult.NO_MATCH
+        if payload.startswith(b"HTTP/"):
+            return ProbeResult.MATCH
+        if b"HTTP/".startswith(payload[:5]):
+            return ProbeResult.UNSURE
+        return ProbeResult.NO_MATCH
+
+    def parse(self, segment: StreamSegment) -> ParseResult:
+        try:
+            if segment.from_orig:
+                heads = self._requests.feed(segment.payload)
+                for head in heads:
+                    self._start_transaction(head, segment.timestamp)
+            else:
+                heads = self._responses.feed(segment.payload)
+                completed = False
+                for head in heads:
+                    completed |= self._finish_transaction(
+                        head, segment.timestamp)
+                if completed:
+                    return ParseResult.DONE
+        except ValueError:
+            return ParseResult.ERROR
+        return ParseResult.CONTINUE
+
+    def _start_transaction(self, head: bytes, ts: float) -> None:
+        txn = HttpTransactionData(request_ts=ts)
+        match = _REQUEST_RE.match(head)
+        if match:
+            txn.method_value = match.group(1).decode("latin-1")
+            txn.uri_value = match.group(2).decode("latin-1")
+            txn.version_value = match.group(3).decode("latin-1")
+        txn.request_headers = _parse_headers(head)
+        self._pending.append(txn)
+
+    def _finish_transaction(self, head: bytes, ts: float) -> bool:
+        txn = self._pending.pop(0) if self._pending \
+            else HttpTransactionData()
+        match = _STATUS_RE.match(head)
+        if match:
+            if txn.version_value is None:
+                txn.version_value = match.group(1).decode("latin-1")
+            txn.status_code_value = int(match.group(2))
+        txn.response_headers = _parse_headers(head)
+        txn.response_ts = ts
+        self._finish_session(txn, ts)
+        return True
+
+    def session_match_state(self) -> str:
+        """Keep parsing: a connection can carry many transactions."""
+        return "parse"
+
+    def session_nomatch_state(self) -> str:
+        """One non-matching transaction does not condemn the
+        connection — later transactions may match (unlike TLS)."""
+        return "parse"

@@ -1,0 +1,29 @@
+"""QUIC protocol module (header-level parsing).
+
+Retina gained a QUIC module after the paper's publication; this
+reproduction includes the equivalent: RFC 8999/9000 invariant parsing
+of long- and short-header packets (version, connection IDs, token
+presence) from UDP flows. Initial-packet *payload* decryption (which
+would expose the TLS ClientHello) requires the QUIC Initial secrets
+(HKDF + AES-128-GCM) and is out of scope — exactly the fields the
+invariant header exposes are filterable.
+"""
+
+from repro.protocols.quic.parser import QuicParser, QuicHandshakeData
+from repro.protocols.quic.build import (
+    build_quic_initial,
+    build_quic_short,
+    build_quic_version_negotiation,
+    decode_varint,
+    encode_varint,
+)
+
+__all__ = [
+    "QuicParser",
+    "QuicHandshakeData",
+    "build_quic_initial",
+    "build_quic_short",
+    "build_quic_version_negotiation",
+    "encode_varint",
+    "decode_varint",
+]

@@ -1,0 +1,90 @@
+"""QUIC wire-format synthesis (RFC 9000 framing, opaque payloads)."""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+QUIC_V1 = 0x00000001
+QUIC_V2 = 0x6B3343CF
+QUIC_DRAFT29 = 0xFF00001D
+
+#: Long-header packet types for v1 (bits 4-5 of the first byte).
+TYPE_INITIAL = 0
+TYPE_0RTT = 1
+TYPE_HANDSHAKE = 2
+TYPE_RETRY = 3
+
+
+def encode_varint(value: int) -> bytes:
+    """RFC 9000 §16 variable-length integer encoding."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    if value < 1 << 6:
+        return bytes([value])
+    if value < 1 << 14:
+        return struct.pack("!H", value | 0x4000)
+    if value < 1 << 30:
+        return struct.pack("!I", value | 0x80000000)
+    if value < 1 << 62:
+        return struct.pack("!Q", value | 0xC000000000000000)
+    raise ValueError("varint out of range")
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint; returns (value, end offset)."""
+    if offset >= len(data):
+        raise ValueError("truncated varint")
+    prefix = data[offset] >> 6
+    length = 1 << prefix
+    if offset + length > len(data):
+        raise ValueError("truncated varint body")
+    value = data[offset] & 0x3F
+    for i in range(1, length):
+        value = (value << 8) | data[offset + i]
+    return value, offset + length
+
+
+def build_quic_initial(
+    dcid: bytes,
+    scid: bytes,
+    version: int = QUIC_V1,
+    token: bytes = b"",
+    payload_len: int = 1200,
+) -> bytes:
+    """An Initial long-header packet with an opaque (padded) payload.
+
+    Real Initials are >= 1200 bytes (anti-amplification); the payload
+    here is encryption-shaped padding.
+    """
+    if len(dcid) > 20 or len(scid) > 20:
+        raise ValueError("connection IDs are at most 20 bytes")
+    first = 0xC0 | (TYPE_INITIAL << 4) | 0x03  # 4-byte packet number
+    packet_number = b"\x00\x00\x00\x01"
+    body_len = len(packet_number) + payload_len
+    header = (
+        bytes([first])
+        + struct.pack("!I", version)
+        + bytes([len(dcid)]) + dcid
+        + bytes([len(scid)]) + scid
+        + encode_varint(len(token)) + token
+        + encode_varint(body_len)
+    )
+    return header + packet_number + bytes(payload_len)
+
+
+def build_quic_short(dcid: bytes, payload_len: int = 1000) -> bytes:
+    """A 1-RTT short-header packet (opaque payload)."""
+    first = 0x40 | 0x03
+    return bytes([first]) + dcid + b"\x00\x00\x00\x02" + bytes(payload_len)
+
+
+def build_quic_version_negotiation(dcid: bytes, scid: bytes,
+                                   versions=(QUIC_V1, QUIC_V2)) -> bytes:
+    """A Version Negotiation packet (version field zero)."""
+    header = (
+        b"\xc0" + struct.pack("!I", 0)
+        + bytes([len(dcid)]) + dcid
+        + bytes([len(scid)]) + scid
+    )
+    return header + b"".join(struct.pack("!I", v) for v in versions)

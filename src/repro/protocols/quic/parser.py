@@ -1,0 +1,157 @@
+"""QUIC invariant-header parser (ConnParsable implementation)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.protocols.base import ConnParser, ParseResult, ProbeResult
+from repro.protocols.quic.build import (
+    QUIC_DRAFT29,
+    QUIC_V1,
+    QUIC_V2,
+    decode_varint,
+)
+from repro.stream.pdu import StreamSegment
+
+_VERSION_NAMES = {
+    0: "VersionNegotiation",
+    QUIC_V1: "QUICv1",
+    QUIC_V2: "QUICv2",
+    QUIC_DRAFT29: "draft-29",
+}
+_KNOWN_VERSIONS = frozenset(_VERSION_NAMES) | frozenset(
+    0xFF000000 | d for d in range(17, 35)  # drafts 17-34
+)
+
+
+@dataclass
+class QuicHandshakeData:
+    """Invariant-header fields of a QUIC connection's first packets."""
+
+    version_id: Optional[int] = None
+    client_dcid: Optional[bytes] = None
+    client_scid: Optional[bytes] = None
+    server_scid: Optional[bytes] = None
+    client_token_len: int = 0
+    version_negotiated: bool = False
+    long_header_packets: int = 0
+
+    # -- filter accessors ---------------------------------------------------
+    def version(self) -> Optional[str]:
+        if self.version_id is None:
+            return None
+        return _VERSION_NAMES.get(self.version_id,
+                                  f"0x{self.version_id:08x}")
+
+    def dcid(self) -> Optional[str]:
+        if self.client_dcid is None:
+            return None
+        return self.client_dcid.hex()
+
+    @property
+    def complete(self) -> bool:
+        return (self.client_dcid is not None
+                and self.server_scid is not None)
+
+
+@dataclass
+class _LongHeader:
+    version: int
+    dcid: bytes
+    scid: bytes
+    token: bytes = b""
+
+
+def parse_long_header(datagram: bytes) -> Optional[_LongHeader]:
+    """Parse a long-header packet's invariant fields; None if not one
+    (or malformed)."""
+    if len(datagram) < 7 or not datagram[0] & 0x80:
+        return None
+    try:
+        version = struct.unpack_from("!I", datagram, 1)[0]
+        offset = 5
+        dcid_len = datagram[offset]
+        offset += 1
+        if dcid_len > 20 or offset + dcid_len > len(datagram):
+            return None
+        dcid = datagram[offset:offset + dcid_len]
+        offset += dcid_len
+        scid_len = datagram[offset]
+        offset += 1
+        if scid_len > 20 or offset + scid_len > len(datagram):
+            return None
+        scid = datagram[offset:offset + scid_len]
+        offset += scid_len
+        token = b""
+        if version != 0 and (datagram[0] >> 4) & 0x03 == 0:  # Initial
+            token_len, offset = decode_varint(datagram, offset)
+            token = datagram[offset:offset + token_len]
+        return _LongHeader(version, dcid, scid, token)
+    except (IndexError, ValueError, struct.error):
+        return None
+
+
+class QuicParser(ConnParser):
+    """Stateful QUIC parser over UDP datagrams."""
+
+    protocol = "quic"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data = QuicHandshakeData()
+        self._done = False
+
+    def probe(self, segment: StreamSegment) -> ProbeResult:
+        datagram = segment.payload
+        if not datagram:
+            return ProbeResult.UNSURE
+        if not datagram[0] & 0x80:
+            # Short header: only recognizable with connection context.
+            return ProbeResult.NO_MATCH
+        header = parse_long_header(datagram)
+        if header is None:
+            return ProbeResult.NO_MATCH
+        if header.version == 0 or header.version in _KNOWN_VERSIONS:
+            return ProbeResult.MATCH
+        return ProbeResult.NO_MATCH
+
+    def parse(self, segment: StreamSegment) -> ParseResult:
+        if self._done:
+            return ParseResult.DONE
+        header = parse_long_header(segment.payload)
+        if header is None:
+            # Short-header or padding datagrams carry nothing we need.
+            return ParseResult.CONTINUE
+        data = self._data
+        data.long_header_packets += 1
+        if header.version == 0:
+            data.version_negotiated = True
+            if not segment.from_orig:
+                data.server_scid = header.scid
+        elif segment.from_orig:
+            data.version_id = header.version
+            if data.client_dcid is None:
+                data.client_dcid = header.dcid
+                data.client_scid = header.scid
+                data.client_token_len = len(header.token)
+        else:
+            data.version_id = data.version_id or header.version
+            data.server_scid = header.scid
+        if data.complete:
+            self._done = True
+            self._finish_session(data, segment.timestamp)
+            return ParseResult.DONE
+        return ParseResult.CONTINUE
+
+    def session_match_state(self) -> str:
+        """Everything after the handshake is encrypted 1-RTT traffic."""
+        return "track"
+
+    def session_nomatch_state(self) -> str:
+        return "delete"
+
+    @property
+    def handshake_data(self) -> QuicHandshakeData:
+        return self._data

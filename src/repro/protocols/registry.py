@@ -1,0 +1,61 @@
+"""Parser registry: protocol name → parser factory.
+
+The runtime populates each connection's probe set from this registry,
+restricted to the protocols the subscription actually needs (the
+"Parser Registry" box in Figure 2): a TLS-handshake subscription only
+ever probes with the TLS parser, so no cycles are spent recognizing
+protocols the filter would discard anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.errors import SubscriptionError
+from repro.protocols.base import ConnParser
+
+
+class ParserRegistry:
+    """Maps protocol names to ConnParser factories."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], ConnParser]] = {}
+
+    def register(self, name: str,
+                 factory: Callable[[], ConnParser]) -> None:
+        self._factories[name] = factory
+
+    def create(self, name: str) -> ConnParser:
+        try:
+            return self._factories[name]()
+        except KeyError:
+            raise SubscriptionError(
+                f"no parser registered for protocol '{name}'"
+            ) from None
+
+    def create_set(self, names: Iterable[str]) -> List[ConnParser]:
+        """Fresh parser instances for a new connection's probe set."""
+        return [self.create(name) for name in sorted(set(names))]
+
+    def protocols(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+def default_parser_registry() -> ParserRegistry:
+    """Registry with the built-in protocol modules."""
+    from repro.protocols.dns.parser import DnsParser
+    from repro.protocols.http.parser import HttpParser
+    from repro.protocols.quic.parser import QuicParser
+    from repro.protocols.ssh.parser import SshParser
+    from repro.protocols.tls.parser import TlsParser
+
+    registry = ParserRegistry()
+    registry.register("tls", TlsParser)
+    registry.register("http", HttpParser)
+    registry.register("ssh", SshParser)
+    registry.register("dns", DnsParser)
+    registry.register("quic", QuicParser)
+    return registry

@@ -1,0 +1,5 @@
+"""SSH protocol module."""
+
+from repro.protocols.ssh.parser import SshParser, SshHandshakeData
+
+__all__ = ["SshParser", "SshHandshakeData"]

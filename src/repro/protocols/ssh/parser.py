@@ -1,0 +1,117 @@
+"""SSH identification-exchange parser (RFC 4253 §4.2).
+
+Both peers open with ``SSH-protoversion-softwareversion [comments]\\r\\n``.
+The session completes once both banners are seen; the key exchange that
+follows is opaque to the subscription, so — like TLS — the connection
+can stop being parsed mid-stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.protocols.base import ConnParser, ParseResult, ProbeResult
+from repro.stream.pdu import StreamSegment
+
+_MAX_BANNER = 255  # RFC 4253 limit
+
+
+@dataclass
+class SshHandshakeData:
+    """Both peers' identification strings."""
+
+    client_banner: Optional[str] = None
+    server_banner: Optional[str] = None
+
+    # -- filter accessors ---------------------------------------------------
+    def client_version(self) -> Optional[str]:
+        """Protocol version offered by the client (e.g. ``"2.0"``)."""
+        return _version_of(self.client_banner)
+
+    def server_version(self) -> Optional[str]:
+        return _version_of(self.server_banner)
+
+    def client_software(self) -> Optional[str]:
+        """Client software string (e.g. ``"OpenSSH_8.9p1"``)."""
+        return _software_of(self.client_banner)
+
+    def server_software(self) -> Optional[str]:
+        return _software_of(self.server_banner)
+
+    @property
+    def complete(self) -> bool:
+        return self.client_banner is not None and \
+            self.server_banner is not None
+
+
+def _version_of(banner: Optional[str]) -> Optional[str]:
+    if banner is None:
+        return None
+    parts = banner.split("-", 2)
+    return parts[1] if len(parts) >= 2 else None
+
+
+def _software_of(banner: Optional[str]) -> Optional[str]:
+    if banner is None:
+        return None
+    parts = banner.split("-", 2)
+    if len(parts) < 3:
+        return None
+    return parts[2].split(" ", 1)[0]
+
+
+class SshParser(ConnParser):
+    """Stateful SSH banner parser for one connection."""
+
+    protocol = "ssh"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._client_buf = bytearray()
+        self._server_buf = bytearray()
+        self._data = SshHandshakeData()
+        self._done = False
+
+    def probe(self, segment: StreamSegment) -> ProbeResult:
+        payload = segment.payload
+        prefix = b"SSH-"
+        if payload.startswith(prefix):
+            return ProbeResult.MATCH
+        if prefix.startswith(payload[:len(prefix)]):
+            return ProbeResult.UNSURE
+        return ProbeResult.NO_MATCH
+
+    def parse(self, segment: StreamSegment) -> ParseResult:
+        if self._done:
+            return ParseResult.DONE
+        buffer = self._client_buf if segment.from_orig else self._server_buf
+        if (segment.from_orig and self._data.client_banner is None) or \
+                (not segment.from_orig and self._data.server_banner is None):
+            buffer.extend(segment.payload)
+            if len(buffer) > _MAX_BANNER + 2:
+                del buffer[_MAX_BANNER + 2:]
+            end = buffer.find(b"\n")
+            if end < 0:
+                if len(buffer) > _MAX_BANNER:
+                    return ParseResult.ERROR
+                return ParseResult.CONTINUE
+            banner = bytes(buffer[:end]).rstrip(b"\r").decode(
+                "utf-8", errors="replace")
+            if not banner.startswith("SSH-"):
+                return ParseResult.ERROR
+            if segment.from_orig:
+                self._data.client_banner = banner
+            else:
+                self._data.server_banner = banner
+        if self._data.complete:
+            self._done = True
+            self._finish_session(self._data, segment.timestamp)
+            return ParseResult.DONE
+        return ParseResult.CONTINUE
+
+    def session_match_state(self) -> str:
+        return "track"
+
+    def session_nomatch_state(self) -> str:
+        return "delete"

@@ -1,0 +1,20 @@
+"""TLS protocol module: record/handshake parsing and synthesis."""
+
+from repro.protocols.tls.data import TlsHandshakeData
+from repro.protocols.tls.parser import TlsParser
+from repro.protocols.tls.build import (
+    build_client_hello,
+    build_server_hello,
+    build_application_data,
+)
+from repro.protocols.tls.ciphers import cipher_name, CIPHER_SUITES
+
+__all__ = [
+    "TlsHandshakeData",
+    "TlsParser",
+    "build_client_hello",
+    "build_server_hello",
+    "build_application_data",
+    "cipher_name",
+    "CIPHER_SUITES",
+]

@@ -1,0 +1,158 @@
+"""TLS wire-format synthesis.
+
+The traffic generators build byte-accurate TLS records with these
+helpers so the parser is exercised against real handshake encodings
+(including extension framing for SNI, ALPN, and supported_versions).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence
+
+RECORD_HANDSHAKE = 22
+RECORD_APPLICATION_DATA = 23
+RECORD_CHANGE_CIPHER_SPEC = 20
+RECORD_ALERT = 21
+
+HS_CLIENT_HELLO = 1
+HS_SERVER_HELLO = 2
+HS_CERTIFICATE = 11
+HS_SERVER_HELLO_DONE = 14
+HS_FINISHED = 20
+
+EXT_SERVER_NAME = 0x0000
+EXT_SUPPORTED_GROUPS = 0x000A
+EXT_EC_POINT_FORMATS = 0x000B
+EXT_ALPN = 0x0010
+EXT_SUPPORTED_VERSIONS = 0x002B
+
+
+def _record(record_type: int, payload: bytes, version: int = 0x0303) -> bytes:
+    return struct.pack("!BHH", record_type, version, len(payload)) + payload
+
+
+def _handshake_msg(msg_type: int, body: bytes) -> bytes:
+    return struct.pack("!B", msg_type) + len(body).to_bytes(3, "big") + body
+
+
+def _extension(ext_type: int, body: bytes) -> bytes:
+    return struct.pack("!HH", ext_type, len(body)) + body
+
+
+def _sni_extension(hostname: str) -> bytes:
+    name = hostname.encode("ascii")
+    entry = struct.pack("!BH", 0, len(name)) + name
+    server_name_list = struct.pack("!H", len(entry)) + entry
+    return _extension(EXT_SERVER_NAME, server_name_list)
+
+
+def _alpn_extension(protocols: Sequence[str]) -> bytes:
+    entries = b"".join(
+        struct.pack("!B", len(p)) + p.encode("ascii") for p in protocols
+    )
+    return _extension(EXT_ALPN, struct.pack("!H", len(entries)) + entries)
+
+
+def _supported_groups_extension(groups: Sequence[int]) -> bytes:
+    body = struct.pack("!H", 2 * len(groups)) + b"".join(
+        struct.pack("!H", g) for g in groups)
+    return _extension(EXT_SUPPORTED_GROUPS, body)
+
+
+def _ec_point_formats_extension(formats: Sequence[int]) -> bytes:
+    return _extension(EXT_EC_POINT_FORMATS,
+                      bytes([len(formats)]) + bytes(formats))
+
+
+def _supported_versions_client(versions: Sequence[int]) -> bytes:
+    body = struct.pack("!B", 2 * len(versions)) + b"".join(
+        struct.pack("!H", v) for v in versions
+    )
+    return _extension(EXT_SUPPORTED_VERSIONS, body)
+
+
+def _supported_versions_server(version: int) -> bytes:
+    return _extension(EXT_SUPPORTED_VERSIONS, struct.pack("!H", version))
+
+
+def build_client_hello(
+    sni: Optional[str],
+    client_random: bytes,
+    cipher_suites: Sequence[int] = (0x1301, 0x1302, 0xC02F),
+    client_version: int = 0x0303,
+    supported_versions: Optional[Sequence[int]] = None,
+    alpn: Optional[Sequence[str]] = None,
+    supported_groups: Sequence[int] = (0x001D, 0x0017, 0x0018),
+    ec_point_formats: Sequence[int] = (0,),
+    session_id: bytes = b"",
+    record_version: int = 0x0301,
+) -> bytes:
+    """Build a complete ClientHello record."""
+    if len(client_random) != 32:
+        raise ValueError("client_random must be exactly 32 bytes")
+    extensions: List[bytes] = []
+    if sni is not None:
+        extensions.append(_sni_extension(sni))
+    if supported_groups:
+        extensions.append(_supported_groups_extension(supported_groups))
+    if ec_point_formats:
+        extensions.append(_ec_point_formats_extension(ec_point_formats))
+    if supported_versions:
+        extensions.append(_supported_versions_client(supported_versions))
+    if alpn:
+        extensions.append(_alpn_extension(alpn))
+    ext_blob = b"".join(extensions)
+    body = (
+        struct.pack("!H", client_version)
+        + client_random
+        + struct.pack("!B", len(session_id)) + session_id
+        + struct.pack("!H", 2 * len(cipher_suites))
+        + b"".join(struct.pack("!H", c) for c in cipher_suites)
+        + b"\x01\x00"  # one compression method: null
+        + struct.pack("!H", len(ext_blob)) + ext_blob
+    )
+    return _record(RECORD_HANDSHAKE, _handshake_msg(HS_CLIENT_HELLO, body),
+                   record_version)
+
+
+def build_server_hello(
+    server_random: bytes,
+    cipher_suite: int = 0x1301,
+    server_version: int = 0x0303,
+    selected_version: Optional[int] = None,
+    session_id: bytes = b"",
+) -> bytes:
+    """Build a ServerHello record; pass ``selected_version=0x0304`` to
+    negotiate TLS 1.3 via the supported_versions extension."""
+    if len(server_random) != 32:
+        raise ValueError("server_random must be exactly 32 bytes")
+    extensions: List[bytes] = []
+    if selected_version is not None:
+        extensions.append(_supported_versions_server(selected_version))
+    ext_blob = b"".join(extensions)
+    body = (
+        struct.pack("!H", server_version)
+        + server_random
+        + struct.pack("!B", len(session_id)) + session_id
+        + struct.pack("!H", cipher_suite)
+        + b"\x00"  # null compression
+        + struct.pack("!H", len(ext_blob)) + ext_blob
+    )
+    return _record(RECORD_HANDSHAKE, _handshake_msg(HS_SERVER_HELLO, body))
+
+
+def build_certificate(cert_bytes: bytes = b"\x30\x82" + b"\x00" * 62) -> bytes:
+    """An opaque Certificate handshake record (content not parsed)."""
+    entry = len(cert_bytes).to_bytes(3, "big") + cert_bytes
+    body = len(entry).to_bytes(3, "big") + entry
+    return _record(RECORD_HANDSHAKE, _handshake_msg(HS_CERTIFICATE, body))
+
+
+def build_server_hello_done() -> bytes:
+    return _record(RECORD_HANDSHAKE, _handshake_msg(HS_SERVER_HELLO_DONE, b""))
+
+
+def build_application_data(payload: bytes) -> bytes:
+    """An encrypted application-data record (opaque payload)."""
+    return _record(RECORD_APPLICATION_DATA, payload)

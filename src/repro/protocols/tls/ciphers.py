@@ -1,0 +1,45 @@
+"""TLS cipher-suite and version name tables."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Common IANA cipher-suite ids → names (the suites that dominate
+#: real-world traffic plus a tail of legacy suites).
+CIPHER_SUITES: Dict[int, str] = {
+    0x1301: "TLS_AES_128_GCM_SHA256",
+    0x1302: "TLS_AES_256_GCM_SHA384",
+    0x1303: "TLS_CHACHA20_POLY1305_SHA256",
+    0xC02B: "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+    0xC02C: "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384",
+    0xC02F: "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    0xC030: "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384",
+    0xCCA8: "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+    0xCCA9: "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256",
+    0x009C: "TLS_RSA_WITH_AES_128_GCM_SHA256",
+    0x009D: "TLS_RSA_WITH_AES_256_GCM_SHA384",
+    0x002F: "TLS_RSA_WITH_AES_128_CBC_SHA",
+    0x0035: "TLS_RSA_WITH_AES_256_CBC_SHA",
+    0x000A: "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+    0xC013: "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+    0xC014: "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA",
+    0x003C: "TLS_RSA_WITH_AES_128_CBC_SHA256",
+    0x0005: "TLS_RSA_WITH_RC4_128_SHA",
+}
+
+VERSION_NAMES: Dict[int, str] = {
+    0x0300: "SSL 3.0",
+    0x0301: "TLS 1.0",
+    0x0302: "TLS 1.1",
+    0x0303: "TLS 1.2",
+    0x0304: "TLS 1.3",
+}
+
+
+def cipher_name(suite_id: int) -> str:
+    """Name for a cipher-suite id; unknown ids render as hex."""
+    return CIPHER_SUITES.get(suite_id, f"UNKNOWN_0x{suite_id:04x}")
+
+
+def version_name(version_id: int) -> str:
+    return VERSION_NAMES.get(version_id, f"UNKNOWN_0x{version_id:04x}")

@@ -1,0 +1,114 @@
+"""Parsed TLS handshake transcript: the ``TlsHandshake`` subscribable."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.protocols.tls.ciphers import cipher_name, version_name
+
+
+def is_grease(value: int) -> bool:
+    """GREASE values (RFC 8701): 0x0a0a, 0x1a1a, ... 0xfafa."""
+    return (value & 0x0F0F) == 0x0A0A and \
+        (value >> 12) == ((value >> 4) & 0x0F)
+
+
+@dataclass
+class TlsHandshakeData:
+    """Fields extracted from a TLS handshake.
+
+    Accessor *methods* (``sni()``, ``cipher()``, ...) are what the
+    session filter's generated code calls — their names match the field
+    registry's accessor lists.
+    """
+
+    client_random: Optional[bytes] = None
+    server_random: Optional[bytes] = None
+    session_id: Optional[bytes] = None
+    sni_value: Optional[str] = None
+    client_version_id: Optional[int] = None
+    server_version_id: Optional[int] = None
+    negotiated_version_id: Optional[int] = None
+    offered_ciphers: List[int] = field(default_factory=list)
+    chosen_cipher: Optional[int] = None
+    alpn_protocols: List[str] = field(default_factory=list)
+    #: ClientHello extension types, in offer order.
+    client_extensions: List[int] = field(default_factory=list)
+    #: supported_groups (elliptic curves) from the ClientHello.
+    supported_groups: List[int] = field(default_factory=list)
+    #: ec_point_formats from the ClientHello.
+    ec_point_formats: List[int] = field(default_factory=list)
+    #: (handshake-message-type, length) in arrival order.
+    transcript: List[Tuple[int, int]] = field(default_factory=list)
+    #: DER lengths of the server's certificate chain entries (empty for
+    #: TLS 1.3, where Certificate is encrypted).
+    certificate_lengths: List[int] = field(default_factory=list)
+    client_hello_ts: float = 0.0
+    server_hello_ts: float = 0.0
+
+    # -- filter accessors ---------------------------------------------------
+    def sni(self) -> Optional[str]:
+        """Server Name Indication from the ClientHello, if present."""
+        return self.sni_value
+
+    def cipher(self) -> Optional[str]:
+        """Name of the server-chosen cipher suite."""
+        if self.chosen_cipher is None:
+            return None
+        return cipher_name(self.chosen_cipher)
+
+    def version(self) -> Optional[str]:
+        """Negotiated protocol version name (e.g. ``"TLS 1.3"``)."""
+        if self.negotiated_version_id is None:
+            return None
+        return version_name(self.negotiated_version_id)
+
+    def client_version(self) -> Optional[str]:
+        """Version offered in the ClientHello record."""
+        if self.client_version_id is None:
+            return None
+        return version_name(self.client_version_id)
+
+    def cert_count(self) -> int:
+        """Number of certificates in the server's (plaintext) chain."""
+        return len(self.certificate_lengths)
+
+    # -- client fingerprinting -------------------------------------------------
+    def ja3_string(self) -> Optional[str]:
+        """The JA3 client-fingerprint input string:
+        ``version,ciphers,extensions,groups,point_formats`` with GREASE
+        values removed — the de-facto standard for TLS client
+        identification in passive measurement."""
+        if self.client_version_id is None:
+            return None
+        def clean(values):
+            return "-".join(str(v) for v in values if not is_grease(v))
+        return ",".join([
+            str(self.client_version_id),
+            clean(self.offered_ciphers),
+            clean(self.client_extensions),
+            clean(self.supported_groups),
+            "-".join(str(v) for v in self.ec_point_formats),
+        ])
+
+    def ja3(self) -> Optional[str]:
+        """MD5 digest of :meth:`ja3_string` (the canonical JA3 form)."""
+        raw = self.ja3_string()
+        if raw is None:
+            return None
+        return hashlib.md5(raw.encode("ascii")).hexdigest()
+
+    # -- convenience ----------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """Both hellos seen — the data the paper's subscriptions need."""
+        return (self.client_random is not None
+                and self.server_random is not None)
+
+    def __repr__(self) -> str:
+        return (
+            f"TlsHandshakeData(sni={self.sni_value!r}, "
+            f"version={self.version()!r}, cipher={self.cipher()!r})"
+        )

@@ -1,0 +1,317 @@
+"""TLS record and handshake parser (ConnParsable implementation).
+
+Parses the TLS record layer from both directions of a reassembled
+stream, accumulates handshake messages (which may span records), and
+extracts the handshake transcript fields Retina's TLS subscription
+exposes: client/server randoms, SNI, offered and chosen cipher suites,
+and the negotiated version (including TLS 1.3's supported_versions
+indirection).
+
+The parser reports ``DONE`` once both hellos have been seen — the point
+at which Figure 4b lets Retina stop processing the connection
+mid-stream, since everything after is opaque ciphertext.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.protocols.base import ConnParser, ParseResult, ProbeResult
+from repro.protocols.tls.build import (
+    EXT_ALPN,
+    EXT_EC_POINT_FORMATS,
+    EXT_SERVER_NAME,
+    EXT_SUPPORTED_GROUPS,
+    EXT_SUPPORTED_VERSIONS,
+    HS_CERTIFICATE,
+    HS_CLIENT_HELLO,
+    HS_SERVER_HELLO,
+    HS_SERVER_HELLO_DONE,
+    RECORD_ALERT,
+    RECORD_APPLICATION_DATA,
+    RECORD_CHANGE_CIPHER_SPEC,
+    RECORD_HANDSHAKE,
+)
+from repro.protocols.tls.data import TlsHandshakeData
+from repro.stream.pdu import StreamSegment
+
+_RECORD_HEADER_LEN = 5
+_MAX_RECORD_LEN = (1 << 14) + 2048  # RFC ceiling with slack
+_VALID_RECORD_TYPES = frozenset({
+    RECORD_CHANGE_CIPHER_SPEC, RECORD_ALERT, RECORD_HANDSHAKE,
+    RECORD_APPLICATION_DATA,
+})
+_VALID_VERSIONS = frozenset({0x0300, 0x0301, 0x0302, 0x0303, 0x0304})
+
+
+class _DirectionBuffer:
+    """Record-layer accumulation for one stream direction."""
+
+    __slots__ = ("raw", "handshake")
+
+    def __init__(self) -> None:
+        self.raw = bytearray()
+        self.handshake = bytearray()
+
+
+class TlsParser(ConnParser):
+    """Stateful TLS parser for one connection."""
+
+    protocol = "tls"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._client = _DirectionBuffer()
+        self._server = _DirectionBuffer()
+        self._data = TlsHandshakeData()
+        self._done = False
+        self._error = False
+
+    # -- probing --------------------------------------------------------------
+    def probe(self, segment: StreamSegment) -> ProbeResult:
+        """A client-origin stream is TLS if it starts with a handshake
+        record of a plausible version and length."""
+        payload = segment.payload
+        if len(payload) < _RECORD_HEADER_LEN:
+            return ProbeResult.UNSURE
+        record_type, version, length = struct.unpack_from("!BHH", payload)
+        if (
+            record_type == RECORD_HANDSHAKE
+            and version in _VALID_VERSIONS
+            and 0 < length <= _MAX_RECORD_LEN
+            and len(payload) >= _RECORD_HEADER_LEN + 1
+            and payload[_RECORD_HEADER_LEN] == HS_CLIENT_HELLO
+        ):
+            return ProbeResult.MATCH
+        if record_type in _VALID_RECORD_TYPES and version in _VALID_VERSIONS:
+            # A valid record that is not a ClientHello start: plausibly
+            # TLS mid-connection; only direction context can tell.
+            return ProbeResult.MATCH if not segment.from_orig \
+                else ProbeResult.UNSURE
+        return ProbeResult.NO_MATCH
+
+    # -- parsing ---------------------------------------------------------------
+    def parse(self, segment: StreamSegment) -> ParseResult:
+        if self._error:
+            return ParseResult.ERROR
+        if self._done:
+            return ParseResult.DONE
+        buffer = self._client if segment.from_orig else self._server
+        buffer.raw.extend(segment.payload)
+        result = self._consume_records(buffer, segment)
+        if result is ParseResult.ERROR:
+            self._error = True
+        return result
+
+    def _consume_records(
+        self, buffer: _DirectionBuffer, segment: StreamSegment
+    ) -> ParseResult:
+        while len(buffer.raw) >= _RECORD_HEADER_LEN:
+            record_type, version, length = struct.unpack_from(
+                "!BHH", buffer.raw)
+            if record_type not in _VALID_RECORD_TYPES or \
+                    version not in _VALID_VERSIONS:
+                return ParseResult.ERROR
+            if len(buffer.raw) < _RECORD_HEADER_LEN + length:
+                break  # incomplete record
+            payload = bytes(
+                buffer.raw[_RECORD_HEADER_LEN:_RECORD_HEADER_LEN + length])
+            del buffer.raw[:_RECORD_HEADER_LEN + length]
+            if record_type == RECORD_HANDSHAKE:
+                buffer.handshake.extend(payload)
+                result = self._consume_handshake(buffer, segment)
+                if result is ParseResult.ERROR:
+                    return result
+            elif self._data.complete and not self._done:
+                # A CCS or application-data record after both hellos:
+                # the plaintext part of the handshake is over even if
+                # no ServerHelloDone was seen (e.g. abbreviated
+                # handshakes). Finish the session now.
+                self._finish(segment)
+        return ParseResult.DONE if self._done else ParseResult.CONTINUE
+
+    def _consume_handshake(
+        self, buffer: _DirectionBuffer, segment: StreamSegment
+    ) -> ParseResult:
+        """Drain complete handshake messages from the direction buffer.
+
+        The session finishes once both hellos are seen, but messages
+        already buffered from the same flight (Certificate,
+        ServerHelloDone) are drained first — they cost no extra packets
+        and carry the certificate-chain shape.
+        """
+        hs = buffer.handshake
+        while len(hs) >= 4:
+            msg_type = hs[0]
+            msg_len = int.from_bytes(hs[1:4], "big")
+            if len(hs) < 4 + msg_len:
+                break  # message spans records
+            body = bytes(hs[4:4 + msg_len])
+            del hs[:4 + msg_len]
+            self._data.transcript.append((msg_type, msg_len))
+            if msg_type == HS_CLIENT_HELLO:
+                if not self._parse_client_hello(body):
+                    return ParseResult.ERROR
+                self._data.client_hello_ts = segment.timestamp
+            elif msg_type == HS_SERVER_HELLO:
+                if not self._parse_server_hello(body):
+                    return ParseResult.ERROR
+                self._data.server_hello_ts = segment.timestamp
+            elif msg_type == HS_CERTIFICATE:
+                self._parse_certificate(body)
+        if self._plaintext_handshake_over() and not self._done:
+            self._finish(segment)
+            return ParseResult.DONE
+        return ParseResult.CONTINUE
+
+    def _plaintext_handshake_over(self) -> bool:
+        """True once nothing parseable can follow.
+
+        TLS 1.3 encrypts everything after the ServerHello, so both
+        hellos end the plaintext handshake. TLS 1.2's server flight
+        continues in the clear (Certificate, ServerHelloDone), so wait
+        for the ServerHelloDone — a CCS/application-data record is the
+        fallback cue (handled in the record loop).
+        """
+        data = self._data
+        if not data.complete:
+            return False
+        if data.negotiated_version_id == 0x0304:
+            return True
+        return any(msg_type == HS_SERVER_HELLO_DONE
+                   for msg_type, _ in data.transcript)
+
+    def _finish(self, segment: StreamSegment) -> None:
+        self._done = True
+        self._finish_session(self._data, segment.timestamp)
+
+    def _parse_certificate(self, body: bytes) -> None:
+        """Record the DER lengths of the server's certificate chain."""
+        try:
+            total = int.from_bytes(body[0:3], "big")
+            offset = 3
+            end = min(3 + total, len(body))
+            while offset + 3 <= end:
+                entry_len = int.from_bytes(body[offset:offset + 3], "big")
+                offset += 3 + entry_len
+                if offset > len(body):
+                    break
+                self._data.certificate_lengths.append(entry_len)
+        except (IndexError, ValueError):
+            pass
+
+    # -- hello bodies --------------------------------------------------------
+    def _parse_client_hello(self, body: bytes) -> bool:
+        try:
+            offset = 0
+            self._data.client_version_id = struct.unpack_from(
+                "!H", body, offset)[0]
+            offset += 2
+            self._data.client_random = body[offset:offset + 32]
+            offset += 32
+            sid_len = body[offset]
+            offset += 1
+            self._data.session_id = body[offset:offset + sid_len]
+            offset += sid_len
+            ciphers_len = struct.unpack_from("!H", body, offset)[0]
+            offset += 2
+            self._data.offered_ciphers = [
+                struct.unpack_from("!H", body, offset + i)[0]
+                for i in range(0, ciphers_len, 2)
+            ]
+            offset += ciphers_len
+            compression_len = body[offset]
+            offset += 1 + compression_len
+            if offset < len(body):
+                self._parse_extensions(body, offset, client=True)
+            return len(self._data.client_random) == 32
+        except (IndexError, struct.error):
+            return False
+
+    def _parse_server_hello(self, body: bytes) -> bool:
+        try:
+            offset = 0
+            self._data.server_version_id = struct.unpack_from(
+                "!H", body, offset)[0]
+            offset += 2
+            self._data.server_random = body[offset:offset + 32]
+            offset += 32
+            sid_len = body[offset]
+            offset += 1 + sid_len
+            self._data.chosen_cipher = struct.unpack_from(
+                "!H", body, offset)[0]
+            offset += 2
+            offset += 1  # compression method
+            if self._data.negotiated_version_id is None:
+                self._data.negotiated_version_id = \
+                    self._data.server_version_id
+            if offset < len(body):
+                self._parse_extensions(body, offset, client=False)
+            return len(self._data.server_random) == 32
+        except (IndexError, struct.error):
+            return False
+
+    def _parse_extensions(self, body: bytes, offset: int,
+                          client: bool) -> None:
+        ext_total = struct.unpack_from("!H", body, offset)[0]
+        offset += 2
+        end = min(offset + ext_total, len(body))
+        while offset + 4 <= end:
+            ext_type, ext_len = struct.unpack_from("!HH", body, offset)
+            offset += 4
+            ext_body = body[offset:offset + ext_len]
+            offset += ext_len
+            if client:
+                self._data.client_extensions.append(ext_type)
+            if ext_type == EXT_SUPPORTED_GROUPS and client and \
+                    len(ext_body) >= 2:
+                count = struct.unpack_from("!H", ext_body)[0] // 2
+                self._data.supported_groups = [
+                    struct.unpack_from("!H", ext_body, 2 + 2 * i)[0]
+                    for i in range(count)
+                    if 2 + 2 * i + 2 <= len(ext_body)
+                ]
+            elif ext_type == EXT_EC_POINT_FORMATS and client and \
+                    len(ext_body) >= 1:
+                count = ext_body[0]
+                self._data.ec_point_formats = list(
+                    ext_body[1:1 + count])
+            elif ext_type == EXT_SERVER_NAME and client and len(ext_body) >= 5:
+                name_len = struct.unpack_from("!H", ext_body, 3)[0]
+                name = ext_body[5:5 + name_len]
+                try:
+                    self._data.sni_value = name.decode("ascii")
+                except UnicodeDecodeError:
+                    self._data.sni_value = name.decode("latin-1")
+            elif ext_type == EXT_SUPPORTED_VERSIONS and not client \
+                    and len(ext_body) >= 2:
+                self._data.negotiated_version_id = struct.unpack_from(
+                    "!H", ext_body)[0]
+            elif ext_type == EXT_ALPN and client and len(ext_body) >= 2:
+                self._parse_alpn(ext_body)
+
+    def _parse_alpn(self, ext_body: bytes) -> None:
+        offset = 2
+        while offset < len(ext_body):
+            length = ext_body[offset]
+            offset += 1
+            proto = ext_body[offset:offset + length]
+            offset += length
+            try:
+                self._data.alpn_protocols.append(proto.decode("ascii"))
+            except UnicodeDecodeError:
+                pass
+
+    # -- state-machine hints ---------------------------------------------------
+    def session_match_state(self) -> str:
+        """Past the handshake everything is ciphertext: no more parsing
+        (Figure 4b transitions out of PARSE after the session)."""
+        return "track"
+
+    def session_nomatch_state(self) -> str:
+        return "delete"
+
+    @property
+    def handshake_data(self) -> TlsHandshakeData:
+        return self._data

@@ -1,0 +1,29 @@
+"""Stream reassembly (Section 5.2, "Light-Weight Stream Reassembly").
+
+Two implementations with one interface:
+
+* :class:`~repro.stream.reassembly.LazyReassembler` — Retina's design:
+  packets are only *reordered*, never copied into stream buffers.
+  In-sequence segments pass straight through; out-of-order segments are
+  held by reference in a bounded ring (default 500 packets) and flushed
+  when the hole fills.
+* :class:`~repro.stream.buffered.BufferedReassembler` — the traditional
+  copy-into-receive-buffer design used as the ablation baseline.
+"""
+
+from repro.stream.pdu import L4Pdu, StreamSegment
+from repro.stream.reassembly import (
+    DEFAULT_OOO_CAPACITY,
+    FlowDirectionState,
+    LazyReassembler,
+)
+from repro.stream.buffered import BufferedReassembler
+
+__all__ = [
+    "L4Pdu",
+    "StreamSegment",
+    "LazyReassembler",
+    "BufferedReassembler",
+    "FlowDirectionState",
+    "DEFAULT_OOO_CAPACITY",
+]

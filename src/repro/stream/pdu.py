@@ -1,0 +1,80 @@
+"""L4 protocol data units and in-order stream segments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.conntrack.five_tuple import FiveTuple
+from repro.packet.mbuf import Mbuf
+from repro.packet.stack import PacketStack
+from repro.packet.tcp import TcpFlags
+
+
+@dataclass
+class L4Pdu:
+    """One transport segment as handed to the reassembler.
+
+    ``payload`` references the mbuf's bytes (no copy); ``from_orig``
+    orients the segment relative to the connection originator.
+    """
+
+    mbuf: Mbuf
+    payload: bytes
+    seq: int
+    flags: int
+    from_orig: bool
+    timestamp: float
+
+    @classmethod
+    def from_stack(
+        cls, stack: PacketStack, five_tuple: FiveTuple, conn_tuple: FiveTuple
+    ) -> "L4Pdu":
+        """Build a PDU from a parsed packet.
+
+        UDP datagrams get a synthetic always-in-order sequence of 0 and
+        no flags — they bypass reordering by construction.
+        """
+        payload = stack.l4_payload()
+        if stack.tcp is not None:
+            seq = stack.tcp.seq_no()
+            flags = int(stack.tcp.flags())
+        else:
+            seq, flags = 0, 0
+        return cls(
+            mbuf=stack.mbuf,
+            payload=payload,
+            seq=seq,
+            flags=flags,
+            from_orig=conn_tuple.same_direction(five_tuple),
+            timestamp=stack.mbuf.timestamp,
+        )
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & TcpFlags.SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & TcpFlags.FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & TcpFlags.RST)
+
+    @property
+    def seq_span(self) -> int:
+        """Sequence numbers this segment consumes."""
+        return len(self.payload) + (1 if self.is_syn else 0) + \
+            (1 if self.is_fin else 0)
+
+
+@dataclass
+class StreamSegment:
+    """An in-order chunk of application bytes leaving the reassembler."""
+
+    payload: bytes
+    from_orig: bool
+    timestamp: float
+    #: True if this segment had arrived out of order and was held.
+    was_held: bool = False

@@ -1,0 +1,93 @@
+"""Reading and writing classic libpcap capture files.
+
+Appendix B benchmarks Retina's offline mode against Stratosphere pcap
+traces; this module implements the real libpcap file format (magic
+0xa1b2c3d4, version 2.4, LINKTYPE_ETHERNET) so synthesized traces
+round-trip through the same on-disk representation.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import RetinaError
+from repro.packet.mbuf import Mbuf
+
+_MAGIC = 0xA1B2C3D4
+_MAGIC_SWAPPED = 0xD4C3B2A1
+_MAGIC_NS = 0xA1B23C4D
+_VERSION = (2, 4)
+_LINKTYPE_ETHERNET = 1
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_PACKET_HEADER = struct.Struct("<IIII")
+
+
+class PcapFormatError(RetinaError):
+    """The file is not a readable classic pcap capture."""
+
+
+def write_pcap(path: Union[str, Path], mbufs: Iterable[Mbuf],
+               snaplen: int = 65535) -> int:
+    """Write frames to ``path``; returns the number written."""
+    count = 0
+    with open(path, "wb") as handle:
+        handle.write(_GLOBAL_HEADER.pack(
+            _MAGIC, _VERSION[0], _VERSION[1], 0, 0, snaplen,
+            _LINKTYPE_ETHERNET,
+        ))
+        for mbuf in mbufs:
+            seconds = int(mbuf.timestamp)
+            micros = int(round((mbuf.timestamp - seconds) * 1e6))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            data = mbuf.data[:snaplen]
+            handle.write(_PACKET_HEADER.pack(
+                seconds, micros, len(data), len(mbuf.data)))
+            handle.write(data)
+            count += 1
+    return count
+
+
+def read_pcap(path: Union[str, Path]) -> List[Mbuf]:
+    """Read all frames from a classic pcap file."""
+    return list(iter_pcap(path))
+
+
+def iter_pcap(path: Union[str, Path]) -> Iterator[Mbuf]:
+    """Stream frames from a classic pcap file."""
+    with open(path, "rb") as handle:
+        header = handle.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise PcapFormatError("truncated global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == _MAGIC:
+            endian = "<"
+            ts_divisor = 1e6
+        elif magic == _MAGIC_SWAPPED:
+            endian = ">"
+            ts_divisor = 1e6
+        elif magic == _MAGIC_NS:
+            endian = "<"
+            ts_divisor = 1e9
+        else:
+            raise PcapFormatError(f"bad magic 0x{magic:08x}")
+        fields = struct.unpack(endian + "IHHiIII", header)
+        linktype = fields[6]
+        if linktype != _LINKTYPE_ETHERNET:
+            raise PcapFormatError(
+                f"unsupported link type {linktype} (want Ethernet)")
+        packet_header = struct.Struct(endian + "IIII")
+        while True:
+            raw = handle.read(packet_header.size)
+            if not raw:
+                return
+            if len(raw) < packet_header.size:
+                raise PcapFormatError("truncated packet header")
+            seconds, sub, incl_len, _orig_len = packet_header.unpack(raw)
+            data = handle.read(incl_len)
+            if len(data) < incl_len:
+                raise PcapFormatError("truncated packet body")
+            yield Mbuf(data, timestamp=seconds + sub / ts_divisor)

@@ -1,0 +1,195 @@
+"""Tests for the Section 7 analysis applications."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Runtime, RuntimeConfig
+from repro.analysis import (
+    ClientRandomCounter,
+    IpCrypt,
+    PrefixPreservingEncryptor,
+    VideoSessionAggregator,
+    anonymize_packet,
+)
+from repro.packet import Mbuf, build_tcp_packet, checksum16, parse_stack
+from repro.traffic import FlowSpec, tls_flow
+
+KEY = bytes(range(16))
+
+
+class TestIpCrypt:
+    def test_roundtrip(self):
+        crypt = IpCrypt(KEY)
+        encrypted = crypt.encrypt("1.2.3.4")
+        assert crypt.decrypt(encrypted) == ipaddress.ip_address("1.2.3.4")
+
+    def test_format_preserving(self):
+        crypt = IpCrypt(KEY)
+        assert isinstance(crypt.encrypt("10.0.0.1"),
+                          ipaddress.IPv4Address)
+
+    def test_not_identity(self):
+        crypt = IpCrypt(KEY)
+        changed = sum(
+            1 for i in range(64)
+            if crypt.encrypt(f"10.0.0.{i}") != ipaddress.ip_address(
+                f"10.0.0.{i}")
+        )
+        assert changed >= 63
+
+    def test_key_sensitivity(self):
+        a = IpCrypt(KEY).encrypt("8.8.8.8")
+        b = IpCrypt(bytes(range(1, 17))).encrypt("8.8.8.8")
+        assert a != b
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            IpCrypt(b"short")
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.integers(0, 2 ** 32 - 1))
+    def test_property_bijection(self, value):
+        crypt = IpCrypt(KEY)
+        addr = ipaddress.IPv4Address(value)
+        assert crypt.decrypt(crypt.encrypt(addr)) == addr
+
+
+class TestPrefixPreserving:
+    def test_prefix_preserved(self):
+        enc = PrefixPreservingEncryptor(KEY)
+        a = int(enc.encrypt("192.168.1.10"))
+        b = int(enc.encrypt("192.168.1.77"))
+        c = int(enc.encrypt("192.168.2.10"))
+        assert a >> 8 == b >> 8          # same /24 stays same /24
+        assert a >> 8 != c >> 8          # different /24 diverges
+        assert (a >> 16) == (c >> 16)    # but the shared /16 is kept
+
+    def test_deterministic(self):
+        enc = PrefixPreservingEncryptor(KEY)
+        assert enc.encrypt("1.1.1.1") == enc.encrypt("1.1.1.1")
+
+    def test_key_required(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingEncryptor(b"tiny")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        value=st.integers(0, 2 ** 32 - 1),
+        other=st.integers(0, 2 ** 32 - 1),
+    )
+    def test_property_longest_common_prefix_preserved(self, value, other):
+        enc = PrefixPreservingEncryptor(KEY)
+        a_in, b_in = value, other
+        a_out = int(enc.encrypt(ipaddress.IPv4Address(a_in)))
+        b_out = int(enc.encrypt(ipaddress.IPv4Address(b_in)))
+        lcp_in = 32 - (a_in ^ b_in).bit_length()
+        lcp_out = 32 - (a_out ^ b_out).bit_length()
+        assert lcp_in == lcp_out
+
+
+class TestAnonymizePacket:
+    def test_addresses_replaced_checksum_valid(self):
+        enc = PrefixPreservingEncryptor(KEY)
+        original = Mbuf(build_tcp_packet("10.1.2.3", "171.64.9.9",
+                                         1234, 80, b"GET / HTTP/1.1\r\n"))
+        anon = anonymize_packet(original, enc)
+        stack = parse_stack(anon)
+        assert str(stack.ip.src_addr()) != "10.1.2.3"
+        header = anon.data[14:14 + stack.ip.header_len()]
+        assert checksum16(header) == 0
+        # Payload untouched.
+        assert stack.l4_payload() == b"GET / HTTP/1.1\r\n"
+
+    def test_same_subnet_same_anonymized_subnet(self):
+        enc = PrefixPreservingEncryptor(KEY)
+        a = anonymize_packet(
+            Mbuf(build_tcp_packet("10.1.2.3", "8.8.8.8", 1, 80)), enc)
+        b = anonymize_packet(
+            Mbuf(build_tcp_packet("10.1.2.99", "8.8.8.8", 2, 80)), enc)
+        sa = parse_stack(a).ip.src_addr()
+        sb = parse_stack(b).ip.src_addr()
+        assert sa.packed[:3] == sb.packed[:3]
+
+
+class TestClientRandomCounter:
+    def _run(self, flows):
+        counter = ClientRandomCounter()
+        rt = Runtime(RuntimeConfig(cores=2), filter_str="tls",
+                     datatype="tls_handshake", callback=counter)
+        packets = sorted((m for f in flows for m in f),
+                         key=lambda m: m.timestamp)
+        rt.run(iter(packets))
+        return counter
+
+    def test_counts_repeats(self):
+        stuck = bytes.fromhex("738b712a" + "00" * 24 + "dee0dbe1")
+        flows = [
+            tls_flow(FlowSpec(f"10.0.0.{i + 1}", "1.1.1.1", 1000 + i, 443),
+                     "a.com", client_random=stuck, start_ts=i * 0.01)
+            for i in range(5)
+        ]
+        flows.append(tls_flow(
+            FlowSpec("10.0.9.9", "1.1.1.1", 2000, 443), "b.com",
+            client_random=bytes(range(32)), start_ts=1.0))
+        counter = self._run(flows)
+        assert counter.handshakes == 6
+        assert counter.distinct == 2
+        assert counter.top(1)[0] == (stuck, 5)
+        assert counter.repeated == 4
+        assert counter.anomalies() == [(stuck, 5)]
+
+    def test_all_zero_detected(self):
+        flows = [tls_flow(FlowSpec("10.0.0.1", "1.1.1.1", 1000, 443),
+                          "z.com", client_random=bytes(32))]
+        counter = self._run(flows)
+        assert counter.all_zero_count == 1
+        assert "1 distinct" in counter.summary()
+
+
+class TestVideoAggregator:
+    def _record(self, client, first, last, up, down, ooo=0):
+        from repro.core.datatypes import ConnectionRecord
+        from repro.conntrack.five_tuple import FiveTuple
+        tup = FiveTuple(ipaddress.ip_address(client).packed,
+                        ipaddress.ip_address("45.57.0.1").packed,
+                        40000, 443, 6)
+        return ConnectionRecord(
+            five_tuple=tup, first_ts=first, last_ts=last,
+            bytes_orig=up, bytes_resp=down, ooo_resp=ooo,
+        )
+
+    def test_groups_parallel_flows(self):
+        agg = VideoSessionAggregator("netflix")
+        agg(self._record("10.0.0.1", 0.0, 10.0, 1000, 500000))
+        agg(self._record("10.0.0.1", 2.0, 12.0, 2000, 800000, ooo=4))
+        agg(self._record("10.0.0.2", 1.0, 5.0, 100, 90000))
+        sessions = agg.finish()
+        assert len(sessions) == 2
+        big = max(sessions, key=lambda s: s.flows)
+        assert big.flows == 2
+        assert big.bytes_down == 1_300_000
+        assert big.avg_ooo_down == 2.0
+        assert big.download_throughput_bps == pytest.approx(
+            1_300_000 * 8 / 12.0)
+
+    def test_idle_gap_splits_sessions(self):
+        agg = VideoSessionAggregator("netflix", idle_gap=30.0)
+        agg(self._record("10.0.0.1", 0.0, 10.0, 10, 100))
+        agg(self._record("10.0.0.1", 100.0, 110.0, 10, 100))
+        sessions = agg.finish()
+        assert len(sessions) == 2
+
+    def test_cdf_monotonic(self):
+        agg = VideoSessionAggregator("yt")
+        for i in range(5):
+            agg(self._record(f"10.0.0.{i + 1}", 0.0, 10.0, 10,
+                             (i + 1) * 1_000_000))
+        agg.finish()
+        cdf = agg.byte_cdf("down")
+        values = [v for v, _ in cdf]
+        fracs = [f for _, f in cdf]
+        assert values == sorted(values)
+        assert fracs[-1] == 1.0

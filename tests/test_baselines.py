@@ -1,0 +1,71 @@
+"""Tests for the IDS baselines and the Figure 6 ordering claim."""
+
+import pytest
+
+from repro import Runtime, RuntimeConfig
+from repro.baselines import (
+    SnortLikeAnalyzer,
+    SuricataLikeAnalyzer,
+    ZeekLikeAnalyzer,
+)
+from repro.traffic import FlowSpec, HttpsWorkloadGenerator, tls_flow
+
+
+@pytest.fixture(scope="module")
+def workload():
+    gen = HttpsWorkloadGenerator(seed=1, response_bytes=128 * 1024)
+    return gen.packets(requests_per_second=30, duration=0.5)
+
+
+class TestBaselineCorrectness:
+    @pytest.mark.parametrize("cls", [ZeekLikeAnalyzer, SnortLikeAnalyzer,
+                                     SuricataLikeAnalyzer])
+    def test_detects_matching_sni(self, cls, workload):
+        report = cls(sni_pattern="nginx").analyze(iter(workload))
+        assert report.matches == 15  # one per request
+
+    @pytest.mark.parametrize("cls", [ZeekLikeAnalyzer, SnortLikeAnalyzer,
+                                     SuricataLikeAnalyzer])
+    def test_no_match_for_other_sni(self, cls):
+        packets = tls_flow(FlowSpec("10.0.0.1", "1.1.1.1", 1000, 443),
+                           "other.example")
+        report = cls(sni_pattern="nginx").analyze(iter(packets))
+        assert report.matches == 0
+        assert report.packets == len(packets)
+
+    def test_snort_scans_everything(self, workload):
+        """The defining Snort behaviour: content scan over all payload."""
+        analyzer = SnortLikeAnalyzer(sni_pattern="nginx")
+        report = analyzer.analyze(iter(workload))
+        assert analyzer.scanned_bytes >= report.payload_bytes * 0.99
+
+
+class TestFigure6Ordering:
+    def test_single_core_ordering(self, workload):
+        """Retina > Suricata > Zeek > Snort in zero-loss throughput,
+        with Retina 5-100x above the others (the paper's headline)."""
+        results = {}
+        for cls in (ZeekLikeAnalyzer, SnortLikeAnalyzer,
+                    SuricataLikeAnalyzer):
+            report = cls(sni_pattern="nginx").analyze(iter(workload))
+            results[report.name] = report.max_zero_loss_gbps(cores=1)
+        runtime = Runtime(
+            RuntimeConfig(cores=1, hardware_filter=False),
+            filter_str="tls.sni ~ 'nginx'",
+            datatype="connection",
+            callback=lambda r: None,
+        )
+        retina_report = runtime.run(iter(workload))
+        retina = retina_report.stats.max_zero_loss_gbps(1)
+        assert retina > results["suricata"] > results["zeek"] \
+            > results["snort"]
+        assert 4 < retina / results["suricata"] < 25
+        assert retina / results["snort"] > 50
+
+    def test_processed_gbps_saturates(self, workload):
+        report = ZeekLikeAnalyzer("nginx").analyze(iter(workload))
+        ceiling = report.max_zero_loss_gbps()
+        assert report.processed_gbps(ceiling / 2) == ceiling / 2
+        assert report.processed_gbps(ceiling * 3) == ceiling
+        assert report.loss_at(ceiling * 2) == pytest.approx(0.5)
+        assert report.loss_at(ceiling / 2) == 0.0

@@ -1,0 +1,84 @@
+"""Tests for the byte-stream subscribable (Section 3.3 / 5.2)."""
+
+import pytest
+
+from repro import Runtime, RuntimeConfig
+from repro.core.datatypes import StreamChunk
+from repro.traffic import FlowSpec, TcpFlow, http_flow, tls_flow
+
+
+def run_stream(packets, filter_str, **config_kwargs):
+    chunks = []
+    runtime = Runtime(
+        RuntimeConfig(cores=1, **config_kwargs),
+        filter_str=filter_str,
+        datatype="byte_stream",
+        callback=chunks.append,
+    )
+    runtime.run(iter(sorted(packets, key=lambda m: m.timestamp)))
+    return chunks
+
+
+class TestByteStream:
+    def test_plain_tcp_stream(self):
+        """A packet-terminal filter: every payload chunk delivered."""
+        flow = TcpFlow(FlowSpec("10.0.0.1", "171.64.1.1", 1000, 7000))
+        flow.handshake()
+        flow.send(True, b"hello ")
+        flow.send(False, b"world")
+        flow.fin()
+        chunks = run_stream(flow.build(), "tcp.port = 7000")
+        client = b"".join(c.payload for c in chunks if c.from_orig)
+        server = b"".join(c.payload for c in chunks if not c.from_orig)
+        assert client == b"hello "
+        assert server == b"world"
+        assert all(isinstance(c, StreamChunk) for c in chunks)
+
+    def test_in_order_despite_reordering(self):
+        import random
+        flow = TcpFlow(FlowSpec("10.0.0.1", "171.64.1.1", 1001, 7000))
+        flow.handshake()
+        flow.send(True, bytes(range(256)) * 20, ack_every=0)
+        flow.shuffle_segments(random.Random(5))
+        chunks = run_stream(flow.build(), "tcp.port = 7000")
+        client = b"".join(c.payload for c in chunks if c.from_orig)
+        assert client == bytes(range(256)) * 20
+
+    def test_session_filtered_stream(self):
+        """Section 5.2's example: TLS byte-streams for matching SNI —
+        buffered until the session filter resolves, then all delivered."""
+        match = tls_flow(FlowSpec("10.0.0.1", "171.64.1.1", 1002, 443),
+                         "stream.matching.com", appdata_bytes=40_000)
+        miss = tls_flow(FlowSpec("10.0.0.2", "171.64.1.2", 1003, 443),
+                        "other.example.org", appdata_bytes=40_000,
+                        start_ts=2.0)
+        chunks = run_stream(match + miss, "tls.sni ~ '.*\\.com$'")
+        assert chunks
+        tuples = {str(c.five_tuple) for c in chunks}
+        assert len(tuples) == 1
+        assert "10.0.0.1" in next(iter(tuples))
+        # Early chunks (the ClientHello bytes, pre-match) included.
+        total = sum(len(c.payload) for c in chunks)
+        wire_payload = sum(len(m) - 54 for m in match if len(m) > 60)
+        assert total >= wire_payload * 0.9
+
+    def test_stream_continues_after_match(self):
+        """Post-match payload keeps flowing (reassembler stays alive)."""
+        flow = http_flow(FlowSpec("10.0.0.1", "171.64.1.1", 1004, 80),
+                         host="h.test", response_bytes=30_000)
+        chunks = run_stream(flow, "http")
+        server_bytes = sum(len(c.payload) for c in chunks
+                           if not c.from_orig)
+        assert server_bytes > 30_000  # headers + body all delivered
+
+    def test_non_matching_stream_never_delivered(self):
+        flow = http_flow(FlowSpec("10.0.0.1", "171.64.1.1", 1005, 80),
+                         host="h.test")
+        assert run_stream(flow, "tls") == []
+
+    def test_udp_datagram_stream(self):
+        from repro.traffic import udp_flow
+        packets = udp_flow(FlowSpec("10.0.0.1", "171.64.1.1", 1006, 9999),
+                           payload_sizes=(100, 200))
+        chunks = run_stream(packets, "udp.port = 9999")
+        assert [len(c.payload) for c in chunks] == [100, 200]

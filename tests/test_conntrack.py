@@ -1,0 +1,279 @@
+"""Tests for connection tracking: five-tuples, timer wheels, the table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conntrack import (
+    ConnState,
+    ConnTable,
+    Connection,
+    ConnectionTimers,
+    FiveTuple,
+    TcpConnState,
+    TimeoutConfig,
+    TimerWheel,
+)
+from repro.packet import Mbuf, TcpFlags, build_tcp_packet, parse_stack
+
+
+def ft(src="10.0.0.1", dst="10.0.0.2", sport=1234, dport=443, proto=6):
+    import ipaddress
+    return FiveTuple(
+        ipaddress.ip_address(src).packed, ipaddress.ip_address(dst).packed,
+        sport, dport, proto,
+    )
+
+
+class TestFiveTuple:
+    def test_from_stack(self):
+        stack = parse_stack(Mbuf(build_tcp_packet("1.2.3.4", "5.6.7.8",
+                                                  10, 20)))
+        tup = FiveTuple.from_stack(stack)
+        assert tup.src_port == 10 and tup.dst_port == 20
+        assert tup.protocol == 6
+
+    def test_from_stack_non_ip(self):
+        assert FiveTuple.from_stack(parse_stack(Mbuf(b"\x00" * 64))) is None
+
+    def test_canonical_direction_insensitive(self):
+        assert ft().canonical() == ft().reversed().canonical()
+
+    def test_canonical_distinguishes_flows(self):
+        assert ft(sport=1).canonical() != ft(sport=2).canonical()
+        assert ft(proto=6).canonical() != ft(proto=17).canonical()
+
+    def test_same_direction(self):
+        tup = ft()
+        assert tup.same_direction(tup)
+        assert not tup.same_direction(tup.reversed())
+
+    def test_str(self):
+        assert "10.0.0.1:1234 -> 10.0.0.2:443/tcp" == str(ft())
+
+
+class TestTimerWheel:
+    def test_basic_expiry(self):
+        wheel = TimerWheel(tick=1.0, num_slots=16)
+        wheel.schedule("a", 5.0)
+        assert wheel.advance(4.0) == []
+        assert wheel.advance(5.5) == ["a"]
+        assert "a" not in wheel
+
+    def test_reschedule_pushes_back(self):
+        wheel = TimerWheel(tick=1.0, num_slots=16)
+        wheel.schedule("a", 3.0)
+        wheel.schedule("a", 10.0)  # refresh
+        assert wheel.advance(5.0) == []
+        assert wheel.advance(10.5) == ["a"]
+
+    def test_cancel(self):
+        wheel = TimerWheel(tick=1.0, num_slots=16)
+        wheel.schedule("a", 3.0)
+        wheel.cancel("a")
+        assert wheel.advance(10.0) == []
+
+    def test_beyond_horizon(self):
+        wheel = TimerWheel(tick=1.0, num_slots=4)
+        wheel.schedule("far", 100.0)
+        assert wheel.advance(50.0) == []
+        assert wheel.advance(101.0) == ["far"]
+
+    def test_many_keys_fire_in_deadline_order_window(self):
+        wheel = TimerWheel(tick=0.5, num_slots=32)
+        for i in range(100):
+            wheel.schedule(i, 1.0 + i * 0.1)
+        fired = wheel.advance(5.99)
+        assert sorted(fired) == list(range(50))
+        assert len(wheel) == 50
+
+    def test_len_tracks_live_keys(self):
+        wheel = TimerWheel(tick=1.0, num_slots=8)
+        wheel.schedule("a", 2.0)
+        wheel.schedule("b", 3.0)
+        assert len(wheel) == 2
+        wheel.cancel("b")
+        assert len(wheel) == 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TimerWheel(tick=0, num_slots=8)
+        with pytest.raises(ValueError):
+            TimerWheel(tick=1, num_slots=1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        deadlines=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=40),
+        advance_to=st.floats(0.0, 60.0),
+    )
+    def test_property_fired_iff_due(self, deadlines, advance_to):
+        """Invariant: after advance(t), a key has fired iff deadline<=t."""
+        wheel = TimerWheel(tick=0.7, num_slots=16)
+        for i, deadline in enumerate(deadlines):
+            wheel.schedule(i, deadline)
+        fired = set(wheel.advance(advance_to))
+        for i, deadline in enumerate(deadlines):
+            assert (i in fired) == (deadline <= advance_to)
+
+
+class TestConnectionTimers:
+    def test_two_tier(self):
+        timers = ConnectionTimers(establish_timeout=5.0,
+                                  inactivity_timeout=300.0)
+        timers.on_new_connection("syn-only", now=0.0)
+        timers.on_new_connection("handshake", now=0.0)
+        timers.on_established("handshake", now=1.0)
+        expired = timers.advance(10.0)
+        assert expired == ["syn-only"]
+        assert timers.advance(200.0) == []
+        assert timers.advance(302.0) == ["handshake"]
+
+    def test_activity_refresh(self):
+        timers = ConnectionTimers(5.0, 300.0)
+        timers.on_new_connection("c", 0.0)
+        timers.on_activity("c", 4.0, established=False)
+        assert timers.advance(6.0) == []  # refreshed to 9.0
+        assert timers.advance(9.5) == ["c"]
+
+    def test_no_timeouts_never_expires(self):
+        timers = ConnectionTimers(None, None)
+        timers.on_new_connection("c", 0.0)
+        assert timers.advance(1e6) == []
+
+    def test_inactivity_only(self):
+        timers = ConnectionTimers(None, 300.0)
+        timers.on_new_connection("syn-only", 0.0)
+        assert timers.advance(10.0) == []  # no establish tier
+        assert timers.advance(301.0) == ["syn-only"]
+
+
+class TestConnection:
+    def test_single_syn_detection(self):
+        conn = Connection(ft(), now=0.0)
+        conn.record_packet(True, 60, 0, 0.0, TcpFlags.SYN)
+        assert conn.is_single_syn
+        assert conn.tcp_state is TcpConnState.SYN_SENT
+
+    def test_establishment(self):
+        conn = Connection(ft(), now=0.0)
+        conn.record_packet(True, 60, 0, 0.0, TcpFlags.SYN)
+        newly = conn.record_packet(False, 60, 0, 0.1,
+                                   TcpFlags.SYN | TcpFlags.ACK)
+        assert newly and conn.established
+        assert conn.established_ts == 0.1
+        assert not conn.is_single_syn
+
+    def test_establishment_via_responder_data(self):
+        """Missing SYN-ACK (lossy tap) still establishes on reverse data."""
+        conn = Connection(ft(), now=0.0)
+        conn.record_packet(True, 60, 0, 0.0, TcpFlags.SYN)
+        newly = conn.record_packet(False, 1500, 1448, 0.2, TcpFlags.ACK)
+        assert newly and conn.established
+
+    def test_fin_fin_closes(self):
+        conn = Connection(ft(), now=0.0)
+        conn.record_packet(True, 60, 0, 0.0, TcpFlags.SYN)
+        conn.record_packet(False, 60, 0, 0.1, TcpFlags.SYN | TcpFlags.ACK)
+        conn.record_packet(True, 60, 0, 0.2, TcpFlags.FIN | TcpFlags.ACK)
+        assert conn.tcp_state is TcpConnState.CLOSING
+        conn.record_packet(False, 60, 0, 0.3, TcpFlags.FIN | TcpFlags.ACK)
+        assert conn.terminated
+
+    def test_rst_closes(self):
+        conn = Connection(ft(), now=0.0)
+        conn.record_packet(True, 60, 0, 0.0, TcpFlags.RST)
+        assert conn.terminated
+
+    def test_udp_counts_as_established(self):
+        conn = Connection(ft(proto=17), now=0.0)
+        assert conn.established
+
+    def test_counters_per_direction(self):
+        conn = Connection(ft(), now=0.0)
+        conn.record_packet(True, 100, 40, 0.0)
+        conn.record_packet(False, 200, 160, 0.1)
+        conn.record_packet(True, 300, 240, 0.2)
+        assert (conn.pkts_orig, conn.pkts_resp) == (2, 1)
+        assert (conn.bytes_orig, conn.bytes_resp) == (400, 200)
+        assert conn.payload_bytes_orig == 280
+
+    def test_buffering_and_memory(self):
+        conn = Connection(ft(), now=0.0)
+        base = conn.memory_bytes
+        conn.buffer_packet(Mbuf(b"x" * 100))
+        assert conn.memory_bytes == base + 100
+        assert len(conn.drain_buffered()) == 1
+        assert conn.memory_bytes == base
+
+
+class TestConnTable:
+    def test_create_and_lookup_both_directions(self):
+        table = ConnTable()
+        conn, created = table.get_or_create(ft(), now=0.0)
+        assert created
+        again, created2 = table.get_or_create(ft().reversed(), now=0.1)
+        assert again is conn and not created2
+        assert len(table) == 1
+
+    def test_establish_timeout_expires_syn(self):
+        table = ConnTable(TimeoutConfig(5.0, 300.0))
+        conn, _ = table.get_or_create(ft(), now=0.0)
+        conn.record_packet(True, 60, 0, 0.0, TcpFlags.SYN)
+        expired = table.expire(now=6.0)
+        assert expired == [conn]
+        assert len(table) == 0
+        assert table.expired_establish == 1
+
+    def test_established_survives_establish_timeout(self):
+        table = ConnTable(TimeoutConfig(5.0, 300.0))
+        conn, _ = table.get_or_create(ft(), now=0.0)
+        conn.record_packet(True, 60, 0, 0.0, TcpFlags.SYN)
+        newly = conn.record_packet(False, 60, 0, 1.0,
+                                   TcpFlags.SYN | TcpFlags.ACK)
+        table.touch(conn, 1.0, newly)
+        assert table.expire(now=10.0) == []
+        expired = table.expire(now=302.0)
+        assert expired == [conn]
+        assert table.expired_inactive == 1
+
+    def test_activity_refreshes_inactivity(self):
+        table = ConnTable(TimeoutConfig(5.0, 300.0))
+        conn, _ = table.get_or_create(ft(), now=0.0)
+        newly = conn.record_packet(False, 60, 0, 0.0,
+                                   TcpFlags.SYN | TcpFlags.ACK)
+        table.touch(conn, 0.0, newly)
+        for t in (100.0, 200.0, 300.0, 400.0):
+            assert table.expire(now=t) == []
+            conn.record_packet(True, 100, 60, t)
+            table.touch(conn, t, False)
+        assert table.expire(now=500.0) == []
+        assert table.expire(now=701.0) == [conn]
+
+    def test_remove_idempotent(self):
+        table = ConnTable()
+        conn, _ = table.get_or_create(ft(), now=0.0)
+        table.remove(conn)
+        table.remove(conn)
+        assert table.removed == 1
+        assert conn.state is ConnState.DELETE
+
+    def test_drain(self):
+        table = ConnTable()
+        for i in range(5):
+            table.get_or_create(ft(sport=i + 1), now=0.0)
+        drained = table.drain()
+        assert len(drained) == 5 and len(table) == 0
+
+    def test_no_timeout_config_grows(self):
+        table = ConnTable(TimeoutConfig.no_timeouts())
+        for i in range(100):
+            table.get_or_create(ft(sport=i + 1), now=float(i))
+        assert table.expire(now=1e9) == []
+        assert len(table) == 100
+
+    def test_memory_accounting(self):
+        table = ConnTable()
+        conn, _ = table.get_or_create(ft(), now=0.0)
+        base = table.memory_bytes
+        conn.buffer_packet(Mbuf(b"y" * 1000))
+        assert table.memory_bytes == base + 1000

@@ -1,0 +1,272 @@
+"""Tests for the extension features: IPv4 fragment reassembly, HTTP
+chunked transfer-encoding, TLS certificate-chain parsing, service
+identification, and the traffic profiler."""
+
+import pytest
+
+from repro import Runtime, RuntimeConfig
+from repro.analysis import TrafficProfiler
+from repro.packet import Mbuf, build_tcp_packet, build_udp_packet, \
+    parse_stack
+from repro.packet.fragments import FragmentReassembler, fragment_ipv4
+from repro.protocols import HttpParser, ParseResult, TlsParser
+from repro.stream.pdu import StreamSegment
+from repro.traffic import (
+    CampusTrafficGenerator,
+    FlowSpec,
+    dns_flow,
+    http_flow,
+    ssh_flow,
+    tls_flow,
+)
+
+
+def seg(payload, from_orig=True):
+    return StreamSegment(payload, from_orig, 0.0)
+
+
+class TestFragmentation:
+    def _big_frame(self, payload=b"Z" * 4000):
+        return build_tcp_packet("10.0.0.1", "171.64.2.2", 1234, 443,
+                                payload=payload)
+
+    def test_fragment_builder(self):
+        fragments = fragment_ipv4(self._big_frame(), fragment_payload=1208)
+        assert len(fragments) == 4
+        first = parse_stack(Mbuf(fragments[0]))
+        later = parse_stack(Mbuf(fragments[1]))
+        assert first.tcp is not None  # transport header in fragment 0
+        assert later.tcp is None      # ports invisible in the rest
+        assert later.ip.fragment_offset() == 1208 // 8
+
+    def test_small_frame_untouched(self):
+        frame = build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, b"small")
+        assert fragment_ipv4(frame) == [frame]
+
+    def test_multiple_of_eight_enforced(self):
+        with pytest.raises(ValueError):
+            fragment_ipv4(self._big_frame(), fragment_payload=1001)
+
+    def test_reassembly_round_trip(self):
+        frame = self._big_frame(payload=bytes(range(256)) * 12)
+        reassembler = FragmentReassembler()
+        result = None
+        for fragment in fragment_ipv4(frame, 1208):
+            result = reassembler.push(Mbuf(fragment))
+        assert result is not None
+        # Payload identical; flags/checksum rewritten.
+        original = parse_stack(Mbuf(frame))
+        rebuilt = parse_stack(result)
+        assert rebuilt.l4_payload() == original.l4_payload()
+        assert rebuilt.tcp.dst_port() == 443
+        assert reassembler.reassembled == 1
+
+    def test_out_of_order_fragments(self):
+        frame = self._big_frame()
+        fragments = fragment_ipv4(frame, 1208)
+        reassembler = FragmentReassembler()
+        order = [2, 0, 3, 1]
+        results = [reassembler.push(Mbuf(fragments[i])) for i in order]
+        assert results[-1] is not None
+        assert all(r is None for r in results[:-1])
+
+    def test_non_fragment_passthrough(self):
+        mbuf = Mbuf(build_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, b"x"))
+        assert FragmentReassembler().push(mbuf) is mbuf
+
+    def test_timeout_discards(self):
+        fragments = fragment_ipv4(self._big_frame(), 1208)
+        reassembler = FragmentReassembler(timeout=5.0)
+        reassembler.push(Mbuf(fragments[0], timestamp=0.0))
+        # A later unrelated fragment advances time past the timeout.
+        other = fragment_ipv4(
+            build_tcp_packet("10.0.0.9", "171.64.2.2", 99, 443,
+                             payload=b"y" * 3000), 1208)
+        reassembler.push(Mbuf(other[0], timestamp=10.0))
+        assert reassembler.discarded == 1
+
+    def test_table_cap_evicts_oldest(self):
+        reassembler = FragmentReassembler(max_datagrams=2)
+        for i in range(3):
+            frame = build_tcp_packet(f"10.0.0.{i + 1}", "171.64.2.2",
+                                     1000 + i, 443, payload=b"q" * 3000)
+            reassembler.push(Mbuf(fragment_ipv4(frame, 1208)[0],
+                                  timestamp=float(i)))
+        assert len(reassembler) == 2
+        assert reassembler.discarded == 1
+
+    def test_oversize_datagram_discarded(self):
+        reassembler = FragmentReassembler(max_datagram_bytes=2000)
+        frame = self._big_frame(payload=b"w" * 5000)
+        for fragment in fragment_ipv4(frame, 1208):
+            reassembler.push(Mbuf(fragment))
+        assert reassembler.reassembled == 0
+        # Fragments arriving after the discard re-open (and re-discard)
+        # the datagram; at least one discard must be recorded.
+        assert reassembler.discarded >= 1
+
+    def test_runtime_integration(self):
+        """A TLS 1.2 server flight that is IP-fragmented: the bytes in
+        non-first fragments (the certificate chain) are only visible
+        with fragment reassembly enabled."""
+        flow = tls_flow(FlowSpec("10.0.0.1", "171.64.2.2", 5555, 443),
+                        "frag.example.com", cert_bytes=2500,
+                        selected_version=None)
+        packets = []
+        for mbuf in flow:
+            if len(mbuf) > 1300:
+                packets.extend(Mbuf(f, timestamp=mbuf.timestamp)
+                               for f in fragment_ipv4(mbuf.data, 1208))
+            else:
+                packets.append(mbuf)
+        def run(reassemble):
+            got = []
+            runtime = Runtime(
+                RuntimeConfig(cores=1,
+                              reassemble_fragments=reassemble),
+                filter_str="tls", datatype="tls_handshake",
+                callback=got.append)
+            runtime.run(iter(list(packets)))
+            return got
+        with_reassembly = run(True)
+        without = run(False)
+        assert [h.sni() for h in with_reassembly] == ["frag.example.com"]
+        assert with_reassembly[0].data.cert_count() == 1
+        # Without reassembly the handshake still resolves (the client's
+        # next flight signals completion) but the fragmented
+        # certificate bytes were never seen.
+        assert all(h.data.cert_count() == 0 for h in without)
+
+
+class TestHttpChunked:
+    def test_chunked_response_skipped(self):
+        parser = HttpParser()
+        parser.parse(seg(b"GET /a HTTP/1.1\r\nHost: h\r\n\r\n"))
+        response = (b"HTTP/1.1 200 OK\r\n"
+                    b"Transfer-Encoding: chunked\r\n\r\n"
+                    b"5\r\nhello\r\n"
+                    b"6\r\n world\r\n"
+                    b"0\r\n\r\n"
+                    b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")
+        parser.parse(seg(b"GET /b HTTP/1.1\r\nHost: h\r\n\r\n"))
+        parser.parse(seg(response, from_orig=False))
+        sessions = parser.drain_sessions()
+        assert [s.data.status_code() for s in sessions] == [200, 404]
+
+    def test_chunked_split_across_segments(self):
+        parser = HttpParser()
+        parser.parse(seg(b"GET /a HTTP/1.1\r\n\r\n"))
+        parser.parse(seg(b"HTTP/1.1 200 OK\r\n"
+                         b"Transfer-Encoding: chunked\r\n\r\n"
+                         b"a\r\n0123", from_orig=False))
+        parser.parse(seg(b"456789\r\n0\r\n\r\n"
+                         b"HTTP/1.1 204 No Content\r\n\r\n",
+                         from_orig=False))
+        parser.parse(seg(b"GET /b HTTP/1.1\r\n\r\n"))
+        statuses = [s.data.status_code()
+                    for s in parser.drain_sessions()]
+        assert 204 in statuses
+
+    def test_chunk_extension_tolerated(self):
+        parser = HttpParser()
+        parser.parse(seg(b"GET / HTTP/1.1\r\n\r\n"))
+        result = parser.parse(seg(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"4;ext=1\r\nbody\r\n0\r\n\r\n", from_orig=False))
+        assert result is ParseResult.DONE
+
+    def test_bad_chunk_size_is_error(self):
+        parser = HttpParser()
+        parser.parse(seg(b"GET / HTTP/1.1\r\n\r\n"))
+        result = parser.parse(seg(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"zz\r\n....", from_orig=False))
+        assert result is ParseResult.ERROR
+
+
+class TestTlsCertificates:
+    def test_chain_lengths_extracted(self):
+        from repro.protocols.tls.build import (
+            build_certificate, build_client_hello, build_server_hello,
+            build_server_hello_done,
+        )
+        parser = TlsParser()
+        parser.parse(seg(build_client_hello("c.example", bytes(32))))
+        flight = (build_server_hello(bytes(range(32, 64)),
+                                     cipher_suite=0xC02F)
+                  + build_certificate(b"\x30\x82" + bytes(1500))
+                  + build_server_hello_done())
+        assert parser.parse(seg(flight, from_orig=False)) is \
+            ParseResult.DONE
+        data = parser.drain_sessions()[0].data
+        assert data.cert_count() == 1
+        assert data.certificate_lengths == [1502]
+
+    def test_cert_count_filterable(self):
+        got = []
+        runtime = Runtime(
+            RuntimeConfig(cores=1),
+            filter_str="tls.cert_count > 0",
+            datatype="tls_handshake",
+            callback=got.append,
+        )
+        runtime.run(iter(tls_flow(
+            FlowSpec("10.0.0.1", "1.1.1.1", 1000, 443), "has.certs",
+            selected_version=None)))
+        assert len(got) == 1
+
+
+class TestServiceIdentificationAndProfiler:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        profiler = TrafficProfiler()
+        runtime = Runtime(
+            RuntimeConfig(cores=4),
+            filter_str="",
+            datatype="connection",
+            callback=profiler,
+            identify_services=True,
+        )
+        traffic = CampusTrafficGenerator(seed=21).packets(duration=0.4,
+                                                          gbps=0.2)
+        runtime.run(iter(traffic))
+        return profiler
+
+    def test_services_labeled(self, profile):
+        assert profile.by_service["tls"] > 0
+        assert profile.by_service["dns"] > 0
+        # Raw scanners and opaque flows stay unidentified.
+        assert profile.by_service["unidentified"] > 0
+
+    def test_volume_accounting(self, profile):
+        assert profile.bytes > 0
+        assert profile.connections == sum(profile.by_transport.values())
+        assert sum(profile.service_bytes.values()) == profile.bytes
+
+    def test_top_lists_and_summary(self, profile):
+        ports = dict(profile.top_ports(10))
+        assert 443 in ports
+        summary = profile.summary()
+        assert "top services by bytes" in summary
+        assert "tls" in summary
+
+    def test_talkers_hashed(self, profile):
+        for talker, _ in profile.top_talkers(5):
+            assert "." not in talker  # no raw addresses
+            assert len(talker) == 12
+
+    def test_explicit_subscription_flag(self):
+        """Without the flag, a match-all connection subscription never
+        probes — service stays None."""
+        services = set()
+        runtime = Runtime(
+            RuntimeConfig(cores=1), filter_str="", datatype="connection",
+            callback=lambda r: services.add(r.service),
+        )
+        packets = (
+            tls_flow(FlowSpec("10.0.0.1", "1.1.1.1", 1000, 443), "a.b")
+            + dns_flow(FlowSpec("10.0.0.2", "8.8.8.8", 2000, 53),
+                       start_ts=1.0)
+        )
+        runtime.run(iter(sorted(packets, key=lambda m: m.timestamp)))
+        assert services == {None}

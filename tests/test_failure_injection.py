@@ -1,0 +1,204 @@
+"""Failure injection: malformed, truncated, and adversarial input must
+never crash the framework (the paper's Security design goal).
+
+Retina's answer to hostile traffic is Rust's memory safety; ours is
+that every parsing path converts malformed bytes into a clean
+non-match / ERROR result instead of an exception. These tests drive
+random and deliberately corrupted bytes through every layer: header
+parsing, the compiled and interpreted filters, every application
+parser, the reassembler, and the full runtime.
+"""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Runtime, RuntimeConfig
+from repro.filter import compile_filter
+from repro.packet import Mbuf, build_tcp_packet, build_udp_packet, \
+    parse_stack
+from repro.protocols import (
+    DnsParser,
+    HttpParser,
+    ParseResult,
+    ProbeResult,
+    QuicParser,
+    SshParser,
+    TlsParser,
+)
+from repro.stream import BufferedReassembler, L4Pdu, LazyReassembler
+from repro.stream.pdu import StreamSegment
+
+ALL_PARSERS = [TlsParser, HttpParser, SshParser, DnsParser, QuicParser]
+
+FILTERS = [
+    "",
+    "tcp.port = 443 and tls.sni ~ 'x'",
+    "ipv4.addr in 10.0.0.0/8 or http",
+    "udp and dns.query_name ~ 'a'",
+]
+
+
+@settings(max_examples=150, deadline=None)
+@given(frame=st.binary(min_size=0, max_size=200))
+def test_parse_stack_never_raises(frame):
+    stack = parse_stack(Mbuf(frame))
+    stack.l4_payload()  # must not raise either
+
+
+@settings(max_examples=100, deadline=None)
+@given(frame=st.binary(min_size=0, max_size=200),
+       data=st.data())
+def test_filters_never_raise_on_garbage(frame, data):
+    filter_str = data.draw(st.sampled_from(FILTERS))
+    mode = data.draw(st.sampled_from(["codegen", "interp"]))
+    compiled = _cached_filter(filter_str, mode)
+    compiled.packet_filter(Mbuf(frame))  # result irrelevant; no raise
+
+
+_FILTER_CACHE = {}
+
+
+def _cached_filter(filter_str, mode):
+    key = (filter_str, mode)
+    if key not in _FILTER_CACHE:
+        _FILTER_CACHE[key] = compile_filter(filter_str, mode=mode)
+    return _FILTER_CACHE[key]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    payloads=st.lists(st.binary(min_size=0, max_size=300), min_size=1,
+                      max_size=6),
+    directions=st.lists(st.booleans(), min_size=6, max_size=6),
+)
+@pytest.mark.parametrize("parser_cls", ALL_PARSERS)
+def test_parsers_never_raise_on_garbage(parser_cls, payloads, directions):
+    """Random byte sequences through probe+parse: clean results only."""
+    parser = parser_cls()
+    for payload, from_orig in zip(payloads, directions):
+        segment = StreamSegment(payload, from_orig, 0.0)
+        outcome = parser.probe(segment)
+        assert outcome in (ProbeResult.MATCH, ProbeResult.UNSURE,
+                           ProbeResult.NO_MATCH)
+        result = parser.parse(segment)
+        assert result in (ParseResult.CONTINUE, ParseResult.DONE,
+                          ParseResult.ERROR)
+        if result is ParseResult.ERROR:
+            break
+    parser.drain_sessions()
+
+
+def _corrupt(frame: bytes, rng: random.Random) -> bytes:
+    """Flip bytes / truncate / extend a legitimate frame."""
+    data = bytearray(frame)
+    action = rng.randrange(4)
+    if action == 0 and data:
+        for _ in range(rng.randrange(1, 8)):
+            data[rng.randrange(len(data))] ^= rng.randrange(1, 256)
+    elif action == 1 and len(data) > 2:
+        del data[rng.randrange(1, len(data)):]
+    elif action == 2:
+        data.extend(rng.randbytes(rng.randrange(1, 64)))
+    else:
+        rng.shuffle(data)
+    return bytes(data)
+
+
+@pytest.mark.parametrize("datatype,filter_str", [
+    ("packet", "ipv4"),
+    ("connection", "tcp"),
+    ("tls_handshake", "tls"),
+    ("http_transaction", "http"),
+])
+def test_runtime_survives_corrupted_traffic(datatype, filter_str):
+    """A realistic trace with heavy random corruption: the runtime
+    must process every frame without raising."""
+    from repro.traffic import CampusTrafficGenerator
+    rng = random.Random(1337)
+    traffic = CampusTrafficGenerator(seed=9).packets(duration=0.3,
+                                                     gbps=0.1)
+    corrupted = []
+    for mbuf in traffic:
+        if rng.random() < 0.3:
+            corrupted.append(Mbuf(_corrupt(mbuf.data, rng),
+                                  timestamp=mbuf.timestamp))
+        else:
+            corrupted.append(mbuf)
+    runtime = Runtime(RuntimeConfig(cores=4), filter_str=filter_str,
+                      datatype=datatype, callback=lambda obj: None)
+    report = runtime.run(iter(corrupted))
+    assert report.stats.ingress_packets == len(corrupted)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seqs=st.lists(st.integers(0, 2 ** 32 - 1), min_size=1, max_size=12),
+    payload_lens=st.lists(st.integers(0, 50), min_size=12, max_size=12),
+    flags=st.lists(st.integers(0, 255), min_size=12, max_size=12),
+)
+@pytest.mark.parametrize("cls", [LazyReassembler, BufferedReassembler])
+def test_reassemblers_never_raise_on_adversarial_sequences(
+        cls, seqs, payload_lens, flags):
+    """Arbitrary (seq, len, flags) streams — overlaps, wraps, floods —
+    must be absorbed without exceptions (Dharmapurikar & Paxson's
+    adversarial reassembly setting)."""
+    reassembler = cls()
+    for seq, length, flag in zip(seqs, payload_lens, flags):
+        pdu = L4Pdu(
+            mbuf=Mbuf(b"\x00" * (54 + length)),
+            payload=b"A" * length,
+            seq=seq,
+            flags=flag,
+            from_orig=True,
+            timestamp=0.0,
+        )
+        for segment in reassembler.push(pdu):
+            assert isinstance(segment.payload, bytes)
+    assert reassembler.memory_bytes >= 0
+
+
+def test_truncated_tls_mid_handshake():
+    """A flow that dies mid-ClientHello: no delivery, no crash, state
+    reclaimed by the establish timeout."""
+    from repro.protocols.tls.build import build_client_hello
+    from repro.traffic.flows import FlowSpec, TcpFlow
+    flow = TcpFlow(FlowSpec("10.0.0.1", "1.1.1.1", 1000, 443))
+    flow.handshake()
+    hello = build_client_hello("cut.example", bytes(32))
+    flow.send(True, hello[:len(hello) // 3])  # truncated
+    got = []
+    runtime = Runtime(RuntimeConfig(cores=1), filter_str="tls",
+                      datatype="tls_handshake", callback=got.append)
+    runtime.run(iter(flow.build()))
+    assert got == []
+
+
+def test_tcp_header_claims_beyond_frame():
+    """A TCP data offset pointing past the frame end parses as no-TCP
+    rather than reading out of bounds."""
+    frame = bytearray(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2))
+    frame[14 + 20 + 12] = 0xF0  # data offset = 60 bytes
+    frame = bytes(frame[:14 + 20 + 22])
+    stack = parse_stack(Mbuf(frame))
+    assert stack.tcp is None
+
+
+def test_ipv4_total_length_lies():
+    """An IP total_length larger than the frame must clamp payload."""
+    frame = bytearray(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2,
+                                       payload=b"hi"))
+    struct.pack_into("!H", frame, 14 + 2, 60000)
+    stack = parse_stack(Mbuf(bytes(frame)))
+    assert stack.l4_payload() == b"hi"
+
+
+def test_udp_length_field_lies():
+    frame = bytearray(build_udp_packet("1.1.1.1", "2.2.2.2", 1, 2,
+                                       payload=b"xy"))
+    struct.pack_into("!H", frame, 14 + 20 + 4, 9)  # bogus length
+    stack = parse_stack(Mbuf(bytes(frame)))
+    stack.l4_payload()  # must not raise

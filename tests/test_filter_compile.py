@@ -1,0 +1,336 @@
+"""Tests for filter decomposition: trie, codegen, interp, hardware rules.
+
+Includes the paper's Figure 3 example as a golden test and a hypothesis
+property test that the compiled and interpreted backends agree on
+arbitrary packets.
+"""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filter import (
+    FilterResult,
+    Layer,
+    compile_filter,
+    connectx5_capabilities,
+    expand_patterns,
+    intel_e810_capabilities,
+    no_offload_capabilities,
+    parse_filter,
+)
+from repro.filter.hardware import generate_hardware_filter
+from repro.filter.trie import PredicateTrie
+from repro.packet import Mbuf, build_tcp_packet, build_udp_packet, parse_stack
+
+FIG3 = "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http"
+
+
+class FakeConn:
+    def __init__(self, service):
+        self._service = service
+
+    def service(self):
+        return self._service
+
+
+class FakeSession:
+    def __init__(self, data):
+        self.data = data
+
+
+class FakeTls:
+    def __init__(self, sni=None, cipher=None, version=None):
+        self._sni, self._cipher, self._version = sni, cipher, version
+
+    def sni(self):
+        return self._sni
+
+    def cipher(self):
+        return self._cipher
+
+    def version(self):
+        return self._version
+
+    def client_version(self):
+        return None
+
+
+class TestTrie:
+    def test_fig3_structure(self):
+        trie = PredicateTrie(expand_patterns(parse_filter(FIG3)))
+        # One packet path per paper: eth-ipv4-tcp-(port>=100)-tls-sni and
+        # the http branches under ipv4/tcp and ipv6/tcp.
+        layers = {n.id: n.layer for n in trie.nodes() if n.pred}
+        terminals = [n.id for n in trie.nodes() if n.terminal]
+        assert sorted(terminals) == [6, 7, 10]
+        assert layers[5] is Layer.CONNECTION
+        assert layers[6] is Layer.SESSION
+
+    def test_single_parent(self):
+        trie = PredicateTrie(expand_patterns(parse_filter(FIG3)))
+        for node in trie.nodes():
+            if node.pred is not None:
+                assert node in node.parent.children
+
+    def test_subsumption_pruning(self):
+        # 'http' alone subsumes 'http.user_agent'; deeper branch pruned.
+        trie = PredicateTrie(expand_patterns(
+            parse_filter("http or (http and http.user_agent ~ 'Firefox')")
+        ))
+        assert not any(n.layer is Layer.SESSION for n in trie.nodes() if n.pred)
+
+    def test_report_nodes_fig3(self):
+        trie = PredicateTrie(expand_patterns(parse_filter(FIG3)))
+        report_ids = {n.id for n in trie.packet_report_nodes()}
+        # tcp under ipv4 (http prefix), tcp.port>=100, tcp under ipv6.
+        assert report_ids == {3, 4, 9}
+
+    def test_connection_candidates_include_ancestor_branches(self):
+        trie = PredicateTrie(expand_patterns(parse_filter(FIG3)))
+        node4 = trie.node(4)
+        protos = [c.pred.protocol for c in trie.connection_candidates(node4)]
+        # The correctness fix over Figure 3: both http (from ancestor
+        # node 3) and tls (from node 4) are live after matching node 4.
+        assert set(protos) == {"http", "tls"}
+
+
+class TestPacketFilterBothModes:
+    @pytest.fixture(params=["codegen", "interp"])
+    def fig3(self, request):
+        return compile_filter(FIG3, mode=request.param)
+
+    def test_high_port_tcp(self, fig3):
+        mbuf = Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 40000, 443))
+        assert fig3.packet_filter(mbuf) == FilterResult.match_non_terminal(4)
+
+    def test_low_port_tcp(self, fig3):
+        mbuf = Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 50, 80))
+        assert fig3.packet_filter(mbuf) == FilterResult.match_non_terminal(3)
+
+    def test_udp_no_match(self, fig3):
+        mbuf = Mbuf(build_udp_packet("1.1.1.1", "2.2.2.2", 53, 53))
+        assert fig3.packet_filter(mbuf) == FilterResult.no_match()
+
+    def test_ipv6_tcp(self, fig3):
+        mbuf = Mbuf(build_tcp_packet("2001:db8::1", "2001:db8::2", 1, 2))
+        assert fig3.packet_filter(mbuf) == FilterResult.match_non_terminal(9)
+
+    def test_garbage_frame(self, fig3):
+        assert fig3.packet_filter(Mbuf(b"\x00" * 60)) == FilterResult.no_match()
+
+    def test_short_frame(self, fig3):
+        assert fig3.packet_filter(Mbuf(b"\x01")) == FilterResult.no_match()
+
+
+class TestConnSessionFilters:
+    @pytest.fixture(params=["codegen", "interp"])
+    def fig3(self, request):
+        return compile_filter(FIG3, mode=request.param)
+
+    def test_tls_non_terminal(self, fig3):
+        result = fig3.connection_filter(FakeConn("tls"), 4)
+        assert result.matched and not result.terminal
+
+    def test_http_terminal_via_ancestor(self, fig3):
+        result = fig3.connection_filter(FakeConn("http"), 4)
+        assert result.terminal
+
+    def test_http_terminal_at_3(self, fig3):
+        assert fig3.connection_filter(FakeConn("http"), 3).terminal
+
+    def test_unrelated_service(self, fig3):
+        assert not fig3.connection_filter(FakeConn("ssh"), 4).matched
+
+    def test_unknown_node(self, fig3):
+        assert not fig3.connection_filter(FakeConn("tls"), 999).matched
+
+    def test_session_regex_match(self, fig3):
+        conn_node = fig3.connection_filter(FakeConn("tls"), 4).node
+        assert fig3.session_filter(FakeSession(FakeTls("a.netflix.com")),
+                                   conn_node)
+        assert not fig3.session_filter(FakeSession(FakeTls("example.com")),
+                                       conn_node)
+
+    def test_session_absent_field_no_match(self, fig3):
+        conn_node = fig3.connection_filter(FakeConn("tls"), 4).node
+        assert not fig3.session_filter(FakeSession(FakeTls(None)), conn_node)
+
+    def test_session_terminal_conn_node_true(self, fig3):
+        node = fig3.connection_filter(FakeConn("http"), 3).node
+        assert fig3.session_filter(FakeSession(object()), node)
+
+
+class TestMatchAllAndEdgeFilters:
+    @pytest.mark.parametrize("mode", ["codegen", "interp"])
+    def test_match_all(self, mode):
+        f = compile_filter("", mode=mode)
+        assert f.packet_filter(Mbuf(b"\x00" * 60)).terminal
+        assert f.hardware.accept_all
+        assert not f.needs_connection_layer
+
+    @pytest.mark.parametrize("mode", ["codegen", "interp"])
+    def test_pure_packet_terminal(self, mode):
+        f = compile_filter("ipv4.ttl > 64", mode=mode)
+        high = Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, ttl=128))
+        low = Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, ttl=32))
+        assert f.packet_filter(high).terminal
+        assert not f.packet_filter(low).matched
+        assert not f.needs_connection_layer
+
+    @pytest.mark.parametrize("mode", ["codegen", "interp"])
+    def test_addr_cidr(self, mode):
+        f = compile_filter("ipv4.addr in 10.0.0.0/8", mode=mode)
+        inside = Mbuf(build_tcp_packet("10.1.2.3", "2.2.2.2", 1, 2))
+        reverse = Mbuf(build_tcp_packet("2.2.2.2", "10.1.2.3", 1, 2))
+        outside = Mbuf(build_tcp_packet("11.1.2.3", "2.2.2.2", 1, 2))
+        assert f.packet_filter(inside).matched
+        assert f.packet_filter(reverse).matched  # .addr = src or dst
+        assert not f.packet_filter(outside).matched
+
+    @pytest.mark.parametrize("mode", ["codegen", "interp"])
+    def test_port_range(self, mode):
+        f = compile_filter("tcp.port in 8000..8999", mode=mode)
+        assert f.packet_filter(
+            Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 8443))).matched
+        assert not f.packet_filter(
+            Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 9000))).matched
+
+    @pytest.mark.parametrize("mode", ["codegen", "interp"])
+    def test_ne_on_present_field(self, mode):
+        f = compile_filter("ipv4.ttl != 64", mode=mode)
+        assert not f.packet_filter(
+            Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, ttl=64))).matched
+        assert f.packet_filter(
+            Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 2, ttl=65))).matched
+
+    def test_bronzino_netflix_filter_compiles(self):
+        """The 32-predicate filter from Appendix B footnote 3."""
+        text = (
+            "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 or "
+            "ipv4.addr in 45.57.0.0/17 or ipv4.addr in 64.120.128.0/17 or "
+            "ipv4.addr in 66.197.128.0/17 or ipv4.addr in 108.175.32.0/20 or "
+            "ipv4.addr in 185.2.220.0/22 or ipv4.addr in 185.9.188.0/22 or "
+            "ipv4.addr in 192.173.64.0/18 or ipv4.addr in 198.38.96.0/19 or "
+            "ipv4.addr in 198.45.48.0/20 or ipv4.addr in 208.75.79.0/24 or "
+            "ipv6.addr in 2620:10c:7000::/44 or ipv6.addr in 2a00:86c0::/32 or "
+            "tls.sni ~ 'netflix.com' or tls.sni ~ 'nflxvideo.net' or "
+            "tls.sni ~ 'nflximg.net' or tls.sni ~ 'nflxext.com' or "
+            "tls.sni ~ 'nflximg.com' or tls.sni ~ 'nflxso.net'"
+        )
+        f = compile_filter(text)
+        inside = Mbuf(build_tcp_packet("23.246.1.1", "2.2.2.2", 1, 443))
+        assert f.packet_filter(inside).terminal
+        assert f.needs_session_layer
+
+
+class TestHardwareFilter:
+    def test_ge_not_offloadable_on_cx5(self):
+        f = compile_filter(FIG3)
+        descriptions = f.hardware.describe()
+        # The >=100 item is dropped; rules are protocol-chain only.
+        assert "ETH-IPV4-TCP -> RSS" in descriptions
+        assert "ETH-IPV6-TCP -> RSS" in descriptions
+        assert "ELSE -> DROP" in descriptions
+
+    def test_port_eq_offloadable(self):
+        f = compile_filter("tcp.port = 443 and ipv4")
+        rule = f.hardware.rules[0]
+        assert any("tcp.port = 443" in r for r in f.hardware.describe())
+        match = parse_stack(Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 443)))
+        miss = parse_stack(Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 80)))
+        assert rule.matches(match)
+        assert not rule.matches(miss)
+
+    def test_admits_drops_out_of_scope(self):
+        f = compile_filter("tcp.port = 443 and ipv4")
+        https = parse_stack(Mbuf(build_tcp_packet("1.1.1.1", "2.2.2.2", 1, 443)))
+        dns = parse_stack(Mbuf(build_udp_packet("1.1.1.1", "2.2.2.2", 53, 53)))
+        assert f.hardware.admits(https)
+        assert not f.hardware.admits(dns)
+
+    def test_range_offloadable_on_e810_only(self):
+        patterns = expand_patterns(parse_filter("tcp.port in 8000..8999"))
+        cx5 = generate_hardware_filter(patterns, connectx5_capabilities())
+        e810 = generate_hardware_filter(patterns, intel_e810_capabilities())
+        assert not any("in" in d for d in cx5.describe())
+        assert any("8000..8999" in d for d in e810.describe())
+
+    def test_no_offload_profile_accepts_all(self):
+        f = compile_filter(FIG3, nic=no_offload_capabilities())
+        assert f.hardware.accept_all
+
+    def test_match_all_accepts_all(self):
+        assert compile_filter("").hardware.accept_all
+
+    def test_rules_at_least_as_broad(self):
+        """Hardware never drops a packet the software filter would match."""
+        f = compile_filter(FIG3)
+        frames = [
+            build_tcp_packet("1.1.1.1", "2.2.2.2", 40000, 443),
+            build_tcp_packet("1.1.1.1", "2.2.2.2", 50, 80),
+            build_tcp_packet("2001:db8::1", "2001:db8::2", 1, 2),
+            build_udp_packet("1.1.1.1", "2.2.2.2", 53, 53),
+        ]
+        for frame in frames:
+            mbuf = Mbuf(frame)
+            if f.packet_filter(mbuf).matched:
+                assert f.hardware.admits(parse_stack(mbuf))
+
+
+# ---------------------------------------------------------------------------
+# Property test: compiled and interpreted backends always agree.
+# ---------------------------------------------------------------------------
+
+_FILTERS = [
+    FIG3,
+    "",
+    "ipv4",
+    "tcp.port = 443",
+    "tcp.port in 100..200 and ipv4.ttl > 32",
+    "ipv4.addr in 10.0.0.0/8 or tcp.port = 53",
+    "udp and ipv6",
+    "tls or ssh or dns",
+    "http.user_agent ~ 'Firefox' or (udp.port = 53 and ipv4)",
+]
+
+
+@st.composite
+def packets(draw):
+    v6 = draw(st.booleans())
+    if v6:
+        src = str(ipaddress.IPv6Address(draw(st.integers(0, 2 ** 128 - 1))))
+        dst = str(ipaddress.IPv6Address(draw(st.integers(0, 2 ** 128 - 1))))
+    else:
+        src = str(ipaddress.IPv4Address(draw(st.integers(0, 2 ** 32 - 1))))
+        dst = str(ipaddress.IPv4Address(draw(st.integers(0, 2 ** 32 - 1))))
+    sport = draw(st.integers(0, 65535))
+    dport = draw(st.integers(0, 65535))
+    ttl = draw(st.integers(1, 255))
+    tcp = draw(st.booleans())
+    payload = draw(st.binary(max_size=64))
+    if tcp:
+        return build_tcp_packet(src, dst, sport, dport, payload, ttl=ttl)
+    return build_udp_packet(src, dst, sport, dport, payload, ttl=ttl)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), frame=packets())
+def test_codegen_interp_equivalence(data, frame):
+    text = data.draw(st.sampled_from(_FILTERS))
+    compiled = _get_filter(text, "codegen")
+    interp = _get_filter(text, "interp")
+    mbuf = Mbuf(frame)
+    assert compiled.packet_filter(mbuf) == interp.packet_filter(mbuf)
+
+
+_CACHE = {}
+
+
+def _get_filter(text, mode):
+    key = (text, mode)
+    if key not in _CACHE:
+        _CACHE[key] = compile_filter(text, mode=mode)
+    return _CACHE[key]

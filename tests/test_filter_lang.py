@@ -1,0 +1,219 @@
+"""Tests for the filter language: lexer, parser, AST validation, DNF."""
+
+import ipaddress
+
+import pytest
+
+from repro.errors import FilterSemanticsError, FilterSyntaxError
+from repro.filter import (
+    And,
+    MATCH_ALL,
+    Op,
+    Or,
+    Pred,
+    Predicate,
+    expand_patterns,
+    parse_filter,
+    to_dnf,
+)
+from repro.filter.lexer import TokKind, tokenize
+
+
+class TestLexer:
+    def test_simple(self):
+        kinds = [t.kind for t in tokenize("ipv4 and tcp.port >= 100")]
+        assert kinds == [TokKind.ATOM, TokKind.AND, TokKind.ATOM,
+                         TokKind.OP, TokKind.ATOM, TokKind.EOF]
+
+    def test_string_with_escapes(self):
+        tokens = tokenize(r"tls.sni = 'it\'s'")
+        assert tokens[2].kind is TokKind.STRING
+        assert tokens[2].text == "it's"
+
+    def test_regex_body_survives(self):
+        tokens = tokenize(r"tls.sni ~ '(.+?\.)?nflxvideo\.net'")
+        assert tokens[2].text == r"(.+?\.)?nflxvideo\.net"
+
+    def test_tilde_is_matches(self):
+        assert tokenize("a.b ~ 'x'")[1].kind is TokKind.MATCHES
+
+    def test_ipv6_cidr_atom(self):
+        tokens = tokenize("ipv6.addr in 3::b/125")
+        assert tokens[2].text == "3::b/125"
+
+    def test_bad_char(self):
+        with pytest.raises(FilterSyntaxError):
+            tokenize("tcp.port = @#$")
+
+
+class TestParser:
+    def test_precedence_or_loosest(self):
+        expr = parse_filter("ipv4 and tcp or udp")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.operands[0], And)
+
+    def test_parentheses(self):
+        expr = parse_filter("ipv4 and (tcp or udp)")
+        assert isinstance(expr, And)
+        assert isinstance(expr.operands[1], Or)
+
+    def test_unary(self):
+        expr = parse_filter("tls")
+        assert isinstance(expr, Pred)
+        assert expr.predicate.is_unary
+
+    def test_binary_ops(self):
+        for text, op in [
+            ("ipv4.ttl = 64", Op.EQ), ("ipv4.ttl != 64", Op.NE),
+            ("ipv4.ttl < 64", Op.LT), ("ipv4.ttl <= 64", Op.LE),
+            ("ipv4.ttl > 64", Op.GT), ("ipv4.ttl >= 64", Op.GE),
+        ]:
+            expr = parse_filter(text)
+            assert expr.predicate.op is op
+            assert expr.predicate.value == 64
+
+    def test_range_value(self):
+        expr = parse_filter("tcp.port in 80..100")
+        assert expr.predicate.value == (80, 100)
+
+    def test_cidr_value(self):
+        expr = parse_filter("ipv4.addr in 10.0.0.0/8")
+        assert expr.predicate.value == ipaddress.ip_network("10.0.0.0/8")
+
+    def test_ip_value(self):
+        expr = parse_filter("ipv4.src_addr = 1.2.3.4")
+        assert expr.predicate.value == ipaddress.ip_address("1.2.3.4")
+
+    def test_ipv6_cidr(self):
+        expr = parse_filter("ipv6.addr in 3::b/125")
+        assert expr.predicate.value == ipaddress.ip_network("3::b/125",
+                                                            strict=False)
+
+    def test_matches_regex(self):
+        expr = parse_filter("http.user_agent matches 'Firefox'")
+        assert expr.predicate.op is Op.MATCHES
+
+    def test_empty_is_match_all(self):
+        assert parse_filter("") == MATCH_ALL
+        assert parse_filter("   ") == MATCH_ALL
+
+    def test_table1_examples(self):
+        """All four example filters from Table 1 parse."""
+        for text in [
+            "ipv4.ttl > 64",
+            "ipv4 and (tls or ssh)",
+            "ipv6.addr in 3::b/125 and tcp",
+            "http.user_agent matches 'Firefox'",
+        ]:
+            parse_filter(text)
+
+    # -- error cases --------------------------------------------------------
+    def test_unknown_protocol(self):
+        with pytest.raises(FilterSemanticsError):
+            parse_filter("mqtt")
+
+    def test_unknown_field(self):
+        with pytest.raises(FilterSemanticsError):
+            parse_filter("tcp.bogus = 1")
+
+    def test_type_mismatch_string_lt(self):
+        with pytest.raises(FilterSemanticsError):
+            parse_filter("tls.sni < 'abc'")
+
+    def test_regex_on_int_field(self):
+        with pytest.raises(FilterSemanticsError):
+            parse_filter("tcp.port ~ '44.'")
+
+    def test_int_field_needs_int(self):
+        with pytest.raises(FilterSemanticsError):
+            parse_filter("tcp.port = 'https'")
+
+    def test_bad_regex_rejected(self):
+        with pytest.raises(FilterSemanticsError):
+            parse_filter("tls.sni ~ '('")
+
+    def test_v6_literal_on_v4_field(self):
+        with pytest.raises(FilterSemanticsError):
+            parse_filter("ipv4.addr = ::1")
+
+    def test_unary_with_operator(self):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter("ipv4 = 4")
+
+    def test_field_without_operator(self):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter("tcp.port and ipv4")
+
+    def test_dangling_and(self):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter("ipv4 and")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter("(ipv4 and tcp")
+
+    def test_empty_range(self):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter("tcp.port in 100..80")
+
+    def test_unquoted_string(self):
+        with pytest.raises(FilterSyntaxError):
+            parse_filter("tls.sni = netflix..com..bad")
+
+
+class TestDnf:
+    def test_distribution(self):
+        expr = parse_filter("ipv4 and (tls or ssh)")
+        patterns = to_dnf(expr)
+        assert len(patterns) == 2
+        assert all(str(p[0]) == "ipv4" for p in patterns)
+
+    def test_nested_distribution(self):
+        expr = parse_filter("(ipv4 or ipv6) and (tcp.port = 1 or tcp.port = 2)")
+        assert len(to_dnf(expr)) == 4
+
+    def test_expansion_adds_chain(self):
+        patterns = expand_patterns(parse_filter("http"))
+        # http over tcp over {ipv4, ipv6}
+        assert len(patterns) == 2
+        chains = {tuple(str(p) for p in pat) for pat in patterns}
+        assert ("eth", "ipv4", "tcp", "http") in chains
+        assert ("eth", "ipv6", "tcp", "http") in chains
+
+    def test_expansion_dns_two_transports(self):
+        patterns = expand_patterns(parse_filter("dns and ipv4"))
+        chains = {tuple(str(p) for p in pat) for pat in patterns}
+        assert ("eth", "ipv4", "udp", "dns") in chains
+        assert ("eth", "ipv4", "tcp", "dns") in chains
+
+    def test_session_field_implies_protocol(self):
+        patterns = expand_patterns(parse_filter("tls.sni ~ 'x' and ipv4"))
+        assert [str(p) for p in patterns[0]] == [
+            "eth", "ipv4", "tcp", "tls", "tls.sni ~ 'x'"
+        ]
+
+    def test_contradiction_pruned(self):
+        patterns = expand_patterns(parse_filter("(ipv4 and ipv6) or tcp"))
+        # ipv4-and-ipv6 pattern dropped; tcp expands to two chains
+        assert len(patterns) == 2
+
+    def test_all_contradictory_raises(self):
+        with pytest.raises(FilterSemanticsError):
+            expand_patterns(parse_filter("ipv4 and ipv6"))
+
+    def test_two_app_protocols_contradictory(self):
+        with pytest.raises(FilterSemanticsError):
+            expand_patterns(parse_filter("tls and http"))
+
+    def test_match_all(self):
+        assert expand_patterns(MATCH_ALL) == [[]]
+
+    def test_binary_transport_pred_forces_transport(self):
+        patterns = expand_patterns(parse_filter("tcp.port = 443"))
+        chains = {tuple(str(p) for p in pat) for pat in patterns}
+        assert ("eth", "ipv4", "tcp", "tcp.port = 443") in chains
+        assert ("eth", "ipv6", "tcp", "tcp.port = 443") in chains
+
+    def test_duplicate_predicates_deduped(self):
+        patterns = expand_patterns(parse_filter("tcp and tcp and ipv4"))
+        assert [str(p) for p in patterns[0]] == ["eth", "ipv4", "tcp"]

@@ -1,0 +1,133 @@
+"""Tests for JA3 client fingerprinting and DNS answer decoding."""
+
+import hashlib
+
+import pytest
+
+from repro import Runtime, RuntimeConfig
+from repro.protocols import DnsParser, ParseResult, TlsParser
+from repro.protocols.dns.build import build_dns_query, build_dns_response
+from repro.protocols.tls.build import build_client_hello, \
+    build_server_hello
+from repro.protocols.tls.data import is_grease
+from repro.stream.pdu import StreamSegment
+from repro.traffic import FlowSpec, dns_flow, tls_flow
+
+
+def seg(payload, from_orig=True):
+    return StreamSegment(payload, from_orig, 0.0)
+
+
+class TestGrease:
+    def test_grease_values(self):
+        for value in (0x0A0A, 0x1A1A, 0xFAFA):
+            assert is_grease(value)
+        for value in (0x1301, 0x0A1A, 0x00FF, 0xC02F):
+            assert not is_grease(value)
+
+
+class TestJa3:
+    def _handshake(self, **kwargs):
+        parser = TlsParser()
+        parser.parse(seg(build_client_hello(
+            "ja3.example", bytes(32), **kwargs)))
+        parser.parse(seg(build_server_hello(bytes(range(32, 64))),
+                         from_orig=False))
+        return parser.handshake_data
+
+    def test_ja3_string_structure(self):
+        data = self._handshake(
+            cipher_suites=[0x1301, 0xC02F],
+            supported_groups=[0x001D, 0x0017],
+            ec_point_formats=[0],
+        )
+        fields = data.ja3_string().split(",")
+        assert len(fields) == 5
+        assert fields[0] == "771"              # TLS 1.2 client version
+        assert fields[1] == "4865-49199"       # ciphers, dash-joined
+        assert fields[3] == "29-23"            # groups
+        assert fields[4] == "0"                # point formats
+
+    def test_ja3_md5(self):
+        data = self._handshake()
+        assert data.ja3() == hashlib.md5(
+            data.ja3_string().encode()).hexdigest()
+        assert len(data.ja3()) == 32
+
+    def test_grease_excluded(self):
+        noisy = self._handshake(
+            cipher_suites=[0x0A0A, 0x1301],
+            supported_groups=[0x1A1A, 0x001D],
+        )
+        clean = self._handshake(
+            cipher_suites=[0x1301],
+            supported_groups=[0x001D],
+        )
+        assert noisy.ja3() == clean.ja3()
+
+    def test_different_clients_differ(self):
+        a = self._handshake(cipher_suites=[0x1301])
+        b = self._handshake(cipher_suites=[0x1302])
+        assert a.ja3() != b.ja3()
+
+    def test_extension_order_captured(self):
+        data = self._handshake()
+        # sni(0), groups(10), formats(11) at minimum, in offer order.
+        assert data.client_extensions[:3] == [0, 10, 11]
+
+    def test_end_to_end_through_runtime(self):
+        seen = []
+        runtime = Runtime(RuntimeConfig(cores=1), filter_str="tls",
+                          datatype="tls_handshake",
+                          callback=lambda h: seen.append(h.data.ja3()))
+        runtime.run(iter(tls_flow(
+            FlowSpec("10.0.0.1", "1.1.1.1", 1000, 443), "e2e.example")))
+        assert len(seen) == 1 and len(seen[0]) == 32
+
+    def test_no_client_hello_no_ja3(self):
+        from repro.protocols.tls.data import TlsHandshakeData
+        assert TlsHandshakeData().ja3() is None
+
+
+class TestDnsAnswers:
+    def _transaction(self, response):
+        parser = DnsParser()
+        parser.parse(seg(build_dns_query("q.example", txn_id=5)))
+        parser.parse(seg(response, from_orig=False))
+        return parser.drain_sessions()[0].data
+
+    def test_a_record_decoded(self):
+        txn = self._transaction(build_dns_response(
+            "q.example", "93.184.216.34", txn_id=5, ttl=1234))
+        assert len(txn.answers) == 1
+        answer = txn.answers[0]
+        assert answer.name == "q.example"
+        assert answer.type_name == "A"
+        assert answer.value == "93.184.216.34"
+        assert answer.ttl == 1234
+
+    def test_aaaa_record_decoded(self):
+        txn = self._transaction(build_dns_response(
+            "q.example", "2606:2800:220:1::1", qtype="AAAA", txn_id=5))
+        assert txn.answers[0].type_name == "AAAA"
+        assert txn.answers[0].value == "2606:2800:220:1::1"
+
+    def test_nxdomain_no_answers(self):
+        txn = self._transaction(build_dns_response(
+            "q.example", txn_id=5, rcode=3))
+        assert txn.answers == []
+        assert txn.rcode_name() == "NXDOMAIN"
+
+    def test_end_to_end(self):
+        got = []
+        runtime = Runtime(RuntimeConfig(cores=1), filter_str="dns",
+                          datatype="dns_transaction", callback=got.append)
+        runtime.run(iter(dns_flow(
+            FlowSpec("10.0.0.1", "8.8.8.8", 5000, 53),
+            name="ans.example", answer="1.2.3.4")))
+        assert got[0].data.answers[0].value == "1.2.3.4"
+
+    def test_truncated_answers_tolerated(self):
+        response = build_dns_response("q.example", txn_id=5)
+        txn = self._transaction(response[:len(response) - 3])
+        assert txn.answers == []  # clean degradation

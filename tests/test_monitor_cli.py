@@ -1,0 +1,139 @@
+"""Tests for the Section 5.3 monitor and the command-line interface."""
+
+import pytest
+
+from repro import Runtime, RuntimeConfig
+from repro.cli import main
+from repro.core.monitor import MonitorSample, StatsMonitor
+from repro.traffic import CampusTrafficGenerator, FlowSpec, tls_flow, \
+    write_pcap
+
+
+class TestStatsMonitor:
+    def _run_with_monitor(self, interval=0.1, **config_kwargs):
+        monitor = StatsMonitor(interval=interval)
+        runtime = Runtime(
+            RuntimeConfig(cores=2, **config_kwargs),
+            filter_str="",
+            datatype="connection",
+            callback=lambda r: None,
+        )
+        traffic = CampusTrafficGenerator(seed=17).packets(duration=1.0,
+                                                          gbps=0.05)
+        runtime.run(iter(traffic), monitor=monitor)
+        return monitor
+
+    def test_samples_collected(self):
+        monitor = self._run_with_monitor()
+        assert len(monitor.samples) >= 3
+        timestamps = [s.timestamp for s in monitor.samples]
+        assert timestamps == sorted(timestamps)
+
+    def test_sample_contents(self):
+        monitor = self._run_with_monitor()
+        total_pkts = sum(s.ingress_packets for s in monitor.samples)
+        assert total_pkts > 0
+        assert all(s.interval_gbps >= 0 for s in monitor.samples)
+        assert all(s.live_connections >= 0 for s in monitor.samples)
+
+    def test_emit_callback(self):
+        lines = []
+        monitor = StatsMonitor(interval=0.1, emit=lines.append)
+        runtime = Runtime(RuntimeConfig(cores=1), filter_str="",
+                          datatype="packet", callback=None)
+        traffic = CampusTrafficGenerator(seed=18).packets(duration=0.5,
+                                                          gbps=0.05)
+        runtime.run(iter(traffic), monitor=monitor)
+        assert lines
+        assert "Gbps" in lines[0]
+
+    def test_loss_signal(self):
+        """A hugely expensive per-packet callback overloads the core;
+        the monitor's loss signal must fire (Section 5.3's feedback)."""
+        from repro.traffic import CampusProfile
+        monitor = StatsMonitor(interval=0.1)
+        runtime = Runtime(
+            RuntimeConfig(cores=1, callback_cycles=5e8),
+            filter_str="", datatype="packet", callback=None,
+        )
+        # No long-lived stretched flows: keep the trace dense so every
+        # monitoring interval carries load.
+        profile = CampusProfile(long_lived_fraction=0.0)
+        traffic = CampusTrafficGenerator(seed=18, profile=profile).packets(
+            duration=0.5, gbps=0.05)
+        runtime.run(iter(traffic), monitor=monitor)
+        assert monitor.sustained_loss
+        assert any(s.loss_fraction > 0.5 for s in monitor.samples)
+
+    def test_no_loss_when_light(self):
+        monitor = self._run_with_monitor()
+        assert not monitor.sustained_loss
+
+    def test_format_and_log_lines(self):
+        monitor = self._run_with_monitor()
+        lines = monitor.log_lines()
+        assert len(lines) == len(monitor.samples)
+        assert all("conns=" in line for line in lines)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            StatsMonitor(interval=0)
+
+
+class TestCli:
+    def test_describe_filter(self, capsys):
+        assert main(["--describe-filter", "tcp.port = 443 and tls"]) == 0
+        out = capsys.readouterr().out
+        assert "trie:" in out
+        assert "ETH-IPV4-TCP" in out
+        assert "def packet_filter" in out
+
+    def test_describe_bad_filter(self, capsys):
+        assert main(["--describe-filter", "bogus.field = 1"]) == 2
+        assert "filter error" in capsys.readouterr().err
+
+    def test_pcap_run(self, tmp_path, capsys):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, tls_flow(
+            FlowSpec("10.0.0.1", "1.2.3.4", 999, 443), "cli.example.com"))
+        code = main(["--pcap", str(path), "--filter", "tls",
+                     "--datatype", "tls_handshake", "--cores", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sni=cli.example.com" in out
+        assert "zero-loss ceiling" in out
+
+    def test_synthetic_run_with_monitor(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.3",
+                     "--gbps", "0.05", "--datatype", "connection",
+                     "--print-limit", "2", "--monitor", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ConnectionRecord" in out
+        assert "Gbps" in out
+
+    def test_bad_config(self, capsys):
+        code = main(["--cores", "0", "--synthetic", "campus"])
+        assert code == 2
+
+    def test_print_limit_zero(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.2",
+                     "--gbps", "0.05", "--print-limit", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RawPacket" not in out
+
+
+class TestJsonStats:
+    def test_json_stats_written(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "stats.json"
+        code = main(["--synthetic", "campus", "--duration", "0.2",
+                     "--gbps", "0.05", "--print-limit", "0",
+                     "--json-stats", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["ingress_packets"] > 0
+        assert "max_zero_loss_gbps" in payload
+        assert set(payload["stage_invocations"]) >= {"capture",
+                                                     "packet_filter"}

@@ -1,0 +1,110 @@
+"""Tests for the filter pretty-printer (round-trip property) and the
+JA3 fingerprint counter app."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Runtime, RuntimeConfig
+from repro.analysis import Ja3Counter
+from repro.filter import (
+    compile_filter,
+    expand_patterns,
+    format_filter,
+    format_predicate,
+    parse_filter,
+)
+from repro.traffic import FlowSpec, tls_flow
+
+ROUND_TRIP_FILTERS = [
+    "",
+    "ipv4",
+    "tcp.port = 443",
+    "tcp.port in 80..100",
+    "ipv4.addr in 10.0.0.0/8",
+    "ipv6.addr in 2001:db8::/32",
+    "ipv4.src_addr = 1.2.3.4",
+    "tls.sni matches '.*\\.com$'",
+    "tls.sni = 'it\\'s.example'",
+    "ipv4 and (tls or ssh)",
+    "(ipv4 and tcp.port >= 100 and tls.sni matches 'netflix') or http",
+    "http.user_agent matches 'Firefox' or dns.response_code = 3",
+    "icmp.type = 8 and ipv4.ttl > 64",
+]
+
+
+class TestPrinterRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_FILTERS)
+    def test_round_trip_preserves_semantics(self, text):
+        """parse(format(parse(x))) expands to identical patterns."""
+        original = parse_filter(text)
+        printed = format_filter(original)
+        reparsed = parse_filter(printed)
+        def canon(expr):
+            return sorted(
+                tuple(str(p) for p in pattern)
+                for pattern in expand_patterns(expr)
+            )
+        assert canon(original) == canon(reparsed)
+
+    def test_match_all_prints_empty(self):
+        assert format_filter(parse_filter("")) == ""
+
+    def test_predicate_formats(self):
+        expr = parse_filter("tcp.port in 80..100")
+        assert format_predicate(expr.predicate) == "tcp.port in 80..100"
+
+    def test_or_of_ands_parenthesized(self):
+        text = format_filter(parse_filter("(ipv4 and tcp) or udp"))
+        assert parse_filter(text)  # stays parseable
+        assert "and" in text and "or" in text
+
+    def test_printed_filter_compiles(self):
+        for text in ROUND_TRIP_FILTERS:
+            compile_filter(format_filter(parse_filter(text)))
+
+
+class TestJa3Counter:
+    def _run(self, flows):
+        counter = Ja3Counter()
+        runtime = Runtime(RuntimeConfig(cores=2), filter_str="tls",
+                          datatype="tls_handshake", callback=counter)
+        packets = sorted((m for f in flows for m in f),
+                         key=lambda m: m.timestamp)
+        runtime.run(iter(packets))
+        return counter
+
+    def test_counts_and_tail(self):
+        rng = random.Random(3)
+        flows = []
+        # A fleet of identical mainstream clients...
+        for i in range(6):
+            flows.append(tls_flow(
+                FlowSpec(f"10.0.0.{i + 1}", "1.1.1.1", 1000 + i, 443),
+                f"site{i}.example.com",
+                cipher_suite=0x1301, start_ts=0.02 * i, rng=rng))
+        # ...and one odd client offering a lone legacy suite.
+        odd = tls_flow(FlowSpec("10.0.9.9", "1.1.1.1", 2000, 443),
+                       "odd.example.org", cipher_suite=0x0005,
+                       start_ts=1.0, rng=rng)
+        counter = self._run(flows + [odd])
+        assert counter.handshakes == 7
+        assert counter.distinct >= 1
+        top_fp, top_count = counter.top(1)[0]
+        assert top_count >= 6
+
+    def test_sni_examples_collected(self):
+        counter = self._run([
+            tls_flow(FlowSpec("10.0.0.1", "1.1.1.1", 1000, 443),
+                     "example-a.com"),
+        ])
+        fingerprint = counter.top(1)[0][0]
+        assert "example-a.com" in counter.sni_examples[fingerprint]
+
+    def test_summary(self):
+        counter = self._run([
+            tls_flow(FlowSpec("10.0.0.1", "1.1.1.1", 1000, 443), "s.com"),
+        ])
+        assert "distinct JA3" in counter.summary()

@@ -1,0 +1,339 @@
+"""Tests for application-layer parsers: TLS, HTTP, SSH, DNS."""
+
+import os
+import struct
+
+import pytest
+
+from repro.protocols import (
+    DnsParser,
+    HttpParser,
+    ParseResult,
+    ProbeResult,
+    SshParser,
+    TlsParser,
+    default_parser_registry,
+)
+from repro.protocols.dns.build import build_dns_query, build_dns_response
+from repro.protocols.dns.parser import parse_name
+from repro.protocols.tls.build import (
+    build_application_data,
+    build_certificate,
+    build_client_hello,
+    build_server_hello,
+    build_server_hello_done,
+)
+from repro.protocols.tls.ciphers import cipher_name, version_name
+from repro.stream.pdu import StreamSegment
+
+
+def seg(payload, from_orig=True, ts=0.0):
+    return StreamSegment(payload, from_orig, ts)
+
+
+CLIENT_RANDOM = bytes(range(32))
+SERVER_RANDOM = bytes(range(32, 64))
+
+
+class TestTlsParser:
+    def test_probe_client_hello(self):
+        hello = build_client_hello("example.com", CLIENT_RANDOM)
+        assert TlsParser().probe(seg(hello)) is ProbeResult.MATCH
+
+    def test_probe_http_no_match(self):
+        assert TlsParser().probe(seg(b"GET / HTTP/1.1\r\n")) is \
+            ProbeResult.NO_MATCH
+
+    def test_probe_short_unsure(self):
+        assert TlsParser().probe(seg(b"\x16\x03")) is ProbeResult.UNSURE
+
+    def test_full_handshake(self):
+        parser = TlsParser()
+        hello = build_client_hello(
+            "video.netflix.com", CLIENT_RANDOM,
+            cipher_suites=[0x1301, 0xC02F],
+            supported_versions=[0x0304, 0x0303],
+            alpn=["h2", "http/1.1"],
+        )
+        assert parser.parse(seg(hello, from_orig=True, ts=1.0)) is \
+            ParseResult.CONTINUE
+        shello = build_server_hello(SERVER_RANDOM, cipher_suite=0x1301,
+                                    selected_version=0x0304)
+        assert parser.parse(seg(shello, from_orig=False, ts=1.1)) is \
+            ParseResult.DONE
+        sessions = parser.drain_sessions()
+        assert len(sessions) == 1
+        data = sessions[0].data
+        assert data.sni() == "video.netflix.com"
+        assert data.cipher() == "TLS_AES_128_GCM_SHA256"
+        assert data.version() == "TLS 1.3"
+        assert data.client_version() == "TLS 1.2"
+        assert data.client_random == CLIENT_RANDOM
+        assert data.server_random == SERVER_RANDOM
+        assert data.offered_ciphers == [0x1301, 0xC02F]
+        assert data.alpn_protocols == ["h2", "http/1.1"]
+
+    def test_tls12_version_from_server_hello(self):
+        parser = TlsParser()
+        parser.parse(seg(build_client_hello("x.com", CLIENT_RANDOM)))
+        # TLS 1.2 sessions finish at the end of the server's plaintext
+        # flight, so the ServerHelloDone is required.
+        parser.parse(seg(build_server_hello(SERVER_RANDOM,
+                                            cipher_suite=0xC02F)
+                         + build_server_hello_done(),
+                         from_orig=False))
+        data = parser.drain_sessions()[0].data
+        assert data.version() == "TLS 1.2"
+        assert data.cipher() == "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256"
+
+    def test_no_sni(self):
+        parser = TlsParser()
+        parser.parse(seg(build_client_hello(None, CLIENT_RANDOM)))
+        parser.parse(seg(build_server_hello(SERVER_RANDOM)),)
+        # server hello on wrong direction:
+        parser.parse(seg(build_server_hello(SERVER_RANDOM), from_orig=False))
+        data = parser.handshake_data
+        assert data.sni() is None
+
+    def test_record_split_across_segments(self):
+        parser = TlsParser()
+        hello = build_client_hello("split.example", CLIENT_RANDOM)
+        mid = len(hello) // 2
+        assert parser.parse(seg(hello[:mid])) is ParseResult.CONTINUE
+        parser.parse(seg(hello[mid:]))
+        parser.parse(seg(build_server_hello(SERVER_RANDOM),
+                         from_orig=False))
+        assert parser.handshake_data.sni() == "split.example"
+
+    def test_multiple_records_one_segment(self):
+        parser = TlsParser()
+        server_flight = (
+            build_server_hello(SERVER_RANDOM)
+            + build_certificate()
+            + build_server_hello_done()
+        )
+        parser.parse(seg(build_client_hello("a.com", CLIENT_RANDOM)))
+        assert parser.parse(seg(server_flight, from_orig=False)) is \
+            ParseResult.DONE
+        data = parser.drain_sessions()[0].data
+        assert data.complete
+
+    def test_garbage_is_error(self):
+        parser = TlsParser()
+        assert parser.parse(seg(b"\xde\xad\xbe\xef" * 10)) is \
+            ParseResult.ERROR
+
+    def test_application_data_ignored(self):
+        parser = TlsParser()
+        parser.parse(seg(build_client_hello("a.com", CLIENT_RANDOM)))
+        result = parser.parse(seg(build_application_data(b"x" * 100),
+                                  from_orig=False))
+        assert result is ParseResult.CONTINUE
+
+    def test_match_state_is_track(self):
+        assert TlsParser().session_match_state() == "track"
+        assert TlsParser().session_nomatch_state() == "delete"
+
+    def test_cipher_and_version_name_fallbacks(self):
+        assert cipher_name(0xFFFF) == "UNKNOWN_0xffff"
+        assert version_name(0x9999) == "UNKNOWN_0x9999"
+
+    def test_bad_random_length_rejected_by_builder(self):
+        with pytest.raises(ValueError):
+            build_client_hello("x", b"short")
+
+
+class TestHttpParser:
+    def test_probe(self):
+        parser = HttpParser()
+        assert parser.probe(seg(b"GET /index.html HTTP/1.1\r\n")) is \
+            ProbeResult.MATCH
+        assert parser.probe(seg(b"HTTP/1.1 200 OK\r\n", from_orig=False)) is \
+            ProbeResult.MATCH
+        assert parser.probe(seg(b"GE")) is ProbeResult.UNSURE
+        assert parser.probe(seg(b"\x16\x03\x01")) is ProbeResult.NO_MATCH
+
+    def test_transaction(self):
+        parser = HttpParser()
+        request = (b"GET /video?id=1 HTTP/1.1\r\n"
+                   b"Host: example.com\r\n"
+                   b"User-Agent: Firefox/117.0\r\n\r\n")
+        response = (b"HTTP/1.1 200 OK\r\n"
+                    b"Content-Length: 5\r\n"
+                    b"Content-Type: text/plain\r\n\r\nhello")
+        assert parser.parse(seg(request, ts=1.0)) is ParseResult.CONTINUE
+        assert parser.parse(seg(response, from_orig=False, ts=1.2)) is \
+            ParseResult.DONE
+        txn = parser.drain_sessions()[0].data
+        assert txn.method() == "GET"
+        assert txn.uri() == "/video?id=1"
+        assert txn.host() == "example.com"
+        assert txn.user_agent() == "Firefox/117.0"
+        assert txn.status_code() == 200
+        assert txn.content_length() == 5
+        assert txn.version() == "1.1"
+
+    def test_pipelined_requests(self):
+        parser = HttpParser()
+        parser.parse(seg(b"GET /a HTTP/1.1\r\nHost: h\r\n\r\n"
+                         b"GET /b HTTP/1.1\r\nHost: h\r\n\r\n"))
+        parser.parse(seg(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"
+                         b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n",
+                         from_orig=False))
+        sessions = parser.drain_sessions()
+        assert [s.data.uri() for s in sessions] == ["/a", "/b"]
+        assert [s.data.status_code() for s in sessions] == [200, 404]
+
+    def test_request_body_skipped(self):
+        parser = HttpParser()
+        parser.parse(seg(b"POST /u HTTP/1.1\r\nHost: h\r\n"
+                         b"Content-Length: 4\r\n\r\nBODY"
+                         b"GET /after HTTP/1.1\r\nHost: h\r\n\r\n"))
+        parser.parse(seg(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n",
+                         from_orig=False))
+        sessions = parser.drain_sessions()
+        assert sessions[0].data.method() == "POST"
+
+    def test_body_split_across_segments(self):
+        parser = HttpParser()
+        parser.parse(seg(b"POST /u HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345"))
+        parser.parse(seg(b"67890GET /next HTTP/1.1\r\n\r\n"))
+        parser.parse(seg(b"HTTP/1.1 201 Created\r\nContent-Length: 0\r\n\r\n",
+                         from_orig=False))
+        assert parser.drain_sessions()[0].data.status_code() == 201
+
+    def test_huge_head_is_error(self):
+        parser = HttpParser()
+        assert parser.parse(seg(b"GET /" + b"a" * 70000)) is \
+            ParseResult.ERROR
+
+    def test_response_without_request(self):
+        parser = HttpParser()
+        parser.parse(seg(b"HTTP/1.1 502 Bad Gateway\r\n\r\n",
+                         from_orig=False))
+        txn = parser.drain_sessions()[0].data
+        assert txn.status_code() == 502
+        assert txn.method() is None
+
+    def test_keeps_parsing_after_match(self):
+        assert HttpParser().session_match_state() == "parse"
+        assert HttpParser().session_nomatch_state() == "parse"
+
+
+class TestSshParser:
+    def test_probe(self):
+        assert SshParser().probe(seg(b"SSH-2.0-OpenSSH_8.9\r\n")) is \
+            ProbeResult.MATCH
+        assert SshParser().probe(seg(b"SS")) is ProbeResult.UNSURE
+        assert SshParser().probe(seg(b"GET /")) is ProbeResult.NO_MATCH
+
+    def test_banner_exchange(self):
+        parser = SshParser()
+        assert parser.parse(seg(b"SSH-2.0-OpenSSH_8.9p1 Ubuntu\r\n")) is \
+            ParseResult.CONTINUE
+        assert parser.parse(seg(b"SSH-2.0-dropbear_2022.83\r\n",
+                                from_orig=False)) is ParseResult.DONE
+        data = parser.drain_sessions()[0].data
+        assert data.client_version() == "2.0"
+        assert data.client_software() == "OpenSSH_8.9p1"
+        assert data.server_software() == "dropbear_2022.83"
+
+    def test_banner_split(self):
+        parser = SshParser()
+        parser.parse(seg(b"SSH-2.0-Open"))
+        parser.parse(seg(b"SSH_9.0\n"))
+        parser.parse(seg(b"SSH-2.0-srv\r\n", from_orig=False))
+        assert parser.drain_sessions()[0].data.client_software() == \
+            "OpenSSH_9.0"
+
+    def test_oversized_banner_error(self):
+        parser = SshParser()
+        assert parser.parse(seg(b"SSH-" + b"x" * 300)) is ParseResult.ERROR
+
+    def test_v1_banner(self):
+        parser = SshParser()
+        parser.parse(seg(b"SSH-1.99-Cisco-1.25\r\n"))
+        parser.parse(seg(b"SSH-2.0-x\r\n", from_orig=False))
+        assert parser.drain_sessions()[0].data.client_version() == "1.99"
+
+
+class TestDnsParser:
+    def test_probe_query(self):
+        query = build_dns_query("example.com", "A")
+        assert DnsParser().probe(seg(query)) is ProbeResult.MATCH
+
+    def test_probe_garbage(self):
+        bad = b"\x12\x34\x01\x00\x00\x99" + b"\x00" * 20
+        assert DnsParser().probe(seg(bad)) is ProbeResult.NO_MATCH
+
+    def test_query_response_pair(self):
+        parser = DnsParser()
+        assert parser.parse(seg(build_dns_query("www.example.com", "AAAA",
+                                                txn_id=7), ts=1.0)) is \
+            ParseResult.CONTINUE
+        response = build_dns_response("www.example.com", "2606:2800::1",
+                                      qtype="AAAA", txn_id=7)
+        assert parser.parse(seg(response, from_orig=False, ts=1.05)) is \
+            ParseResult.DONE
+        txn = parser.drain_sessions()[0].data
+        assert txn.query_name() == "www.example.com"
+        assert txn.query_type() == "AAAA"
+        assert txn.response_code() == 0
+        assert txn.rcode_name() == "NOERROR"
+        assert txn.answer_count == 1
+
+    def test_nxdomain(self):
+        parser = DnsParser()
+        parser.parse(seg(build_dns_query("nope.invalid", txn_id=9)))
+        parser.parse(seg(build_dns_response("nope.invalid", txn_id=9,
+                                            rcode=3), from_orig=False))
+        txn = parser.drain_sessions()[0].data
+        assert txn.rcode_name() == "NXDOMAIN"
+        assert txn.answer_count == 0
+
+    def test_response_without_query(self):
+        parser = DnsParser()
+        parser.parse(seg(build_dns_response("orphan.com", txn_id=1),
+                         from_orig=False))
+        txn = parser.drain_sessions()[0].data
+        assert txn.query_name() == "orphan.com"
+
+    def test_name_compression(self):
+        response = build_dns_response("a.b.example.org", txn_id=2)
+        name, _ = parse_name(response, 12)
+        assert name == "a.b.example.org"
+
+    def test_compression_loop_rejected(self):
+        # A pointer that points at itself.
+        message = b"\x00" * 12 + b"\xc0\x0c"
+        with pytest.raises(ValueError):
+            parse_name(message, 12)
+
+    def test_tcp_length_prefix(self):
+        query = build_dns_query("t.example", txn_id=3)
+        framed = struct.pack("!H", len(query)) + query
+        parser = DnsParser()
+        parser.parse(seg(framed))
+        response = build_dns_response("t.example", txn_id=3)
+        parser.parse(seg(struct.pack("!H", len(response)) + response,
+                         from_orig=False))
+        assert parser.drain_sessions()[0].data.query_name() == "t.example"
+
+
+class TestRegistry:
+    def test_default_registry(self):
+        registry = default_parser_registry()
+        assert registry.protocols() == ["dns", "http", "quic", "ssh", "tls"]
+        assert isinstance(registry.create("tls"), TlsParser)
+
+    def test_create_set_fresh_instances(self):
+        registry = default_parser_registry()
+        set1 = registry.create_set(["tls", "http", "tls"])
+        assert len(set1) == 2
+        set2 = registry.create_set(["tls"])
+        assert set1[1] is not set2[0]
+
+    def test_unknown_protocol(self):
+        from repro.errors import SubscriptionError
+        with pytest.raises(SubscriptionError):
+            default_parser_registry().create("mqtt")

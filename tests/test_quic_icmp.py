@@ -1,0 +1,193 @@
+"""Tests for the QUIC and ICMP protocol modules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Runtime, RuntimeConfig
+from repro.filter import compile_filter
+from repro.packet import Icmp, Mbuf, build_icmp_echo, parse_stack
+from repro.protocols import ProbeResult, ParseResult, QuicParser
+from repro.protocols.quic.build import (
+    QUIC_V1,
+    QUIC_V2,
+    build_quic_initial,
+    build_quic_short,
+    build_quic_version_negotiation,
+    decode_varint,
+    encode_varint,
+)
+from repro.protocols.quic.parser import parse_long_header
+from repro.stream.pdu import StreamSegment
+from repro.traffic import FlowSpec, ping_flow, quic_flow
+
+
+def seg(payload, from_orig=True, ts=0.0):
+    return StreamSegment(payload, from_orig, ts)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 63, 64, 16383, 16384,
+                                       (1 << 30) - 1, 1 << 30,
+                                       (1 << 62) - 1])
+    def test_round_trip(self, value):
+        encoded = encode_varint(value)
+        decoded, end = decode_varint(encoded)
+        assert decoded == value
+        assert end == len(encoded)
+
+    def test_lengths(self):
+        assert len(encode_varint(63)) == 1
+        assert len(encode_varint(64)) == 2
+        assert len(encode_varint(16384)) == 4
+        assert len(encode_varint(1 << 30)) == 8
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_varint(1 << 62)
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"")
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")  # claims 4 bytes, has 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.integers(0, (1 << 62) - 1))
+    def test_property_round_trip(self, value):
+        decoded, _ = decode_varint(encode_varint(value))
+        assert decoded == value
+
+
+class TestQuicHeader:
+    def test_initial_parses(self):
+        datagram = build_quic_initial(b"\xaa" * 8, b"\xbb" * 5,
+                                      token=b"tok")
+        header = parse_long_header(datagram)
+        assert header.version == QUIC_V1
+        assert header.dcid == b"\xaa" * 8
+        assert header.scid == b"\xbb" * 5
+        assert header.token == b"tok"
+
+    def test_short_header_not_long(self):
+        assert parse_long_header(build_quic_short(b"\xaa" * 8)) is None
+
+    def test_version_negotiation(self):
+        datagram = build_quic_version_negotiation(b"\x01" * 4, b"\x02" * 4)
+        header = parse_long_header(datagram)
+        assert header.version == 0
+
+    def test_oversized_cid_rejected(self):
+        with pytest.raises(ValueError):
+            build_quic_initial(b"\x00" * 21, b"")
+
+
+class TestQuicParser:
+    def test_probe(self):
+        parser = QuicParser()
+        assert parser.probe(seg(build_quic_initial(b"\x01" * 8, b""))) \
+            is ProbeResult.MATCH
+        assert parser.probe(seg(b"GET / HTTP/1.1")) is ProbeResult.NO_MATCH
+        assert parser.probe(seg(b"")) is ProbeResult.UNSURE
+
+    def test_probe_unknown_version(self):
+        datagram = build_quic_initial(b"\x01" * 8, b"", version=0x12345678)
+        assert QuicParser().probe(seg(datagram)) is ProbeResult.NO_MATCH
+
+    def test_handshake(self):
+        parser = QuicParser()
+        client = build_quic_initial(b"\xaa" * 8, b"\xcc" * 8,
+                                    version=QUIC_V2, token=b"t" * 16)
+        server = build_quic_initial(b"\xcc" * 8, b"\xdd" * 8,
+                                    version=QUIC_V2)
+        assert parser.parse(seg(client, from_orig=True)) is \
+            ParseResult.CONTINUE
+        assert parser.parse(seg(server, from_orig=False)) is \
+            ParseResult.DONE
+        data = parser.drain_sessions()[0].data
+        assert data.version() == "QUICv2"
+        assert data.dcid() == "aa" * 8
+        assert data.server_scid == b"\xdd" * 8
+        assert data.client_token_len == 16
+
+    def test_short_header_ignored_mid_parse(self):
+        parser = QuicParser()
+        parser.parse(seg(build_quic_initial(b"\x0a" * 8, b"\x0b" * 8)))
+        assert parser.parse(seg(build_quic_short(b"\x0a" * 8))) is \
+            ParseResult.CONTINUE
+
+    def test_end_to_end_subscription(self):
+        got = []
+        runtime = Runtime(
+            RuntimeConfig(cores=2),
+            filter_str="quic.version = 'QUICv1'",
+            datatype="quic_handshake",
+            callback=got.append,
+        )
+        packets = quic_flow(FlowSpec("10.0.0.1", "171.64.2.2", 44444, 443),
+                            dcid=b"\x77" * 8, scid=b"\x88" * 8)
+        packets += quic_flow(FlowSpec("10.0.0.2", "171.64.2.3", 44445, 443),
+                             version=QUIC_V2, start_ts=1.0)
+        runtime.run(iter(sorted(packets, key=lambda m: m.timestamp)))
+        assert len(got) == 1
+        assert got[0].version() == "QUICv1"
+        assert got[0].dcid() == "77" * 8
+
+    def test_campus_mix_carries_quic(self):
+        from repro.traffic import CampusTrafficGenerator
+        got = []
+        runtime = Runtime(RuntimeConfig(cores=4), filter_str="quic",
+                          datatype="quic_handshake", callback=got.append)
+        traffic = CampusTrafficGenerator(seed=19).packets(duration=0.4,
+                                                          gbps=0.3)
+        runtime.run(iter(traffic))
+        assert got, "campus mix should contain QUIC connections"
+        assert all(h.version() == "QUICv1" for h in got)
+
+
+class TestIcmp:
+    def test_echo_builder_and_parser(self):
+        frame = build_icmp_echo("10.0.0.1", "8.8.8.8", identifier=99,
+                                sequence=3)
+        stack = parse_stack(Mbuf(frame))
+        assert stack.icmp is not None
+        assert stack.icmp.icmp_type() == 8
+        assert stack.icmp.identifier() == 99
+        assert stack.icmp.sequence() == 3
+
+    def test_echo_reply(self):
+        frame = build_icmp_echo("8.8.8.8", "10.0.0.1", reply=True)
+        stack = parse_stack(Mbuf(frame))
+        assert stack.icmp.icmp_type() == 0
+
+    def test_checksum_valid(self):
+        from repro.packet import checksum16
+        frame = build_icmp_echo("1.1.1.1", "2.2.2.2", payload=b"ping!")
+        stack = parse_stack(Mbuf(frame))
+        message = frame[stack.icmp.offset:]
+        assert checksum16(message) == 0
+
+    @pytest.mark.parametrize("mode", ["codegen", "interp"])
+    def test_filterable(self, mode):
+        f = compile_filter("icmp.type = 8 and ipv4", mode=mode)
+        request = Mbuf(build_icmp_echo("10.0.0.1", "8.8.8.8"))
+        reply = Mbuf(build_icmp_echo("8.8.8.8", "10.0.0.1", reply=True))
+        assert f.packet_filter(request).matched
+        assert not f.packet_filter(reply).matched
+
+    def test_packet_subscription(self):
+        got = []
+        runtime = Runtime(RuntimeConfig(cores=1), filter_str="icmp",
+                          datatype="packet", callback=got.append)
+        packets = ping_flow(FlowSpec("10.0.0.5", "171.64.4.4", 777, 0),
+                            count=2)
+        runtime.run(iter(packets))
+        assert len(got) == 4  # 2 requests + 2 replies
+
+    def test_ping_flow_shape(self):
+        packets = ping_flow(FlowSpec("10.0.0.5", "171.64.4.4", 777, 0),
+                            count=3)
+        types = [parse_stack(m).icmp.icmp_type() for m in packets]
+        assert types == [8, 0, 8, 0, 8, 0]

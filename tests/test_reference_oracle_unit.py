@@ -1,0 +1,93 @@
+"""Unit tests for the reference (oracle) filter evaluator itself."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.filter.parser import parse_filter
+from repro.filter.reference import FlowView, flow_matches
+from repro.packet import Mbuf, build_icmp_echo, build_tcp_packet, \
+    build_udp_packet
+
+
+def tls_session(sni="a.example.com", cipher="TLS_AES_128_GCM_SHA256"):
+    data = SimpleNamespace(
+        sni=lambda: sni, cipher=lambda: cipher,
+        version=lambda: "TLS 1.3", client_version=lambda: "TLS 1.2",
+        cert_count=lambda: 2,
+    )
+    return SimpleNamespace(protocol="tls", data=data)
+
+
+def view(packets, service=None, sessions=()):
+    return FlowView([Mbuf(p) for p in packets], service, sessions)
+
+
+TCP443 = build_tcp_packet("10.0.0.1", "171.64.1.1", 40000, 443)
+TCP80 = build_tcp_packet("10.0.0.1", "171.64.1.1", 40000, 80)
+UDP53 = build_udp_packet("10.0.0.1", "8.8.8.8", 5000, 53)
+ICMP = build_icmp_echo("10.0.0.1", "8.8.8.8")
+
+
+class TestFlowMatches:
+    def test_match_all(self):
+        assert flow_matches(parse_filter(""), view([TCP443]))
+
+    def test_packet_layer(self):
+        assert flow_matches(parse_filter("tcp.port = 443"), view([TCP443]))
+        assert not flow_matches(parse_filter("tcp.port = 443"),
+                                view([TCP80]))
+
+    def test_any_packet_witnesses(self):
+        flow = view([TCP80, TCP443])
+        assert flow_matches(parse_filter("tcp.port = 443"), flow)
+
+    def test_conjunction_needs_single_packet_witness(self):
+        # port=443 and port=80 can never hold on one packet, even
+        # though the flow contains each.
+        flow = view([TCP80, TCP443])
+        assert not flow_matches(
+            parse_filter("tcp.dst_port = 443 and tcp.dst_port = 80"),
+            flow)
+
+    def test_connection_layer(self):
+        assert flow_matches(parse_filter("tls"),
+                            view([TCP443], service="tls"))
+        assert not flow_matches(parse_filter("tls"),
+                                view([TCP443], service="http"))
+        assert not flow_matches(parse_filter("tls"), view([TCP443]))
+
+    def test_session_layer(self):
+        flow = view([TCP443], "tls", [tls_session("video.netflix.com")])
+        assert flow_matches(parse_filter("tls.sni ~ 'netflix'"), flow)
+        assert not flow_matches(parse_filter("tls.sni ~ 'youtube'"), flow)
+
+    def test_any_session_witnesses(self):
+        flow = view([TCP443], "tls",
+                    [tls_session("a.org"), tls_session("b.netflix.com")])
+        assert flow_matches(parse_filter("tls.sni ~ 'netflix'"), flow)
+
+    def test_disjunction(self):
+        flow = view([UDP53], service="dns",
+                    sessions=[SimpleNamespace(
+                        protocol="dns",
+                        data=SimpleNamespace(query_name=lambda: "x.com",
+                                             query_type=lambda: "A",
+                                             response_code=lambda: 0))])
+        assert flow_matches(parse_filter("tls or dns"), flow)
+
+    def test_icmp_packets(self):
+        assert flow_matches(parse_filter("icmp.type = 8"), view([ICMP]))
+        assert not flow_matches(parse_filter("icmp.type = 0"),
+                                view([ICMP]))
+
+    def test_session_protocol_mismatch(self):
+        flow = view([TCP443], "tls", [tls_session()])
+        # An http session predicate can't be witnessed by a TLS session.
+        assert not flow_matches(
+            parse_filter("http.user_agent ~ 'x'"), flow)
+
+    def test_int_session_field(self):
+        flow = view([TCP443], "tls", [tls_session()])
+        assert flow_matches(parse_filter("tls.cert_count > 1"), flow)
+        assert not flow_matches(parse_filter("tls.cert_count > 5"), flow)

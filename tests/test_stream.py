@@ -1,0 +1,198 @@
+"""Tests for lazy and buffered stream reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet import Mbuf, TcpFlags
+from repro.stream import (
+    BufferedReassembler,
+    L4Pdu,
+    LazyReassembler,
+    StreamSegment,
+)
+from repro.stream.reassembly import seq_diff
+
+
+def pdu(seq, payload=b"", flags=0, from_orig=True, ts=0.0):
+    return L4Pdu(
+        mbuf=Mbuf(b"\x00" * 54 + payload, timestamp=ts),
+        payload=payload,
+        seq=seq,
+        flags=flags,
+        from_orig=from_orig,
+        timestamp=ts,
+    )
+
+
+def collect(segments):
+    return b"".join(s.payload for s in segments)
+
+
+class TestSeqDiff:
+    def test_basic(self):
+        assert seq_diff(10, 5) == 5
+        assert seq_diff(5, 10) == -5
+
+    def test_wraparound(self):
+        assert seq_diff(5, 0xFFFFFFFF) == 6
+        assert seq_diff(0xFFFFFFFF, 5) == -6
+
+
+@pytest.mark.parametrize("cls", [LazyReassembler, BufferedReassembler])
+class TestReassemblyCommon:
+    def test_in_order_passthrough(self, cls):
+        r = cls()
+        out = []
+        out += r.push(pdu(100, b"hello "))
+        out += r.push(pdu(106, b"world"))
+        assert collect(out) == b"hello world"
+        assert r.ooo_events == 0
+        assert not r.has_hole
+
+    def test_simple_reorder(self, cls):
+        r = cls()
+        r.push(pdu(99, flags=int(TcpFlags.SYN)))  # anchor: expect 100
+        assert collect(r.push(pdu(106, b"world"))) == b""
+        assert r.has_hole
+        out = r.push(pdu(100, b"hello "))
+        assert collect(out) == b"hello world"
+        assert not r.has_hole
+        assert r.ooo_events == 1
+
+    def test_syn_consumes_sequence_number(self, cls):
+        r = cls()
+        r.push(pdu(99, flags=int(TcpFlags.SYN)))
+        out = r.push(pdu(100, b"data"))
+        assert collect(out) == b"data"
+
+    def test_duplicate_segment_dropped(self, cls):
+        r = cls()
+        r.push(pdu(100, b"abcd"))
+        out = r.push(pdu(100, b"abcd"))
+        assert collect(out) == b""
+
+    def test_partial_overlap_delivers_tail(self, cls):
+        r = cls()
+        r.push(pdu(100, b"abcd"))
+        out = r.push(pdu(102, b"cdEF"))
+        assert collect(out) == b"EF"
+
+    def test_directions_independent(self, cls):
+        r = cls()
+        out_o = r.push(pdu(100, b"request", from_orig=True))
+        out_r = r.push(pdu(5000, b"response", from_orig=False))
+        assert collect(out_o) == b"request"
+        assert collect(out_r) == b"response"
+        assert out_r[0].from_orig is False
+
+    def test_seq_wraparound_stream(self, cls):
+        r = cls()
+        out = []
+        out += r.push(pdu(0xFFFFFFFE, b"ab"))
+        out += r.push(pdu(0, b"cd"))
+        assert collect(out) == b"abcd"
+
+    def test_multi_hole(self, cls):
+        r = cls()
+        r.push(pdu(99, flags=int(TcpFlags.SYN)))  # anchor: expect 100
+        out = []
+        out += r.push(pdu(106, b"cc"))
+        out += r.push(pdu(104, b"bb"))
+        assert collect(out) == b""
+        out += r.push(pdu(100, b"aaaa"))
+        assert collect(out) == b"aaaabbcc"
+
+
+class TestLazySpecifics:
+    def test_ring_capacity_overflow(self):
+        r = LazyReassembler(capacity=3)
+        r.push(pdu(999, flags=int(TcpFlags.SYN)))  # anchor: expect 1000
+        for i in range(5):
+            r.push(pdu(1000 + 10 * (i + 1), b"x" * 10))
+        assert r.orig.overflow_drops == 2
+        assert len(r.orig.held) == 3
+
+    def test_memory_is_held_references(self):
+        r = LazyReassembler()
+        r.push(pdu(100, b"a" * 10))  # in-order: no memory retained
+        assert r.memory_bytes == 0
+        r.push(pdu(200, b"b" * 10))  # held
+        assert r.memory_bytes > 0
+        r.push(pdu(110, b"c" * 90))  # fills hole → flush
+        assert r.memory_bytes == 0
+
+    def test_held_segment_marked(self):
+        r = LazyReassembler()
+        r.push(pdu(99, flags=int(TcpFlags.SYN)))  # anchor: expect 100
+        r.push(pdu(106, b"world"))
+        out = r.push(pdu(100, b"hello "))
+        held_flags = [s.was_held for s in out]
+        assert held_flags == [False, True]
+
+    def test_pass_through_no_copy(self):
+        """In-order payload objects are forwarded, not copied."""
+        r = LazyReassembler()
+        payload = b"zero-copy"
+        out = r.push(pdu(100, payload))
+        assert out[0].payload is payload
+
+
+class TestBufferedSpecifics:
+    def test_copies_accounted(self):
+        r = BufferedReassembler()
+        r.push(pdu(100, b"a" * 100))
+        r.push(pdu(200, b"b" * 50))
+        assert r.copied_bytes == 150
+
+    def test_memory_while_hole_open(self):
+        r = BufferedReassembler()
+        r.push(pdu(99, flags=int(TcpFlags.SYN)))  # anchor: expect 100
+        r.push(pdu(200, b"b" * 50))
+        assert r.memory_bytes == 50
+        r.push(pdu(100, b"a" * 100))
+        assert r.memory_bytes == 0
+
+    def test_buffer_cap_drops(self):
+        r = BufferedReassembler(max_buffer=100)
+        r.push(pdu(99, flags=int(TcpFlags.SYN)))  # anchor: expect 100
+        r.push(pdu(1000, b"x" * 80))   # held, 80 buffered
+        r.push(pdu(2000, b"y" * 80))   # would exceed cap: dropped
+        assert r.memory_bytes == 80
+
+
+# ---------------------------------------------------------------------------
+# Property: any permutation of a segmented stream reassembles exactly,
+# for both implementations, as long as capacity is not exceeded.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def segmented_stream(draw):
+    total = draw(st.integers(1, 400))
+    data = bytes(draw(st.binary(min_size=total, max_size=total)))
+    cuts = sorted(draw(st.sets(st.integers(1, max(1, total - 1)),
+                               max_size=12)))
+    bounds = [0] + [c for c in cuts if c < total] + [total]
+    segments = [
+        (bounds[i], data[bounds[i]:bounds[i + 1]])
+        for i in range(len(bounds) - 1)
+    ]
+    order = draw(st.permutations(range(len(segments))))
+    start_seq = draw(st.integers(0, 2 ** 32 - 1))
+    return data, segments, order, start_seq
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=segmented_stream())
+@pytest.mark.parametrize("cls", [LazyReassembler, BufferedReassembler])
+def test_property_reassembles_any_order(cls, spec):
+    data, segments, order, start_seq = spec
+    r = cls()
+    # Anchor the stream so the first-seen segment doesn't re-base it.
+    anchored = r.push(pdu(start_seq, flags=int(TcpFlags.SYN)))
+    out = list(anchored)
+    for idx in order:
+        offset, chunk = segments[idx]
+        out += r.push(pdu((start_seq + 1 + offset) % (2 ** 32), chunk))
+    assert collect(out) == data
+    assert not r.has_hole

@@ -1,0 +1,71 @@
+"""Model-based property test: the timer wheel vs a naive oracle.
+
+The oracle is a plain dict of deadlines scanned linearly — trivially
+correct, O(n) per advance. The wheel must agree with it through any
+interleaving of schedules, reschedules, cancellations, and advances.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.conntrack import TimerWheel
+
+
+class WheelVsOracle(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.wheel = TimerWheel(tick=0.5, num_slots=16)
+        self.oracle = {}
+        self.now = 0.0
+        self.fired_wheel = []
+        self.fired_oracle = []
+
+    keys = Bundle("keys")
+
+    @rule(target=keys, key=st.integers(0, 30))
+    def make_key(self, key):
+        return key
+
+    @rule(key=keys, delay=st.floats(0.1, 40.0))
+    def schedule(self, key, delay):
+        fire_at = self.now + delay
+        self.wheel.schedule(key, fire_at)
+        self.oracle[key] = fire_at
+
+    @rule(key=keys)
+    def cancel(self, key):
+        self.wheel.cancel(key)
+        self.oracle.pop(key, None)
+
+    @rule(step=st.floats(0.0, 15.0))
+    def advance(self, step):
+        self.now += step
+        fired = self.wheel.advance(self.now)
+        expected = [key for key, deadline in self.oracle.items()
+                    if deadline <= self.now]
+        for key in expected:
+            del self.oracle[key]
+        assert sorted(fired) == sorted(expected), (
+            f"at t={self.now}: wheel fired {sorted(fired)}, "
+            f"oracle expected {sorted(expected)}"
+        )
+        self.fired_wheel.extend(fired)
+        self.fired_oracle.extend(expected)
+
+    @invariant()
+    def live_sets_agree(self):
+        assert set(self.oracle) == {
+            key for key in self.oracle if key in self.wheel
+        }
+        assert len(self.wheel) == len(self.oracle)
+
+
+WheelVsOracle.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)
+TestWheelVsOracle = WheelVsOracle.TestCase
