@@ -46,6 +46,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0,
                         help="synthetic traffic seed")
     parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--parallel", type=int, metavar="N", default=0,
+                        help="run N cores as real OS worker processes "
+                             "(overrides --cores; 0 = sequential)")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="packets per dispatch batch (both backends)")
     parser.add_argument("--mode", default="codegen",
                         choices=["codegen", "interp"],
                         help="filter execution backend")
@@ -120,7 +125,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         config = RuntimeConfig(
-            cores=args.cores,
+            cores=args.parallel if args.parallel > 0 else args.cores,
+            parallel=args.parallel > 0,
+            parallel_batch_size=args.batch_size,
             filter_mode=args.mode,
             hardware_filter=not args.no_hardware_filter,
             sink_fraction=args.sink_fraction,

@@ -65,6 +65,21 @@ class RuntimeConfig:
     #: Memory ceiling for the Figure 8 OOM experiment (bytes); None
     #: disables the check.
     memory_limit_bytes: Optional[int] = None
+    #: Execute cores as real OS worker processes. The sequential
+    #: backend models per-core pipelines on one thread; the parallel
+    #: backend shards packets to one process per core by the same
+    #: symmetric-RSS hash and runs the pipelines concurrently. For a
+    #: fixed traffic source both backends produce identical
+    #: filter/connection/session/callback counts.
+    parallel: bool = False
+    #: Packets per dispatch batch. Batches amortize the per-message
+    #: IPC + pickle cost in the parallel backend (DPDK-burst style)
+    #: and per-packet dispatch overhead in the sequential backend.
+    parallel_batch_size: int = 256
+    #: Bounded depth (in batches) of each worker's input queue; the
+    #: feeder blocks when a worker falls this far behind (backpressure
+    #: instead of unbounded buffering).
+    parallel_queue_depth: int = 8
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -82,6 +97,14 @@ class RuntimeConfig:
                 f"unknown callback_execution {self.callback_execution!r}")
         if self.callback_workers < 1:
             raise ConfigError("callback_workers must be >= 1")
+        if self.parallel_batch_size < 1:
+            raise ConfigError("parallel_batch_size must be >= 1")
+        if self.parallel_queue_depth < 1:
+            raise ConfigError("parallel_queue_depth must be >= 1")
+        if self.parallel and self.callback_execution != "inline":
+            raise ConfigError(
+                "the parallel backend supports inline callback execution "
+                "only (queued-pool accounting is global, not per-shard)")
 
     def with_(self, **kwargs) -> "RuntimeConfig":
         """A modified copy (convenience for benchmark sweeps)."""

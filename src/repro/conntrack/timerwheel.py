@@ -62,8 +62,13 @@ class TimerWheel:
         """
         previous = self._deadlines.get(key)
         self._deadlines[key] = fire_at
-        if self._entry_count.get(key, 0) == 0 or \
-                (previous is not None and fire_at < previous):
+        # A fresh entry is needed when the key has no wheel entry at
+        # all, when the only entries left are inert post-cancel hints
+        # (previous is None: they may be aimed at a later slot than the
+        # new deadline), or when the deadline moved earlier than the
+        # live entry can fire.
+        if self._entry_count.get(key, 0) == 0 or previous is None or \
+                fire_at < previous:
             self._insert_entry(key, fire_at)
 
     def cancel(self, key: object) -> None:

@@ -1,0 +1,470 @@
+"""Parallel sharded execution backend: real multi-core processing.
+
+The sequential backend models Retina's per-core pipelines faithfully
+but executes them on one thread, so wall-clock throughput is bounded by
+a single CPU no matter what ``config.cores`` says. This module makes
+the paper's Section 5 scaling claim *real*: one OS worker process per
+simulated core, each running its own shared-nothing
+:class:`~repro.core.pipeline.CorePipeline` + connection table, fed by
+the parent over bounded queues.
+
+Design, mirroring the paper's data path:
+
+- **Sharding** happens in the parent exactly where the NIC does it:
+  :meth:`SimNic.receive` computes the symmetric-RSS hash and the
+  redirection-table lookup, so both backends route every packet to the
+  same queue/core. Per-flow arrival order is preserved because routing
+  is per packet, in stream order.
+- **Batching** amortizes IPC and pickle cost the same way Retina
+  amortizes per-packet overhead with DPDK bursts: packets travel in
+  ``config.parallel_batch_size``-packet batches, and workers process
+  them with :meth:`CorePipeline.process_batch`.
+- **Backpressure**: each worker's input queue holds at most
+  ``config.parallel_queue_depth`` batches; the feeder blocks instead of
+  buffering unboundedly (the analogue of a finite RX descriptor ring).
+- **Shared-nothing merge**: workers never share state; each returns a
+  picklable :class:`~repro.core.stats.CoreStats` snapshot at the end,
+  and the parent merges them through ``Runtime.aggregate()`` so
+  reports, memory series, and derived metrics are built by the exact
+  same code as the sequential backend.
+
+Determinism: for a fixed traffic source, the parallel backend produces
+**identical** filter/connection/session/callback counts — and
+bit-identical stage cycle totals — to the sequential backend, because
+RSS sharding makes per-core work order-independent and
+``process_batch`` charges costs per packet regardless of batch
+boundaries.
+
+Caveats (documented deviations):
+
+- Worker processes rebuild their subscription from the filter text and
+  data type; custom parser/field registries on a hand-built
+  ``Subscription`` are not shipped to workers.
+- Callbacks execute inside the worker processes: their side effects
+  (prints, appended lists) live in the worker's address space, not the
+  parent's. Counts still aggregate exactly.
+- The OOM cutoff compares worker-reported memory at progress cadence,
+  so ``oom_at`` in parallel mode is approximate (sequential checks
+  synchronously at every sample point).
+
+Memory sampling is parent-clocked: the parent tells every worker to
+sample (``_SAMPLE``) at the same global virtual deadlines the
+sequential backend uses, and per-queue FIFO ordering guarantees the
+worker has processed exactly the batches dispatched before the
+deadline. The resulting memory series — and therefore the peak
+memory/connection figures — are identical between backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+
+if TYPE_CHECKING:
+    from repro.config import RuntimeConfig
+    from repro.core.runtime import Runtime, RuntimeReport
+
+from repro.core.pipeline import CorePipeline
+from repro.core.stats import CoreStats
+from repro.core.subscription import Subscription
+from repro.errors import RetinaError
+from repro.packet.mbuf import Mbuf
+
+#: Message tags on the worker input queues.
+_BATCH = 0
+_FINISH = 1
+_SAMPLE = 2
+#: Message tags on the shared result queue.
+_PROGRESS = "progress"
+_DONE = "done"
+_ERROR = "error"
+
+#: How long to wait on a stuck queue before checking worker liveness.
+_POLL_TIMEOUT = 5.0
+
+
+class ParallelExecutionError(RetinaError):
+    """A worker process failed; carries the worker's traceback."""
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything a worker needs to rebuild its shard of the runtime.
+
+    Must be picklable under the ``spawn`` start method; under ``fork``
+    it is simply inherited. The subscription is reconstructed in the
+    worker (compiled filters hold generated code objects that do not
+    pickle), which also guarantees each shard gets genuinely private
+    state.
+    """
+
+    core_id: int
+    config: "RuntimeConfig"
+    filter_str: str
+    datatype: type
+    callback: Optional[Callable]
+    identify_services: bool
+    #: Virtual seconds between progress reports to the parent, or None
+    #: for "never" (no monitor attached and no memory limit).
+    progress_interval: Optional[float]
+
+
+def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
+    """Worker process entry point: one core's shared-nothing pipeline."""
+    try:
+        config = spec.config.with_(parallel=False)
+        subscription = Subscription(
+            spec.filter_str,
+            spec.datatype,
+            spec.callback,
+            filter_mode=config.filter_mode,
+            nic=config.nic,
+            identify_services=spec.identify_services,
+        )
+        pipeline = CorePipeline(spec.core_id, subscription, config)
+        progress_interval = spec.progress_interval
+        next_progress: Optional[float] = None
+        while True:
+            message = in_queue.get()
+            tag = message[0]
+            if tag == _BATCH:
+                batch = message[1]
+                pipeline.process_batch(batch)
+                now = pipeline.now
+                if progress_interval is not None and (
+                        next_progress is None or now >= next_progress):
+                    next_progress = now + progress_interval
+                    out_queue.put((
+                        _PROGRESS,
+                        spec.core_id,
+                        now,
+                        pipeline.stats.callbacks,
+                        len(pipeline.table),
+                        pipeline.table.memory_bytes,
+                        pipeline.stats.ledger.busy_seconds,
+                    ))
+            elif tag == _SAMPLE:
+                # Parent-clocked sample point: every batch dispatched
+                # before the deadline is already processed (FIFO), so
+                # this records exactly what the sequential backend's
+                # _sample_memory would for this core.
+                pipeline.sample_memory()
+            else:  # _FINISH
+                _, last_ts, do_drain = message
+                if last_ts is not None:
+                    pipeline.advance_time(last_ts)
+                    pipeline.sample_memory()
+                    if do_drain:
+                        pipeline.drain()
+                out_queue.put((_DONE, spec.core_id, pipeline.stats))
+                return
+    except BaseException:
+        out_queue.put((_ERROR, spec.core_id, traceback.format_exc()))
+
+
+# ---------------------------------------------------------------------------
+# parent-side views: enough runtime surface for StatsMonitor.observe()
+# ---------------------------------------------------------------------------
+class _TableView:
+    """Stands in for a worker's ConnTable in monitor snapshots."""
+
+    __slots__ = ("live", "memory_bytes")
+
+    def __init__(self) -> None:
+        self.live = 0
+        self.memory_bytes = 0
+
+    def __len__(self) -> int:
+        return self.live
+
+
+class _LedgerView:
+    __slots__ = ("busy_seconds",)
+
+    def __init__(self) -> None:
+        self.busy_seconds = 0.0
+
+
+class _StatsView:
+    __slots__ = ("callbacks", "ledger")
+
+    def __init__(self) -> None:
+        self.callbacks = 0
+        self.ledger = _LedgerView()
+
+
+class _CoreView:
+    """Last-reported state of one worker, shaped like a CorePipeline."""
+
+    __slots__ = ("stats", "table")
+
+    def __init__(self) -> None:
+        self.stats = _StatsView()
+        self.table = _TableView()
+
+    def update(self, callbacks: int, live: int, memory_bytes: int,
+               busy_seconds: float) -> None:
+        self.stats.callbacks = callbacks
+        self.stats.ledger.busy_seconds = busy_seconds
+        self.table.live = live
+        self.table.memory_bytes = memory_bytes
+
+
+class _RuntimeView:
+    """What ``StatsMonitor.observe`` reads, backed by worker reports."""
+
+    def __init__(self, nics, views: List[_CoreView]) -> None:
+        self.nics = nics
+        self.pipelines = views
+
+    @property
+    def live_connections(self) -> int:
+        return sum(view.table.live for view in self.pipelines)
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(view.table.memory_bytes for view in self.pipelines)
+
+
+# ---------------------------------------------------------------------------
+# parent-side orchestration
+# ---------------------------------------------------------------------------
+class _WorkerPool:
+    """The fleet of per-core processes plus their queues."""
+
+    def __init__(self, runtime: "Runtime",
+                 progress_interval: Optional[float]) -> None:
+        config = runtime.config
+        subscription = runtime.subscription
+        self.views = [_CoreView() for _ in range(config.cores)]
+        # Prefer fork where available: workers start fast and
+        # subscriptions with closure callbacks are inherited rather
+        # than pickled. spawn (macOS/Windows default) works too, but
+        # requires the callback to be picklable.
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else None)
+        self.out_queue = self._ctx.Queue()
+        self.in_queues = [
+            self._ctx.Queue(maxsize=config.parallel_queue_depth)
+            for _ in range(config.cores)
+        ]
+        self.processes = []
+        for core_id in range(config.cores):
+            spec = _WorkerSpec(
+                core_id=core_id,
+                config=config,
+                filter_str=subscription.filter.text,
+                datatype=subscription.datatype,
+                callback=subscription.callback,
+                identify_services=subscription.identify_services,
+                progress_interval=progress_interval,
+            )
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(spec, self.in_queues[core_id], self.out_queue),
+                daemon=True,
+                name=f"repro-core-{core_id}",
+            )
+            self.processes.append(process)
+        try:
+            for process in self.processes:
+                process.start()
+        except Exception as exc:  # unpicklable callback under spawn
+            self.terminate()
+            raise ParallelExecutionError(
+                f"could not start worker processes ({exc}); under the "
+                f"'spawn' start method the subscription callback must be "
+                f"picklable (a module-level function or None)") from exc
+
+    def send(self, core_id: int, message) -> None:
+        """Blocking put with liveness checks (bounded-queue backpressure
+        must not deadlock on a dead worker)."""
+        in_queue = self.in_queues[core_id]
+        while True:
+            try:
+                in_queue.put(message, timeout=_POLL_TIMEOUT)
+                return
+            except queue_mod.Full:
+                if not self.processes[core_id].is_alive():
+                    # Surface the worker's own traceback if it sent one
+                    # before dying; fall back to a generic error.
+                    self.drain_progress()
+                    raise ParallelExecutionError(
+                        f"worker {core_id} died with its queue full")
+
+    def drain_progress(self) -> None:
+        """Consume any pending reports without blocking; raises if a
+        worker reported an error."""
+        while True:
+            try:
+                message = self.out_queue.get_nowait()
+            except queue_mod.Empty:
+                return
+            self._handle(message, None)
+
+    def gather(self) -> List[CoreStats]:
+        """Block until every worker reported its final stats."""
+        results: Dict[int, CoreStats] = {}
+        remaining = set(range(len(self.processes)))
+        while remaining:
+            try:
+                message = self.out_queue.get(timeout=_POLL_TIMEOUT)
+            except queue_mod.Empty:
+                dead = [core_id for core_id in remaining
+                        if not self.processes[core_id].is_alive()]
+                if dead:
+                    raise ParallelExecutionError(
+                        f"worker(s) {dead} exited without reporting stats")
+                continue
+            core_id = self._handle(message, results)
+            if core_id is not None:
+                remaining.discard(core_id)
+        for process in self.processes:
+            process.join(timeout=_POLL_TIMEOUT)
+        return [results[core_id] for core_id in sorted(results)]
+
+    def _handle(self, message,
+                results: Optional[Dict[int, CoreStats]]) -> Optional[int]:
+        tag = message[0]
+        if tag == _PROGRESS:
+            _, core_id, _, callbacks, live, memory_bytes, busy = message
+            self.views[core_id].update(callbacks, live, memory_bytes, busy)
+            return None
+        if tag == _ERROR:
+            _, core_id, worker_traceback = message
+            raise ParallelExecutionError(
+                f"worker {core_id} failed:\n{worker_traceback}")
+        # _DONE
+        _, core_id, stats = message
+        if results is not None:
+            results[core_id] = stats
+        return core_id
+
+    def terminate(self) -> None:
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            if process.pid is not None:
+                process.join(timeout=_POLL_TIMEOUT)
+
+    def close(self) -> None:
+        # The input queues' feeder threads may hold buffered batches a
+        # dead worker will never read; never block interpreter exit on
+        # flushing them.
+        for in_queue in self.in_queues:
+            in_queue.cancel_join_thread()
+            in_queue.close()
+        self.out_queue.cancel_join_thread()
+        self.out_queue.close()
+
+
+def run_parallel(
+    runtime: "Runtime",
+    traffic: Iterable[Mbuf],
+    drain: bool = True,
+    memory_sample_interval: float = 1.0,
+    monitor=None,
+) -> "RuntimeReport":
+    """Execute ``runtime``'s subscription over ``traffic`` on one OS
+    process per core. See the module docstring for the contract."""
+    from repro.core.runtime import RuntimeReport
+
+    config = runtime.config
+    cores = config.cores
+    batch_size = config.parallel_batch_size
+    memory_limit = config.memory_limit_bytes
+
+    # Progress reports are only needed for live monitoring and the OOM
+    # check; without either, workers skip the reporting IPC entirely.
+    progress_needs = []
+    if monitor is not None:
+        progress_needs.append(monitor.interval)
+    if memory_limit is not None:
+        progress_needs.append(memory_sample_interval)
+    progress_interval = min(progress_needs) if progress_needs else None
+
+    pool = _WorkerPool(runtime, progress_interval)
+    view_runtime = _RuntimeView(runtime.nics, pool.views)
+
+    oom_at: Optional[float] = None
+    try:
+        nics = runtime.nics
+        nic0 = nics[0]
+        num_nics = len(nics)
+        frag = runtime.fragment_reassembler
+        send = pool.send
+        pending: List[List[Mbuf]] = [[] for _ in range(cores)]
+        next_monitor_ts: Optional[float] = \
+            None if monitor is not None else float("inf")
+        next_memory_ts = float("inf")
+        first = runtime._first_ts is None
+        for mbuf in traffic:
+            ts = mbuf.timestamp
+            if first:
+                first = False
+                if runtime._first_ts is None:
+                    runtime._first_ts = ts
+                    runtime._last_memory_sample = ts
+                    next_memory_ts = ts + memory_sample_interval
+            if ts > runtime._last_ts:
+                runtime._last_ts = ts
+            if frag is not None:
+                mbuf = frag.push(mbuf)
+                if mbuf is None:
+                    continue  # fragment held pending completion
+            port = mbuf.port
+            nic = nics[port] if 0 < port < num_nics else nic0
+            queue = nic.receive(mbuf)
+            if queue is not None:
+                queued = pending[queue]
+                queued.append(mbuf)
+                if len(queued) >= batch_size:
+                    send(queue, (_BATCH, queued))
+                    pending[queue] = []
+            if next_monitor_ts is None or ts >= next_monitor_ts:
+                pool.drain_progress()
+                monitor.observe(view_runtime, ts)
+                next_monitor_ts = ts + monitor.interval
+            if ts >= next_memory_ts:
+                next_memory_ts = ts + memory_sample_interval
+                runtime._last_memory_sample = ts
+                # Parent-clocked sample point: flush every queue's
+                # pending batch, then tell each worker to sample.
+                # Per-queue FIFO makes this equivalent to the
+                # sequential backend's flush-then-_sample_memory.
+                for queue, queued in enumerate(pending):
+                    if queued:
+                        send(queue, (_BATCH, queued))
+                        pending[queue] = []
+                for queue in range(cores):
+                    send(queue, (_SAMPLE,))
+                if memory_limit is not None:
+                    pool.drain_progress()
+                    if view_runtime.memory_bytes > memory_limit:
+                        oom_at = ts
+                        break
+        # Ship the stragglers, then tell every worker to wrap up. On
+        # OOM the workers neither advance time nor drain, matching the
+        # sequential backend's early exit.
+        if oom_at is None:
+            for queue, queued in enumerate(pending):
+                if queued:
+                    send(queue, (_BATCH, queued))
+            finish = (_FINISH, runtime._last_ts, drain)
+        else:
+            finish = (_FINISH, None, False)
+        for queue in range(cores):
+            send(queue, finish)
+        core_stats = pool.gather()
+    except BaseException:
+        pool.terminate()
+        raise
+    finally:
+        pool.close()
+
+    stats = runtime.aggregate(core_stats=core_stats)
+    return RuntimeReport(stats=stats, oom_at=oom_at)

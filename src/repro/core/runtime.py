@@ -107,6 +107,12 @@ class Runtime:
     ) -> RuntimeReport:
         """Process a traffic source to completion.
 
+        With ``config.parallel`` set, the per-core pipelines execute on
+        real OS worker processes (see :mod:`repro.core.parallel`);
+        otherwise they run batched on the calling thread. Both backends
+        produce identical filter/connection/session/callback counts for
+        the same traffic.
+
         Args:
             traffic: Mbufs in non-decreasing timestamp order.
             drain: Deliver still-live matched connections at the end
@@ -117,37 +123,81 @@ class Runtime:
                 :class:`~repro.core.monitor.StatsMonitor` receiving
                 periodic snapshots (Section 5.3's live feedback).
         """
+        if self.config.parallel:
+            from repro.core.parallel import run_parallel
+            return run_parallel(self, traffic, drain=drain,
+                                memory_sample_interval=memory_sample_interval,
+                                monitor=monitor)
+        return self._run_sequential(traffic, drain,
+                                    memory_sample_interval, monitor)
+
+    def _run_sequential(
+        self,
+        traffic: Iterable[Mbuf],
+        drain: bool,
+        memory_sample_interval: float,
+        monitor,
+    ) -> RuntimeReport:
         oom_at: Optional[float] = None
+        batch_size = self.config.parallel_batch_size
+        pipelines = self.pipelines
+        nics = self.nics
+        nic0 = nics[0]
+        num_nics = len(nics)
+        frag = self.fragment_reassembler
+        memory_limit = self.config.memory_limit_bytes
+        # Per-queue pending batches: packets are routed immediately
+        # (preserving per-flow arrival order even across ports) but run
+        # through the pipeline in bursts, amortizing per-packet
+        # dispatch overhead exactly like the parallel backend's IPC
+        # batches.
+        pending: List[List[Mbuf]] = [[] for _ in pipelines]
+        # Monitoring is O(samples), not O(packets): the next virtual
+        # deadline is tracked here and only compared per packet.
+        next_monitor_ts: Optional[float] = \
+            None if monitor is not None else float("inf")
+        first = self._first_ts is None
         for mbuf in traffic:
-            if self._first_ts is None:
-                self._first_ts = mbuf.timestamp
-                self._last_memory_sample = mbuf.timestamp
-            self._last_ts = max(self._last_ts, mbuf.timestamp)
-            if self.fragment_reassembler is not None:
-                mbuf = self.fragment_reassembler.push(mbuf)
+            ts = mbuf.timestamp
+            if first:
+                first = False
+                if self._first_ts is None:
+                    self._first_ts = ts
+                    self._last_memory_sample = ts
+            if ts > self._last_ts:
+                self._last_ts = ts
+            if frag is not None:
+                mbuf = frag.push(mbuf)
                 if mbuf is None:
                     continue  # fragment held pending completion
-            nic = self.nics[mbuf.port] if mbuf.port < len(self.nics) \
-                else self.nics[0]
+            port = mbuf.port
+            nic = nics[port] if 0 < port < num_nics else nic0
             queue = nic.receive(mbuf)
             if queue is not None:
-                self.pipelines[queue].process_packet(mbuf)
-            if monitor is not None:
-                monitor.observe(self, mbuf.timestamp)
-            if mbuf.timestamp - self._last_memory_sample >= \
-                    memory_sample_interval:
-                self._last_memory_sample = mbuf.timestamp
-                self._sample_memory(mbuf.timestamp)
-                if self.config.memory_limit_bytes is not None and \
-                        self.memory_bytes > self.config.memory_limit_bytes:
-                    oom_at = mbuf.timestamp
+                queued = pending[queue]
+                queued.append(mbuf)
+                if len(queued) >= batch_size:
+                    pipelines[queue].process_batch(queued)
+                    queued.clear()
+            if next_monitor_ts is None or ts >= next_monitor_ts:
+                self._flush_pending(pending)
+                monitor.observe(self, ts)
+                next_monitor_ts = ts + monitor.interval
+            if ts - self._last_memory_sample >= memory_sample_interval:
+                self._flush_pending(pending)
+                self._last_memory_sample = ts
+                self._sample_memory(ts)
+                if memory_limit is not None and \
+                        self.memory_bytes > memory_limit:
+                    oom_at = ts
                     break
+        self._flush_pending(pending)
         if oom_at is None:
-            for pipeline in self.pipelines:
+            for pipeline in pipelines:
                 pipeline.advance_time(self._last_ts)
             self._sample_memory(self._last_ts)
             if drain:
-                for pipeline in self.pipelines:
+                for pipeline in pipelines:
                     pipeline.drain()
         if hasattr(self.executor, "finalize") and self._first_ts is not None:
             self.executor.finalize(
@@ -155,6 +205,14 @@ class Runtime:
                 self.config.cost_model.cpu_hz,
             )
         return RuntimeReport(stats=self.aggregate(), oom_at=oom_at)
+
+    def _flush_pending(self, pending: List[List[Mbuf]]) -> None:
+        """Run every queued batch through its pipeline (sample points
+        and end-of-trace must see fully current pipeline state)."""
+        for queue, queued in enumerate(pending):
+            if queued:
+                self.pipelines[queue].process_batch(queued)
+                queued.clear()
 
     def run_pcap(self, path, **kwargs) -> RuntimeReport:
         """Offline mode (Appendix B): stream a capture file through the
@@ -175,8 +233,16 @@ class Runtime:
     def live_connections(self) -> int:
         return sum(len(p.table) for p in self.pipelines)
 
-    def aggregate(self) -> AggregateStats:
-        """Merge per-core stats into the report structure."""
+    def aggregate(self, core_stats=None) -> AggregateStats:
+        """Merge per-core stats into the report structure.
+
+        Args:
+            core_stats: Per-core :class:`CoreStats` to merge instead of
+                this process's pipelines' — the parallel backend passes
+                the snapshots returned by its worker processes.
+        """
+        if core_stats is None:
+            core_stats = [pipeline.stats for pipeline in self.pipelines]
         duration = (self._last_ts - self._first_ts) \
             if self._first_ts is not None else 0.0
         stage_invocations = {stage: 0 for stage in Stage}
@@ -193,8 +259,7 @@ class Runtime:
         conns_created = conns_delivered = 0
         processed_packets = processed_bytes = 0
         memory_samples = []
-        for pipeline in self.pipelines:
-            stats = pipeline.stats
+        for stats in core_stats:
             for stage in Stage:
                 stage_invocations[stage] += stats.ledger.invocations[stage]
                 stage_cycles[stage] += stats.ledger.cycles[stage]

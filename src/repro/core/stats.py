@@ -37,6 +37,25 @@ class CoreStats:
                       memory_bytes: int) -> None:
         self.memory_samples.append((ts, live_conns, memory_bytes))
 
+    def merge(self, other: "CoreStats") -> None:
+        """Fold another core's counters into this one.
+
+        Used by the parallel backend: each worker process returns its
+        pipeline's ``CoreStats`` snapshot (the whole object pickles —
+        the ledger holds only enum-keyed dicts and the cost model) and
+        the parent merges them into the aggregate report.
+        """
+        self.ledger.merge(other.ledger)
+        self.packets += other.packets
+        self.bytes += other.bytes
+        self.callbacks += other.callbacks
+        self.sessions_parsed += other.sessions_parsed
+        self.sessions_matched += other.sessions_matched
+        self.conns_created += other.conns_created
+        self.conns_delivered += other.conns_delivered
+        self.probe_giveups += other.probe_giveups
+        self.memory_samples.extend(other.memory_samples)
+
 
 @dataclass
 class AggregateStats:

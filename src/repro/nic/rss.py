@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.packet.ipv4 import Ipv4
 from repro.packet.stack import PacketStack
 
 #: The standard symmetric RSS key (repeating 0x6d5a), 40 bytes — long
@@ -49,16 +50,25 @@ def rss_input_bytes(stack: PacketStack) -> Optional[bytes]:
     packets without an IP layer (they go to queue 0 by convention).
     Non-TCP/UDP IP packets hash over addresses only.
     """
-    if stack.ip is None:
+    ip = stack.ip
+    if ip is None:
         return None
-    src = stack.ip.src_addr().packed
-    dst = stack.ip.dst_addr().packed
-    transport = stack.transport
+    # Hot path: this runs once per ingress packet in the dispatching
+    # process. The (src, dst) address fields are contiguous in both IP
+    # headers, as are the transport's (src port, dst port), so the
+    # canonical input is two raw slices — no address objects, no
+    # per-field int round-trips.
+    frame = stack.mbuf.data
+    offset = ip.offset
+    if isinstance(ip, Ipv4):
+        addrs = frame[offset + 12:offset + 20]
+    else:
+        addrs = frame[offset + 8:offset + 40]
+    transport = stack.tcp if stack.tcp is not None else stack.udp
     if transport is None:
-        return src + dst
-    ports = transport.src_port().to_bytes(2, "big") + \
-        transport.dst_port().to_bytes(2, "big")
-    return src + dst + ports
+        return addrs
+    toff = transport.offset
+    return addrs + frame[toff:toff + 4]
 
 
 class RedirectionTable:

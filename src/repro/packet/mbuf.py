@@ -44,6 +44,13 @@ class Mbuf:
     def __len__(self) -> int:
         return len(self.data)
 
+    def __reduce__(self):
+        # Compact pickling for the parallel backend's IPC batches:
+        # rebuild from constructor args instead of a per-slot state
+        # dict. ``pkt_term_node`` is filter-walk scratch state that is
+        # only set after dispatch, so it is deliberately not carried.
+        return (Mbuf, (self.data, self.timestamp, self.port, self.queue))
+
     def __repr__(self) -> str:
         return (
             f"Mbuf(len={len(self.data)}, ts={self.timestamp:.6f}, "
