@@ -107,10 +107,16 @@ class DirectRecordWriter:
             self._handle.close()
 
 
-class BufferedRecordWriter:
-    """Batched logging: flush every ``batch_size`` records (or close)."""
+class BufferedLineWriter:
+    """Batched line sink: accumulate lines, flush every ``batch_size``
+    (or on close).
 
-    cycles = BUFFERED_WRITE_CYCLES
+    The flush-on-close guarantee is absolute: ``close()`` is idempotent,
+    runs from ``__exit__``, and — as a last resort — from ``__del__``,
+    so a writer that simply goes out of scope cannot silently drop its
+    buffered tail. (The context-manager form is still the right way to
+    use it; ``__del__`` is the safety net, not the API.)
+    """
 
     def __init__(self, sink: Union[str, Path, IO[str]],
                  batch_size: int = 256) -> None:
@@ -124,11 +130,14 @@ class BufferedRecordWriter:
             self._owns = False
         self.batch_size = batch_size
         self._pending: list = []
+        self._closed = False
         self.records = 0
         self.flushes = 0
 
-    def __call__(self, obj: Any) -> None:
-        self._pending.append(render_record(obj))
+    def write_line(self, line: str) -> None:
+        if self._closed:
+            raise ValueError("writer is closed")
+        self._pending.append(line)
         self.records += 1
         if len(self._pending) >= self.batch_size:
             self.flush()
@@ -142,12 +151,35 @@ class BufferedRecordWriter:
         self.flushes += 1
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self.flush()
         if self._owns:
             self._handle.close()
 
-    def __enter__(self) -> "BufferedRecordWriter":
+    def __enter__(self) -> "BufferedLineWriter":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            # Interpreter shutdown can invalidate the handle; the
+            # explicit close/with paths are the reliable ones.
+            pass
+
+
+class BufferedRecordWriter(BufferedLineWriter):
+    """Batched logging: flush every ``batch_size`` records (or close)."""
+
+    cycles = BUFFERED_WRITE_CYCLES
+
+    def __call__(self, obj: Any) -> None:
+        self.write_line(render_record(obj))
+
+    def __enter__(self) -> "BufferedRecordWriter":
+        return self

@@ -64,6 +64,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="emit periodic throughput/loss/memory lines")
     parser.add_argument("--json-stats", metavar="PATH",
                         help="write the run's aggregate stats as JSON")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write Prometheus-text metrics (funnel, "
+                             "stage histograms, connection outcomes)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write sampled connection-lifecycle traces "
+                             "as NDJSON")
+    parser.add_argument("--trace-sample", type=float, default=0.01,
+                        metavar="F",
+                        help="fraction of connections traced when "
+                             "--trace-out is set (default: 0.01)")
     parser.add_argument("--describe-filter", metavar="FILTER",
                         help="print a filter's decomposition and exit")
     return parser
@@ -131,6 +141,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             filter_mode=args.mode,
             hardware_filter=not args.no_hardware_filter,
             sink_fraction=args.sink_fraction,
+            telemetry=bool(args.metrics_out or args.trace_out),
+            trace_sample=args.trace_sample if args.trace_out else 0.0,
         )
         runtime = Runtime(config, filter_str=args.filter_str,
                           datatype=args.datatype, callback=callback)
@@ -147,6 +159,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.json_stats, "w") as handle:
             json.dump(report.stats.to_dict(), handle, indent=2)
         print(f"(stats written to {args.json_stats})")
+    if args.metrics_out:
+        from repro.telemetry import export
+        export.write_metrics(args.metrics_out, report.stats,
+                             backend_health=report.backend_health)
+        print(f"(metrics written to {args.metrics_out})")
+    if args.trace_out:
+        from repro.telemetry import export
+        events = export.write_trace(args.trace_out, report.stats)
+        print(f"({events} trace events written to {args.trace_out})")
     return 0
 
 

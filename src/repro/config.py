@@ -80,6 +80,18 @@ class RuntimeConfig:
     #: feeder blocks when a worker falls this far behind (backpressure
     #: instead of unbounded buffering).
     parallel_queue_depth: int = 8
+    #: Enable the extended telemetry recorders: per-stage cycle
+    #: histograms, reassembly-buffer occupancy histograms, and parallel
+    #: backend health metrics. The filter-funnel counters are always on
+    #: (plain integer increments); this flag only gates the heavier
+    #: recorders, so disabled runs stay at full speed.
+    telemetry: bool = False
+    #: Fraction of connections to trace through their lifecycle
+    #: (created → probed → parsed → matched/discarded → delivered/
+    #: expired). Sampling keys on a stable hash of the canonical
+    #: five-tuple, so the sampled set — and the exported trace — is
+    #: identical across backends and worker counts. 0.0 disables.
+    trace_sample: float = 0.0
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -101,6 +113,8 @@ class RuntimeConfig:
             raise ConfigError("parallel_batch_size must be >= 1")
         if self.parallel_queue_depth < 1:
             raise ConfigError("parallel_queue_depth must be >= 1")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigError("trace_sample must be in [0, 1]")
         if self.parallel and self.callback_execution != "inline":
             raise ConfigError(
                 "the parallel backend supports inline callback execution "

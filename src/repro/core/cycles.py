@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 
 class Stage(enum.Enum):
@@ -70,26 +70,61 @@ class CostModel:
         return replace(self, callback=cycles)
 
 
+#: Upper bucket bounds (cycles) for the per-stage cost histograms; one
+#: implicit +Inf bucket follows. Spans the Figure 7 calibration range —
+#: conn-track (~42) up to multi-segment parses and 12K-cycle callbacks.
+CYCLE_HIST_BOUNDS = (50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0,
+                     6400.0, 12800.0, 25600.0)
+
+
+def _hist_index(value: float) -> int:
+    for i, bound in enumerate(CYCLE_HIST_BOUNDS):
+        if value <= bound:
+            return i
+    return len(CYCLE_HIST_BOUNDS)
+
+
 class CycleLedger:
-    """Per-core counters: invocations and cycles per stage."""
+    """Per-core counters: invocations and cycles per stage.
 
-    __slots__ = ("model", "invocations", "cycles")
+    With ``record_hist=True`` every explicit charge additionally lands
+    in a fixed-bucket per-stage histogram (``hist``) — the telemetry
+    subsystem's per-invocation cost distribution. Disabled ledgers
+    carry ``hist=None`` and skip the bucketing entirely. The batched
+    hot path (capture / packet filter in ``process_batch``) bypasses
+    ``charge``; those stages have constant per-invocation cost, so the
+    exporter synthesizes their single-bucket histograms from the
+    invocation counts.
+    """
 
-    def __init__(self, model: CostModel = CostModel()) -> None:
+    __slots__ = ("model", "invocations", "cycles", "hist")
+
+    def __init__(self, model: CostModel = CostModel(),
+                 record_hist: bool = False) -> None:
         self.model = model
         self.invocations: Dict[Stage, int] = {s: 0 for s in Stage}
         self.cycles: Dict[Stage, float] = {s: 0.0 for s in Stage}
+        self.hist: Optional[Dict[Stage, list]] = (
+            {s: [0] * (len(CYCLE_HIST_BOUNDS) + 1) for s in Stage}
+            if record_hist else None
+        )
 
     def charge(self, stage: Stage, invocations: int = 1) -> None:
         """Charge ``invocations`` runs of ``stage`` at the model cost."""
         self.invocations[stage] += invocations
-        self.cycles[stage] += self.model.cost_of(stage) * invocations
+        cost = self.model.cost_of(stage)
+        self.cycles[stage] += cost * invocations
+        if self.hist is not None:
+            self.hist[stage][_hist_index(cost)] += invocations
 
     def charge_cycles(self, stage: Stage, cycles: float,
                       invocations: int = 1) -> None:
         """Charge an explicit cycle amount (callbacks, ablations)."""
         self.invocations[stage] += invocations
         self.cycles[stage] += cycles
+        if self.hist is not None and invocations:
+            self.hist[stage][_hist_index(cycles / invocations)] += \
+                invocations
 
     @property
     def total_cycles(self) -> float:
@@ -104,6 +139,13 @@ class CycleLedger:
         for stage in Stage:
             self.invocations[stage] += other.invocations[stage]
             self.cycles[stage] += other.cycles[stage]
+        if self.hist is not None and other.hist is not None:
+            for stage in Stage:
+                mine, theirs = self.hist[stage], other.hist[stage]
+                for i, count in enumerate(theirs):
+                    mine[i] += count
+        elif self.hist is None and other.hist is not None:
+            self.hist = {s: list(b) for s, b in other.hist.items()}
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         return {

@@ -7,7 +7,12 @@ implements that feedback channel for the reproduction: attached to a
 :class:`~repro.core.runtime.Runtime`, it snapshots the pipeline at a
 fixed virtual-time cadence and renders the paper's suggested signals —
 ingress rate, implied packet loss, callback rate, live connections,
-and resident memory.
+resident memory, and the filter funnel's per-interval survivors.
+
+Both backends feed it: the sequential runtime passes itself, the
+parallel backend passes a view assembled from worker progress reports.
+At end of run the runtime calls :meth:`StatsMonitor.finalize` so the
+final partial interval is recorded rather than silently dropped.
 """
 
 from __future__ import annotations
@@ -29,6 +34,11 @@ class MonitorSample:
     live_connections: int
     memory_bytes: int
     busy_fraction: float  # busiest core's cycle demand / capacity
+    # Filter-funnel survivors this interval: packets past the software
+    # packet filter, the connection filter, and the full filter.
+    pf_packets: int = 0
+    connf_packets: int = 0
+    sessf_packets: int = 0
 
     @property
     def loss_fraction(self) -> float:
@@ -41,7 +51,9 @@ class MonitorSample:
         loss = self.loss_fraction
         return (
             f"[{self.timestamp:9.3f}s] {self.interval_gbps:7.3f} Gbps  "
-            f"pkts={self.ingress_packets}  cb={self.callbacks}  "
+            f"pkts={self.ingress_packets}  "
+            f"funnel={self.pf_packets}/{self.connf_packets}"
+            f"/{self.sessf_packets}  cb={self.callbacks}  "
             f"conns={self.live_connections}  "
             f"mem={self.memory_bytes / 1e6:.1f}MB  "
             f"busy={self.busy_fraction * 100:5.1f}%  "
@@ -67,6 +79,9 @@ class StatsMonitor:
         self._last_bytes = 0
         self._last_callbacks = 0
         self._last_busy = 0.0
+        self._last_pf = 0
+        self._last_connf = 0
+        self._last_sessf = 0
 
     def observe(self, runtime, now: float) -> None:
         """Called by the runtime; snapshots when the interval elapsed."""
@@ -75,11 +90,24 @@ class StatsMonitor:
             return
         if now - self._last_ts < self.interval:
             return
+        self._snapshot(runtime, now)
+
+    def finalize(self, now: float, runtime) -> None:
+        """End of run: record the final partial interval (if any time
+        elapsed since the last snapshot), whatever its length."""
+        if self._last_ts is None or now <= self._last_ts:
+            return
+        self._snapshot(runtime, now)
+
+    def _snapshot(self, runtime, now: float) -> None:
         elapsed = now - self._last_ts
         received_packets = sum(n.stats.received_packets
                                for n in runtime.nics)
         received_bytes = sum(n.stats.received_bytes for n in runtime.nics)
         callbacks = sum(p.stats.callbacks for p in runtime.pipelines)
+        pf = sum(p.stats.pf_packets for p in runtime.pipelines)
+        connf = sum(p.stats.connf_packets for p in runtime.pipelines)
+        sessf = sum(p.stats.sessf_packets for p in runtime.pipelines)
         busiest = max(
             (p.stats.ledger.busy_seconds for p in runtime.pipelines),
             default=0.0,
@@ -95,6 +123,9 @@ class StatsMonitor:
             live_connections=runtime.live_connections,
             memory_bytes=runtime.memory_bytes,
             busy_fraction=(busiest - self._last_busy) / elapsed,
+            pf_packets=pf - self._last_pf,
+            connf_packets=connf - self._last_connf,
+            sessf_packets=sessf - self._last_sessf,
         )
         self.samples.append(sample)
         if self._emit is not None:
@@ -104,14 +135,20 @@ class StatsMonitor:
         self._last_bytes = received_bytes
         self._last_callbacks = callbacks
         self._last_busy = busiest
+        self._last_pf = pf
+        self._last_connf = connf
+        self._last_sessf = sessf
 
     # -- feedback signals (Section 5.3's tuning loop) ------------------------
     @property
     def sustained_loss(self) -> bool:
-        """True if the last few samples all imply packet loss — the
-        paper's cue to buffer writes, add cores, or narrow the filter."""
+        """True if the last three samples all imply packet loss — the
+        paper's cue to buffer writes, add cores, or narrow the filter.
+        A single lossy interval (one burst) is not "sustained": fewer
+        than three samples never qualify."""
         recent = self.samples[-3:]
-        return bool(recent) and all(s.loss_fraction > 0 for s in recent)
+        return len(recent) >= 3 and \
+            all(s.loss_fraction > 0 for s in recent)
 
     def peak_memory(self) -> int:
         return max((s.memory_bytes for s in self.samples), default=0)

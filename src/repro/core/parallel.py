@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import time
 import traceback
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
@@ -137,14 +138,18 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                 if progress_interval is not None and (
                         next_progress is None or now >= next_progress):
                     next_progress = now + progress_interval
+                    stats = pipeline.stats
                     out_queue.put((
                         _PROGRESS,
                         spec.core_id,
                         now,
-                        pipeline.stats.callbacks,
+                        stats.callbacks,
                         len(pipeline.table),
                         pipeline.table.memory_bytes,
-                        pipeline.stats.ledger.busy_seconds,
+                        stats.ledger.busy_seconds,
+                        stats.pf_packets,
+                        stats.connf_packets,
+                        stats.sessf_packets,
                     ))
             elif tag == _SAMPLE:
                 # Parent-clocked sample point: every batch dispatched
@@ -189,11 +194,15 @@ class _LedgerView:
 
 
 class _StatsView:
-    __slots__ = ("callbacks", "ledger")
+    __slots__ = ("callbacks", "ledger", "pf_packets", "connf_packets",
+                 "sessf_packets")
 
     def __init__(self) -> None:
         self.callbacks = 0
         self.ledger = _LedgerView()
+        self.pf_packets = 0
+        self.connf_packets = 0
+        self.sessf_packets = 0
 
 
 class _CoreView:
@@ -206,9 +215,13 @@ class _CoreView:
         self.table = _TableView()
 
     def update(self, callbacks: int, live: int, memory_bytes: int,
-               busy_seconds: float) -> None:
+               busy_seconds: float, pf_packets: int = 0,
+               connf_packets: int = 0, sessf_packets: int = 0) -> None:
         self.stats.callbacks = callbacks
         self.stats.ledger.busy_seconds = busy_seconds
+        self.stats.pf_packets = pf_packets
+        self.stats.connf_packets = connf_packets
+        self.stats.sessf_packets = sessf_packets
         self.table.live = live
         self.table.memory_bytes = memory_bytes
 
@@ -240,6 +253,14 @@ class _WorkerPool:
         config = runtime.config
         subscription = runtime.subscription
         self.views = [_CoreView() for _ in range(config.cores)]
+        # Backend-health telemetry (volatile: wall-clock and scheduling
+        # dependent, so it never feeds the deterministic exports).
+        self._health: Optional[List[dict]] = (
+            [{"batches": 0, "queue_highwater": 0,
+              "batch_occupancy_max": 0} for _ in range(config.cores)]
+            if config.telemetry else None
+        )
+        self.feeder_block_seconds = 0.0
         # Prefer fork where available: workers start fast and
         # subscriptions with closure callbacks are inherited rather
         # than pickled. spawn (macOS/Windows default) works too, but
@@ -283,6 +304,32 @@ class _WorkerPool:
         """Blocking put with liveness checks (bounded-queue backpressure
         must not deadlock on a dead worker)."""
         in_queue = self.in_queues[core_id]
+        if self._health is not None and message[0] == _BATCH:
+            row = self._health[core_id]
+            row["batches"] += 1
+            occupancy = len(message[1])
+            if occupancy > row["batch_occupancy_max"]:
+                row["batch_occupancy_max"] = occupancy
+            try:
+                depth = in_queue.qsize()
+            except NotImplementedError:  # macOS has no queue qsize
+                depth = 0
+            if depth > row["queue_highwater"]:
+                row["queue_highwater"] = depth
+            try:
+                in_queue.put_nowait(message)
+                return
+            except queue_mod.Full:
+                blocked_from = time.monotonic()
+                try:
+                    self._blocking_put(core_id, in_queue, message)
+                finally:
+                    self.feeder_block_seconds += \
+                        time.monotonic() - blocked_from
+                return
+        self._blocking_put(core_id, in_queue, message)
+
+    def _blocking_put(self, core_id: int, in_queue, message) -> None:
         while True:
             try:
                 in_queue.put(message, timeout=_POLL_TIMEOUT)
@@ -294,6 +341,16 @@ class _WorkerPool:
                     self.drain_progress()
                     raise ParallelExecutionError(
                         f"worker {core_id} died with its queue full")
+
+    def backend_health(self) -> Optional[dict]:
+        """Volatile health snapshot, or None when telemetry is off."""
+        if self._health is None:
+            return None
+        return {
+            "feeder_block_seconds": self.feeder_block_seconds,
+            "workers": [{"worker": core_id, **row}
+                        for core_id, row in enumerate(self._health)],
+        }
 
     def drain_progress(self) -> None:
         """Consume any pending reports without blocking; raises if a
@@ -330,8 +387,10 @@ class _WorkerPool:
                 results: Optional[Dict[int, CoreStats]]) -> Optional[int]:
         tag = message[0]
         if tag == _PROGRESS:
-            _, core_id, _, callbacks, live, memory_bytes, busy = message
-            self.views[core_id].update(callbacks, live, memory_bytes, busy)
+            (_, core_id, _, callbacks, live, memory_bytes, busy,
+             pf, connf, sessf) = message
+            self.views[core_id].update(callbacks, live, memory_bytes,
+                                       busy, pf, connf, sessf)
             return None
         if tag == _ERROR:
             _, core_id, worker_traceback = message
@@ -467,4 +526,16 @@ def run_parallel(
         pool.close()
 
     stats = runtime.aggregate(core_stats=core_stats)
-    return RuntimeReport(stats=stats, oom_at=oom_at)
+    if monitor is not None:
+        # Refresh the views from the workers' final exact snapshots so
+        # the tail sample isn't built from stale progress reports, then
+        # flush the final partial interval.
+        for view, final in zip(pool.views, core_stats):
+            last_sample = final.memory_samples[-1] \
+                if final.memory_samples else (0.0, 0, 0)
+            view.update(final.callbacks, last_sample[1], last_sample[2],
+                        final.ledger.busy_seconds, final.pf_packets,
+                        final.connf_packets, final.sessf_packets)
+        monitor.finalize(runtime._last_ts, view_runtime)
+    return RuntimeReport(stats=stats, oom_at=oom_at,
+                         backend_health=pool.backend_health())

@@ -80,7 +80,14 @@ class CorePipeline:
         self.sub = subscription
         self.config = config
         self.table = ConnTable(config.timeouts)
-        self.stats = CoreStats(config.cost_model)
+        self.stats = CoreStats(config.cost_model,
+                               telemetry=config.telemetry)
+        if config.trace_sample > 0:
+            from repro.telemetry.trace import ConnectionTracer
+            self._tracer = ConnectionTracer(config.trace_sample,
+                                            self.stats.trace_events)
+        else:
+            self._tracer = None
         self._filter = subscription.filter
         self._level = subscription.level
         if executor is None:
@@ -129,13 +136,22 @@ class CorePipeline:
         now = self._now
         packets = 0
         wire_bytes = 0
+        # Funnel survivor counters, accumulated in locals and folded
+        # into stats once per batch (telemetry stays near-free on the
+        # hot path). The fast path satisfies the whole filter at the
+        # packet layer, so its packets survive every funnel layer.
+        pf_packets = 0
+        pf_bytes = 0
+        fast_packets = 0
+        fast_bytes = 0
         for mbuf in mbufs:
             ts = mbuf.timestamp
             if ts > now:
                 now = ts
                 self._now = ts
             packets += 1
-            wire_bytes += len(mbuf)
+            frame_bytes = len(mbuf)
+            wire_bytes += frame_bytes
             invocations[capture_stage] += 1
             cycles[capture_stage] += capture_cost
             invocations[filter_stage] += 1
@@ -143,34 +159,55 @@ class CorePipeline:
             result = packet_filter(mbuf)
             if not result.matched:
                 continue
+            pf_packets += 1
+            pf_bytes += frame_bytes
             if fast_path:
                 # Packet subscription with a packet-only filter:
                 # Section 5.1 fast path, the callback runs right after
                 # the filter.
                 deliver(RawPacket(mbuf=mbuf))
+                fast_packets += 1
+                fast_bytes += frame_bytes
                 continue
             stateful(mbuf, result)
             now = self._now  # _stateful may not move it, expiry may
         stats.packets += packets
         stats.bytes += wire_bytes
+        stats.pf_packets += pf_packets
+        stats.pf_bytes += pf_bytes
+        if fast_packets:
+            stats.connf_packets += fast_packets
+            stats.connf_bytes += fast_bytes
+            stats.sessf_packets += fast_packets
+            stats.sessf_bytes += fast_bytes
 
     # ------------------------------------------------------------------
     # stateful processing
     # ------------------------------------------------------------------
     def _stateful(self, mbuf: Mbuf, result) -> None:
-        ledger = self.stats.ledger
+        stats = self.stats
+        ledger = stats.ledger
         ledger.charge(Stage.CONN_TRACK)
         stack = parse_stack(mbuf)
         five_tuple = FiveTuple.from_stack(stack)
         if five_tuple is None:
             # Non-transport traffic cannot be tracked; packet-level
-            # subscriptions with a satisfied filter still get it.
+            # subscriptions with a satisfied filter still get it —
+            # the full filter was satisfied, so the packet survives
+            # the remaining funnel layers.
             if result.terminal and self._level is Level.PACKET:
                 self._deliver(RawPacket(mbuf=mbuf))
+                wire = len(mbuf)
+                stats.connf_packets += 1
+                stats.connf_bytes += wire
+                stats.sessf_packets += 1
+                stats.sessf_bytes += wire
             return
         conn, created = self.table.get_or_create(five_tuple, self._now)
         if created:
-            self.stats.conns_created += 1
+            stats.conns_created += 1
+            if self._tracer is not None:
+                self._tracer.record(conn, self._now, "created")
             self._init_connection(conn, result)
         from_orig = conn.five_tuple.same_direction(five_tuple)
         payload = stack.l4_payload()
@@ -205,6 +242,20 @@ class CorePipeline:
                     self._parse(conn, segments)
         # DELETE (ignore tombstone): nothing to do.
 
+        # Funnel attribution: this packet survives the connection
+        # layer if, after processing it, its connection has passed the
+        # connection filter (or needed none) and is still live; it
+        # survives the session layer if the full filter is satisfied.
+        # Undecided (probing) and rejected connections drop here.
+        if conn.state is not ConnState.DELETE and \
+                conn.conn_term_node is not None:
+            wire = len(mbuf)
+            stats.connf_packets += 1
+            stats.connf_bytes += wire
+            if conn.matched:
+                stats.sessf_packets += 1
+                stats.sessf_bytes += wire
+
         if conn.terminated and conn.state is not ConnState.DELETE:
             self._finalize(conn, delivered_by="termination")
         self._maybe_expire()
@@ -215,6 +266,8 @@ class CorePipeline:
         if result.terminal:
             conn.matched = True
             conn.conn_term_node = FILTER_SATISFIED
+            if self._tracer is not None:
+                self._tracer.record(conn, self._now, "matched", "packet")
             if needs_sessions or (
                 self.sub.identify_services
                 and self._level is Level.CONNECTION
@@ -317,6 +370,9 @@ class CorePipeline:
             conn.parser = parser
         else:
             conn.parser = None
+        if self._tracer is not None:
+            self._tracer.record(conn, self._now, "probed",
+                                parser.protocol if parser else "none")
 
         if conn.matched:
             # Filter satisfied before the connection layer. Session
@@ -338,6 +394,9 @@ class CorePipeline:
         conn.conn_term_node = result.node
         if result.terminal:
             conn.matched = True
+            if self._tracer is not None:
+                self._tracer.record(conn, self._now, "matched",
+                                    "connection")
             self._on_full_match(conn)
             if self._level is Level.SESSION:
                 if parser is None:
@@ -384,21 +443,31 @@ class CorePipeline:
         else:
             matched = self._filter.session_filter(session,
                                                   conn.conn_term_node)
+        if self._tracer is not None:
+            self._tracer.record(conn, self._now, "parsed",
+                                "match" if matched else "nomatch")
         parser = conn.parser
         if matched:
             self.stats.sessions_matched += 1
             if self._level is Level.SESSION:
                 self._deliver(self.sub.datatype(
                     session=session, five_tuple=conn.five_tuple))
+                if self._tracer is not None:
+                    self._tracer.record(conn, self._now, "delivered",
+                                        "session")
                 next_state = parser.session_match_state()
                 if next_state == "parse":
                     conn.state = ConnState.PARSE
                 else:
                     # Figure 4b: nothing more can come of this
-                    # connection — deliver and drop it early.
-                    self._discard(conn)
+                    # connection — deliver and drop it early (a
+                    # completed delivery, not a filter rejection).
+                    self._discard(conn, rejected=False)
             else:
                 conn.matched = True
+                if self._tracer is not None:
+                    self._tracer.record(conn, self._now, "matched",
+                                        "session")
                 self._on_full_match(conn)
                 self._stop_heavy_processing(
                     conn,
@@ -465,9 +534,18 @@ class CorePipeline:
             conn.buffered_mbufs = []
             conn.buffered_bytes = 0
 
-    def _discard(self, conn: Connection) -> None:
+    def _discard(self, conn: Connection, rejected: bool = True) -> None:
         """Filter rejected (or nothing more to deliver): drop all heavy
-        state and leave an inert tombstone (see module docstring)."""
+        state and leave an inert tombstone (see module docstring).
+
+        ``rejected=False`` marks cleanup after a completed delivery or
+        natural termination — not a funnel drop — so it is excluded
+        from the discard counter and the trace.
+        """
+        if rejected:
+            self.stats.conns_discarded += 1
+            if self._tracer is not None:
+                self._tracer.record(conn, self._now, "discarded")
         conn.state = ConnState.DELETE
         conn.parser = None
         conn.reassembler = None
@@ -484,7 +562,7 @@ class CorePipeline:
         re-create the connection; a short timer removes it.
         """
         self._deliver_connection(conn)
-        self._discard(conn)
+        self._discard(conn, rejected=False)
         # With no timer tiers configured (the Figure 8 no-timeout
         # ablation) the tombstone simply stays resident — consistent
         # with "nothing is ever freed".
@@ -498,13 +576,20 @@ class CorePipeline:
             conn.delivered = True
             self._deliver(ConnectionRecord.from_connection(conn))
             self.stats.conns_delivered += 1
+            if self._tracer is not None:
+                self._tracer.record(conn, self._now, "delivered",
+                                    "connection")
 
     def _maybe_expire(self, force: bool = False) -> None:
         if not force and self._now - self._last_expire < 0.25:
             return
         self._last_expire = self._now
+        tracer = self._tracer
         for conn in self.table.expire(self._now):
+            self.stats.conns_expired += 1
             self._deliver_connection(conn)
+            if tracer is not None:
+                tracer.record(conn, self._now, "expired")
 
     def advance_time(self, now: float) -> None:
         """Move virtual time forward (idle periods, end of trace)."""
@@ -524,6 +609,14 @@ class CorePipeline:
 
     # -- monitoring ---------------------------------------------------------------
     def sample_memory(self) -> None:
-        self.stats.sample_memory(
+        stats = self.stats
+        stats.sample_memory(
             self._now, len(self.table), self.table.memory_bytes
         )
+        if stats.reasm_hist is not None:
+            occupancy = 0
+            for conn in self.table:
+                reassembler = conn.reassembler
+                if reassembler is not None:
+                    occupancy += reassembler.memory_bytes
+            stats.observe_reasm_occupancy(occupancy)

@@ -30,6 +30,10 @@ class RuntimeReport:
     stats: AggregateStats
     #: Virtual timestamp at which the memory limit was exceeded, or None.
     oom_at: Optional[float] = None
+    #: Parallel-backend health snapshot (queue high-water marks, batch
+    #: occupancy, feeder block time) when ``config.telemetry`` is on;
+    #: None otherwise. Volatile — excluded from deterministic exports.
+    backend_health: Optional[dict] = None
 
     @property
     def out_of_memory(self) -> bool:
@@ -199,6 +203,10 @@ class Runtime:
             if drain:
                 for pipeline in pipelines:
                     pipeline.drain()
+        if monitor is not None:
+            # Flush the final partial interval — a run ending between
+            # interval boundaries must not silently drop its tail.
+            monitor.finalize(self._last_ts, self)
         if hasattr(self.executor, "finalize") and self._first_ts is not None:
             self.executor.finalize(
                 max(self._last_ts - self._first_ts, 1e-9),
@@ -258,7 +266,14 @@ class Runtime:
         callbacks = sessions_parsed = sessions_matched = 0
         conns_created = conns_delivered = 0
         processed_packets = processed_bytes = 0
+        pf_packets = pf_bytes = connf_packets = connf_bytes = 0
+        sessf_packets = sessf_bytes = 0
+        probe_giveups = conns_discarded = conns_expired = 0
+        reasm_peak = reasm_occ_sum = 0
         memory_samples = []
+        stage_cycle_hist = None
+        reasm_hist = None
+        trace_events = []
         for stats in core_stats:
             for stage in Stage:
                 stage_invocations[stage] += stats.ledger.invocations[stage]
@@ -271,7 +286,34 @@ class Runtime:
             conns_delivered += stats.conns_delivered
             processed_packets += stats.packets
             processed_bytes += stats.bytes
+            pf_packets += stats.pf_packets
+            pf_bytes += stats.pf_bytes
+            connf_packets += stats.connf_packets
+            connf_bytes += stats.connf_bytes
+            sessf_packets += stats.sessf_packets
+            sessf_bytes += stats.sessf_bytes
+            probe_giveups += stats.probe_giveups
+            conns_discarded += stats.conns_discarded
+            conns_expired += stats.conns_expired
+            if stats.reasm_peak_bytes > reasm_peak:
+                reasm_peak = stats.reasm_peak_bytes
+            reasm_occ_sum += stats.reasm_occ_sum
             memory_samples.extend(stats.memory_samples)
+            trace_events.extend(stats.trace_events)
+            if stats.ledger.hist is not None:
+                if stage_cycle_hist is None:
+                    stage_cycle_hist = {stage: [0] * len(buckets)
+                                        for stage, buckets
+                                        in stats.ledger.hist.items()}
+                for stage, buckets in stats.ledger.hist.items():
+                    merged = stage_cycle_hist[stage]
+                    for i, count in enumerate(buckets):
+                        merged[i] += count
+            if stats.reasm_hist is not None:
+                if reasm_hist is None:
+                    reasm_hist = [0] * len(stats.reasm_hist)
+                for i, count in enumerate(stats.reasm_hist):
+                    reasm_hist[i] += count
         memory_samples.sort(key=lambda s: s[0])
         return AggregateStats(
             cores=self.config.cores,
@@ -292,4 +334,18 @@ class Runtime:
             stage_cycles=stage_cycles,
             per_core_busy_seconds=per_core_busy,
             memory_samples=memory_samples,
+            pf_packets=pf_packets,
+            pf_bytes=pf_bytes,
+            connf_packets=connf_packets,
+            connf_bytes=connf_bytes,
+            sessf_packets=sessf_packets,
+            sessf_bytes=sessf_bytes,
+            probe_giveups=probe_giveups,
+            conns_discarded=conns_discarded,
+            conns_expired=conns_expired,
+            stage_cycle_hist=stage_cycle_hist,
+            reasm_hist=reasm_hist,
+            reasm_occ_sum=reasm_occ_sum,
+            reasm_peak_bytes=reasm_peak,
+            trace_events=trace_events,
         )

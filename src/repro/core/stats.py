@@ -13,11 +13,17 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.cycles import CostModel, CycleLedger, Stage
 
 
+#: Upper bucket bounds (bytes) for reassembly-buffer occupancy
+#: histograms; one implicit +Inf bucket follows.
+REASM_HIST_BOUNDS = (1024, 4096, 16384, 65536, 262144, 1048576, 4194304)
+
+
 class CoreStats:
     """Counters for one processing core."""
 
-    def __init__(self, cost_model: CostModel) -> None:
-        self.ledger = CycleLedger(cost_model)
+    def __init__(self, cost_model: CostModel,
+                 telemetry: bool = False) -> None:
+        self.ledger = CycleLedger(cost_model, record_hist=telemetry)
         self.packets = 0
         self.bytes = 0
         self.callbacks = 0
@@ -26,8 +32,44 @@ class CoreStats:
         self.conns_created = 0
         self.conns_delivered = 0
         self.probe_giveups = 0
+        # Filter-funnel survivor counters (always on — plain integer
+        # increments, same cost class as the counters above). Packets
+        # and wire bytes surviving the software packet filter, the
+        # connection-filter layer, and the full filter respectively;
+        # see repro.telemetry.funnel for the exact semantics.
+        self.pf_packets = 0
+        self.pf_bytes = 0
+        self.connf_packets = 0
+        self.connf_bytes = 0
+        self.sessf_packets = 0
+        self.sessf_bytes = 0
+        #: Connections the filter rejected (or that had nothing more to
+        #: deliver) and connections harvested by the timer wheels.
+        self.conns_discarded = 0
+        self.conns_expired = 0
         #: (timestamp, live_connections, memory_bytes) samples.
         self.memory_samples: List[Tuple[float, int, int]] = []
+        #: Sampled connection-lifecycle events (repro.telemetry.trace).
+        self.trace_events: List[Tuple] = []
+        #: Reassembly-buffer occupancy histogram (telemetry only):
+        #: bucket counts over REASM_HIST_BOUNDS + Inf, observed at each
+        #: memory-sample point, plus the peak occupancy seen.
+        self.reasm_hist: Optional[List[int]] = (
+            [0] * (len(REASM_HIST_BOUNDS) + 1) if telemetry else None
+        )
+        self.reasm_occ_sum = 0
+        self.reasm_peak_bytes = 0
+
+    def observe_reasm_occupancy(self, occupancy_bytes: int) -> None:
+        if occupancy_bytes > self.reasm_peak_bytes:
+            self.reasm_peak_bytes = occupancy_bytes
+        if self.reasm_hist is not None:
+            self.reasm_occ_sum += occupancy_bytes
+            for i, bound in enumerate(REASM_HIST_BOUNDS):
+                if occupancy_bytes <= bound:
+                    self.reasm_hist[i] += 1
+                    return
+            self.reasm_hist[-1] += 1
 
     def record_packet(self, wire_bytes: int) -> None:
         self.packets += 1
@@ -54,7 +96,25 @@ class CoreStats:
         self.conns_created += other.conns_created
         self.conns_delivered += other.conns_delivered
         self.probe_giveups += other.probe_giveups
+        self.pf_packets += other.pf_packets
+        self.pf_bytes += other.pf_bytes
+        self.connf_packets += other.connf_packets
+        self.connf_bytes += other.connf_bytes
+        self.sessf_packets += other.sessf_packets
+        self.sessf_bytes += other.sessf_bytes
+        self.conns_discarded += other.conns_discarded
+        self.conns_expired += other.conns_expired
         self.memory_samples.extend(other.memory_samples)
+        self.trace_events.extend(other.trace_events)
+        if other.reasm_hist is not None:
+            if self.reasm_hist is None:
+                self.reasm_hist = list(other.reasm_hist)
+            else:
+                for i, count in enumerate(other.reasm_hist):
+                    self.reasm_hist[i] += count
+        self.reasm_occ_sum += other.reasm_occ_sum
+        if other.reasm_peak_bytes > self.reasm_peak_bytes:
+            self.reasm_peak_bytes = other.reasm_peak_bytes
 
 
 @dataclass
@@ -79,6 +139,24 @@ class AggregateStats:
     stage_cycles: Dict[Stage, float]
     per_core_busy_seconds: List[float]
     memory_samples: List[Tuple[float, int, int]]
+    # -- telemetry (filter funnel, tracing, histograms) ----------------------
+    pf_packets: int = 0
+    pf_bytes: int = 0
+    connf_packets: int = 0
+    connf_bytes: int = 0
+    sessf_packets: int = 0
+    sessf_bytes: int = 0
+    probe_giveups: int = 0
+    conns_discarded: int = 0
+    conns_expired: int = 0
+    #: Merged per-stage cycle histograms (None unless telemetry ran).
+    stage_cycle_hist: Optional[Dict[Stage, List[int]]] = None
+    #: Merged reassembly occupancy histogram (None unless telemetry ran).
+    reasm_hist: Optional[List[int]] = None
+    reasm_occ_sum: int = 0
+    reasm_peak_bytes: int = 0
+    #: Merged (unsorted) trace events; see repro.telemetry.trace.
+    trace_events: List[Tuple] = field(default_factory=list)
 
     # -- derived -------------------------------------------------------------
     @property
@@ -161,6 +239,19 @@ class AggregateStats:
             for stage in Stage
         }
 
+    def filter_funnel(self):
+        """The four-layer filter funnel (packets/bytes surviving the
+        NIC hardware filter, software packet filter, connection filter,
+        and session filter). Returns ``FunnelLayer`` rows; see
+        :mod:`repro.telemetry.funnel`."""
+        from repro.telemetry.funnel import build_funnel
+        return build_funnel(self)
+
+    def funnel_table(self) -> str:
+        """Human-readable funnel table (the §5.3 feedback view)."""
+        from repro.telemetry.funnel import funnel_table
+        return funnel_table(self)
+
     def stage_mean_cycles(self) -> Dict[Stage, float]:
         """Average cycles per invocation per stage (Figure 7's labels)."""
         out: Dict[Stage, float] = {}
@@ -198,6 +289,11 @@ class AggregateStats:
             },
             "peak_memory_bytes": self.peak_memory_bytes,
             "peak_live_connections": self.peak_live_connections,
+            "probe_giveups": self.probe_giveups,
+            "conns_discarded": self.conns_discarded,
+            "conns_expired": self.conns_expired,
+            "filter_funnel": [layer.to_dict()
+                              for layer in self.filter_funnel()],
         }
 
     def describe(self) -> str:
@@ -215,5 +311,7 @@ class AggregateStats:
             f"cycles/pkt: {self.cycles_per_ingress_packet:.1f}, "
             f"zero-loss ceiling: {self.max_zero_loss_gbps():.1f} Gbps "
             f"on {self.cores} cores",
+            "filter funnel:",
+            self.funnel_table(),
         ]
         return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Telemetry exporters: Prometheus text and NDJSON trace streams.
+
+``build_registry`` turns one run's merged :class:`AggregateStats` into a
+:class:`~repro.telemetry.registry.MetricsRegistry`; ``write_metrics``
+and ``write_trace`` put the two export formats on disk for the CLI's
+``--metrics-out`` / ``--trace-out`` flags.
+
+Both exports are deterministic: metric families render in sorted order,
+volatile (machine-dependent) backend-health metrics are excluded unless
+asked for, and trace events are sorted into their canonical order — so
+the sequential and parallel backends produce byte-identical files for
+the same traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+from repro.core.cycles import CYCLE_HIST_BOUNDS, Stage
+from repro.core.stats import REASM_HIST_BOUNDS, AggregateStats
+from repro.telemetry.funnel import build_funnel
+from repro.telemetry.registry import MetricsRegistry, bucket_index
+from repro.telemetry.trace import trace_event_dicts
+
+
+def build_registry(stats: AggregateStats,
+                   backend_health: Optional[dict] = None,
+                   ) -> MetricsRegistry:
+    """Populate a metrics registry from one run's aggregate stats.
+
+    ``backend_health`` is the parallel backend's (volatile) health
+    snapshot — per-worker queue-depth high-water marks, batch occupancy,
+    and feeder block time. Its metrics are registered ``volatile=True``
+    so the default rendering stays identical across backends.
+    """
+    reg = MetricsRegistry()
+
+    # -- the filter funnel -------------------------------------------------
+    fpkts = reg.counter("repro_funnel_packets_total",
+                        "Packets entering/surviving each filter layer",
+                        label_names=("layer", "edge"))
+    fbytes = reg.counter("repro_funnel_bytes_total",
+                         "Bytes entering/surviving each filter layer",
+                         label_names=("layer", "edge"))
+    fdrop = reg.counter("repro_funnel_dropped_packets_total",
+                        "Packets discarded at each filter layer",
+                        label_names=("layer",))
+    for layer in build_funnel(stats):
+        fpkts.inc(layer.packets_in, labels=(layer.layer, "in"))
+        fpkts.inc(layer.packets_out, labels=(layer.layer, "out"))
+        fbytes.inc(layer.bytes_in, labels=(layer.layer, "in"))
+        fbytes.inc(layer.bytes_out, labels=(layer.layer, "out"))
+        fdrop.inc(layer.dropped_packets, labels=(layer.layer,))
+
+    # -- traffic totals ----------------------------------------------------
+    pkts = reg.counter("repro_packets_total",
+                       "Packet dispositions at the NIC boundary",
+                       label_names=("disposition",))
+    pkts.inc(stats.ingress_packets, labels=("ingress",))
+    pkts.inc(stats.hw_dropped_packets, labels=("hw_dropped",))
+    pkts.inc(stats.sink_dropped_packets, labels=("sink_dropped",))
+    pkts.inc(stats.processed_packets, labels=("processed",))
+    reg.counter("repro_bytes_total", "Bytes offered to the NIC") \
+        .inc(stats.ingress_bytes)
+
+    # -- pipeline internals ------------------------------------------------
+    inv = reg.counter("repro_stage_invocations_total",
+                      "Pipeline stage invocations",
+                      label_names=("stage",))
+    cyc = reg.counter("repro_stage_cycles_total",
+                      "Virtual CPU cycles charged per stage",
+                      label_names=("stage",))
+    for stage in Stage:
+        inv.inc(stats.stage_invocations[stage], labels=(stage.value,))
+        cyc.inc(stats.stage_cycles[stage], labels=(stage.value,))
+
+    if stats.stage_cycle_hist is not None:
+        hist = reg.histogram(
+            "repro_stage_cost_cycles",
+            "Per-invocation cycle cost distribution per stage",
+            buckets=CYCLE_HIST_BOUNDS, label_names=("stage",))
+        for stage in Stage:
+            counts = list(stats.stage_cycle_hist[stage])
+            # The batched hot path (capture, packet filter) bypasses
+            # ledger.charge(); those stages have constant per-invocation
+            # cost, so synthesize the missing observations into the
+            # bucket that constant falls in.
+            deficit = stats.stage_invocations[stage] - sum(counts)
+            if deficit > 0:
+                cost = stats.cost_model.cost_of(stage)
+                counts[bucket_index(CYCLE_HIST_BOUNDS, cost)] += deficit
+            if sum(counts):
+                hist.load(counts, stats.stage_cycles[stage],
+                          labels=(stage.value,))
+
+    if stats.reasm_hist is not None:
+        reg.histogram(
+            "repro_reassembly_occupancy_bytes",
+            "Reassembly-buffer occupancy at memory-sample points",
+            buckets=REASM_HIST_BOUNDS,
+        ).load(stats.reasm_hist, float(stats.reasm_occ_sum))
+    reg.gauge("repro_reassembly_peak_bytes",
+              "Peak reassembly-buffer occupancy") \
+        .set(stats.reasm_peak_bytes)
+
+    # -- connections, sessions, delivery -----------------------------------
+    conns = reg.counter("repro_connections_total",
+                        "Connection lifecycle outcomes",
+                        label_names=("event",))
+    conns.inc(stats.conns_created, labels=("created",))
+    conns.inc(stats.conns_delivered, labels=("delivered",))
+    conns.inc(stats.conns_discarded, labels=("discarded",))
+    conns.inc(stats.conns_expired, labels=("expired",))
+    reg.counter("repro_probe_giveups_total",
+                "Connections whose protocol probe hit the byte limit") \
+        .inc(stats.probe_giveups)
+    sessions = reg.counter("repro_sessions_total",
+                           "Application-layer sessions",
+                           label_names=("outcome",))
+    sessions.inc(stats.sessions_parsed, labels=("parsed",))
+    sessions.inc(stats.sessions_matched, labels=("matched",))
+    reg.counter("repro_callbacks_total", "Subscription callback runs") \
+        .inc(stats.callbacks)
+
+    # -- run-level gauges --------------------------------------------------
+    reg.gauge("repro_run_duration_seconds",
+              "Virtual duration of the processed traffic") \
+        .set(stats.duration)
+    reg.gauge("repro_offered_rate_gbps", "Offered ingress bit-rate") \
+        .set(stats.offered_rate_gbps)
+    reg.gauge("repro_memory_peak_bytes",
+              "Peak tracked connection-state memory") \
+        .set(stats.peak_memory_bytes)
+    reg.gauge("repro_live_connections_peak",
+              "Peak live connections") \
+        .set(stats.peak_live_connections)
+
+    # -- parallel backend health (volatile: wall-clock/schedule noise) -----
+    if backend_health is not None:
+        reg.gauge("repro_feeder_block_seconds",
+                  "Wall-clock seconds the feeder spent blocked on full "
+                  "worker queues", volatile=True) \
+            .set(backend_health.get("feeder_block_seconds", 0.0))
+        qhw = reg.gauge("repro_worker_queue_highwater",
+                        "Per-worker input queue depth high-water mark "
+                        "(batches)", label_names=("worker",),
+                        volatile=True)
+        batches = reg.counter("repro_worker_batches_total",
+                              "Batches dispatched to each worker",
+                              label_names=("worker",), volatile=True)
+        occ = reg.gauge("repro_worker_batch_occupancy_max",
+                        "Largest batch (packets) each worker received",
+                        label_names=("worker",), volatile=True)
+        for row in backend_health.get("workers", ()):
+            worker = str(row["worker"])
+            qhw.set(row.get("queue_highwater", 0), labels=(worker,))
+            batches.inc(row.get("batches", 0), labels=(worker,))
+            occ.set(row.get("batch_occupancy_max", 0), labels=(worker,))
+    return reg
+
+
+def render_metrics(stats: AggregateStats,
+                   backend_health: Optional[dict] = None,
+                   include_volatile: bool = False) -> str:
+    """The run's metrics in the Prometheus text exposition format."""
+    return build_registry(stats, backend_health) \
+        .render_prometheus(include_volatile=include_volatile)
+
+
+def write_metrics(path: Union[str, Path], stats: AggregateStats,
+                  backend_health: Optional[dict] = None,
+                  include_volatile: bool = False) -> None:
+    Path(path).write_text(
+        render_metrics(stats, backend_health, include_volatile))
+
+
+def trace_lines(stats: AggregateStats) -> List[str]:
+    """The run's sampled trace as NDJSON lines (canonical order)."""
+    return [json.dumps(record, separators=(",", ":"), sort_keys=True)
+            for record in trace_event_dicts(stats.trace_events)]
+
+
+def write_trace(sink: Union[str, Path, IO[str]], stats: AggregateStats,
+                batch_size: int = 256) -> int:
+    """Write the sampled connection traces as an NDJSON event stream.
+
+    Reuses the analysis log writer's buffering so multi-thousand-event
+    traces do not pay one write syscall per line. Returns the number of
+    events written.
+    """
+    from repro.analysis.logwriter import BufferedLineWriter
+    lines = trace_lines(stats)
+    with BufferedLineWriter(sink, batch_size=batch_size) as writer:
+        for line in lines:
+            writer.write_line(line)
+    return len(lines)

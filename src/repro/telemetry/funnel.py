@@ -1,0 +1,121 @@
+"""The filter funnel: where traffic is discarded, layer by layer.
+
+Retina's headline design rule is "discard as early as possible": the
+NIC's hardware filter drops what flow rules can express, the software
+packet filter drops per packet, the connection filter drops at protocol
+resolution, and the session filter drops at session completion. This
+module turns that claim into an inspectable per-run table — packets and
+bytes *surviving* each layer, with per-layer drop fractions — built
+from the merged :class:`~repro.core.stats.AggregateStats`, so both
+execution backends produce the identical funnel for the same traffic.
+
+The funnel invariant (asserted by tests for the whole filter corpus):
+survivors are monotonically non-increasing down the layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: The four filter layers, in pipeline order (Figure 7's bars).
+FUNNEL_LAYERS = (
+    "nic_hardware",
+    "packet_filter",
+    "connection_filter",
+    "session_filter",
+)
+
+
+@dataclass(frozen=True)
+class FunnelLayer:
+    """One row of the funnel table."""
+
+    layer: str
+    packets_in: int
+    packets_out: int
+    bytes_in: int
+    bytes_out: int
+
+    @property
+    def dropped_packets(self) -> int:
+        return self.packets_in - self.packets_out
+
+    @property
+    def drop_fraction(self) -> float:
+        if not self.packets_in:
+            return 0.0
+        return self.dropped_packets / self.packets_in
+
+    def to_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "dropped_packets": self.dropped_packets,
+            "drop_fraction": self.drop_fraction,
+        }
+
+
+def build_funnel(stats) -> List[FunnelLayer]:
+    """The four-layer funnel from merged aggregate stats.
+
+    Survivor semantics, chosen so monotonicity holds per packet:
+
+    * ``nic_hardware`` — ingress packets minus hardware-filter and
+      sink-queue drops (what reaches the CPU);
+    * ``packet_filter`` — packets the software packet filter matched;
+    * ``connection_filter`` — matched packets whose connection had
+      passed the connection layer (or needed none) when the packet was
+      processed — packets of still-undecided (probing) or rejected
+      connections do not survive;
+    * ``session_filter`` — packets of connections whose *full* filter
+      was satisfied when the packet was processed.
+    """
+    dispatched = (stats.ingress_packets - stats.hw_dropped_packets
+                  - stats.sink_dropped_packets)
+    return [
+        FunnelLayer("nic_hardware",
+                    stats.ingress_packets, dispatched,
+                    stats.ingress_bytes, stats.processed_bytes),
+        FunnelLayer("packet_filter",
+                    stats.processed_packets, stats.pf_packets,
+                    stats.processed_bytes, stats.pf_bytes),
+        FunnelLayer("connection_filter",
+                    stats.pf_packets, stats.connf_packets,
+                    stats.pf_bytes, stats.connf_bytes),
+        FunnelLayer("session_filter",
+                    stats.connf_packets, stats.sessf_packets,
+                    stats.connf_bytes, stats.sessf_bytes),
+    ]
+
+
+def check_funnel(layers: List[FunnelLayer]) -> None:
+    """Raise AssertionError unless survivors are monotonically
+    non-increasing and every layer's output is bounded by its input."""
+    for layer in layers:
+        assert 0 <= layer.packets_out <= layer.packets_in, \
+            f"{layer.layer}: {layer.packets_out} out of " \
+            f"{layer.packets_in} in"
+        assert 0 <= layer.bytes_out <= layer.bytes_in, \
+            f"{layer.layer}: {layer.bytes_out}B out of " \
+            f"{layer.bytes_in}B in"
+    outs = [layer.packets_out for layer in layers]
+    assert outs == sorted(outs, reverse=True), \
+        f"funnel not monotone: {outs}"
+
+
+def funnel_table(stats) -> str:
+    """Human-readable funnel (the §5.3 feedback table)."""
+    layers = build_funnel(stats)
+    width = max(len(layer.layer) for layer in layers)
+    lines = [f"{'layer':<{width}}  {'pkts in':>10}  {'pkts out':>10}  "
+             f"{'dropped':>10}  {'drop%':>6}"]
+    for layer in layers:
+        lines.append(
+            f"{layer.layer:<{width}}  {layer.packets_in:>10}  "
+            f"{layer.packets_out:>10}  {layer.dropped_packets:>10}  "
+            f"{layer.drop_fraction * 100:>5.1f}%")
+    return "\n".join(lines)

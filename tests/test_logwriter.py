@@ -9,6 +9,7 @@ from repro import Runtime, RuntimeConfig
 from repro.analysis.logwriter import (
     BUFFERED_WRITE_CYCLES,
     DIRECT_WRITE_CYCLES,
+    BufferedLineWriter,
     BufferedRecordWriter,
     DirectRecordWriter,
     render_record,
@@ -84,6 +85,39 @@ class TestBufferedWriter:
     def test_bad_batch_size(self):
         with pytest.raises(ValueError):
             BufferedRecordWriter(io.StringIO(), batch_size=0)
+
+    def test_flush_on_gc(self):
+        """Regression: a writer dropped without close() used to lose
+        its buffered tail; __del__ now guarantees the flush."""
+        sink = io.StringIO()
+        writer = BufferedRecordWriter(sink, batch_size=100)
+        for _ in range(5):
+            writer(object())
+        assert sink.getvalue() == ""  # still buffered
+        del writer
+        import gc
+        gc.collect()
+        assert len(sink.getvalue().splitlines()) == 5
+
+    def test_close_idempotent(self):
+        sink = io.StringIO()
+        writer = BufferedRecordWriter(sink, batch_size=10)
+        writer(object())
+        writer.close()
+        writer.close()  # second close is a no-op
+        assert writer.flushes == 1
+        with pytest.raises(ValueError):
+            writer(object())  # writing after close is an error
+
+    def test_line_writer_shared_base(self):
+        sink = io.StringIO()
+        with BufferedLineWriter(sink, batch_size=2) as writer:
+            writer.write_line('{"a":1}')
+            writer.write_line('{"b":2}')
+            writer.write_line('{"c":3}')
+        assert sink.getvalue().splitlines() == \
+            ['{"a":1}', '{"b":2}', '{"c":3}']
+        assert writer.records == 3
 
     def test_cycle_constants_favor_buffering(self):
         assert BUFFERED_WRITE_CYCLES < DIRECT_WRITE_CYCLES
