@@ -38,6 +38,7 @@ from repro.core import (
 )
 from repro.conntrack.table import TimeoutConfig
 from repro.filter import compile_filter, CompiledFilter, FilterResult
+from repro.resilience import FaultPlan, FaultReport, FaultSpec
 
 __version__ = "1.0.0"
 
@@ -61,5 +62,8 @@ __all__ = [
     "compile_filter",
     "CompiledFilter",
     "FilterResult",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
     "__version__",
 ]

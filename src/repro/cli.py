@@ -74,9 +74,46 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="F",
                         help="fraction of connections traced when "
                              "--trace-out is set (default: 0.01)")
+    resilience = parser.add_argument_group(
+        "resilience", "fault injection, supervision and degradation "
+        "(see docs/RESILIENCE.md)")
+    resilience.add_argument("--fault-plan", metavar="PLAN",
+                            help="JSON fault plan: a file path or an "
+                                 "inline JSON object")
+    resilience.add_argument("--callback-errors", default="raise",
+                            choices=["raise", "isolate"],
+                            help="callback exception policy: abort the "
+                                 "run or isolate per subscription "
+                                 "(default: raise)")
+    resilience.add_argument("--callback-error-budget", type=int,
+                            default=3, metavar="N",
+                            help="with --callback-errors isolate, "
+                                 "quarantine a core's subscription "
+                                 "after N errors (default: 3)")
+    resilience.add_argument("--memory-policy", default="record",
+                            choices=["record", "evict", "shed"],
+                            help="memory-pressure policy when a limit "
+                                 "is set (default: record)")
+    resilience.add_argument("--memory-limit", type=int, default=0,
+                            metavar="BYTES",
+                            help="total connection-state budget in "
+                                 "bytes (0: unlimited)")
+    resilience.add_argument("--supervise", action="store_true",
+                            help="supervise parallel workers: restart "
+                                 "crashed/hung cores with batch replay")
+    resilience.add_argument("--faults-out", metavar="PATH",
+                            help="write the run's fault report as JSON")
     parser.add_argument("--describe-filter", metavar="FILTER",
                         help="print a filter's decomposition and exit")
     return parser
+
+
+def _load_fault_plan(spec: Optional[str]):
+    """Parse --fault-plan: inline JSON (starts with '{') or a file."""
+    if not spec:
+        return None
+    from repro.resilience import FaultPlan
+    return FaultPlan.from_json(spec)
 
 
 def _render(obj) -> str:
@@ -134,6 +171,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             printed += 1
 
     try:
+        fault_plan = _load_fault_plan(args.fault_plan)
         config = RuntimeConfig(
             cores=args.parallel if args.parallel > 0 else args.cores,
             parallel=args.parallel > 0,
@@ -143,6 +181,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             sink_fraction=args.sink_fraction,
             telemetry=bool(args.metrics_out or args.trace_out),
             trace_sample=args.trace_sample if args.trace_out else 0.0,
+            fault_plan=fault_plan,
+            callback_error_policy=args.callback_errors,
+            callback_error_budget=args.callback_error_budget,
+            memory_policy=args.memory_policy,
+            memory_limit_bytes=args.memory_limit or None,
+            supervise=args.supervise,
         )
         runtime = Runtime(config, filter_str=args.filter_str,
                           datatype=args.datatype, callback=callback)
@@ -151,9 +195,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     monitor = StatsMonitor(emit=print) if args.monitor else None
-    report = runtime.run(traffic, monitor=monitor)
+    try:
+        report = runtime.run(traffic, monitor=monitor)
+    except RetinaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print()
     print(report.stats.describe())
+    if report.faults is not None:
+        faults = report.faults
+        line = (f"faults: injected={sum(faults.injected.values())} "
+                f"callback_errors={faults.callback_errors} "
+                f"restarts={faults.worker_restarts} "
+                f"replayed={faults.replayed_batches}")
+        if faults.degraded:
+            line += f" DEGRADED lost_cores={faults.lost_cores}"
+        print(line)
+    if args.faults_out:
+        import json
+        payload = (report.faults.to_dict()
+                   if report.faults is not None else {})
+        with open(args.faults_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"(fault report written to {args.faults_out})")
     if args.json_stats:
         import json
         with open(args.json_stats, "w") as handle:
@@ -162,7 +226,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metrics_out:
         from repro.telemetry import export
         export.write_metrics(args.metrics_out, report.stats,
-                             backend_health=report.backend_health)
+                             backend_health=report.backend_health,
+                             faults=report.faults)
         print(f"(metrics written to {args.metrics_out})")
     if args.trace_out:
         from repro.telemetry import export

@@ -9,6 +9,7 @@ from repro.conntrack.table import TimeoutConfig
 from repro.core.cycles import CostModel
 from repro.errors import ConfigError
 from repro.filter.hardware import NicCapabilities, connectx5_capabilities
+from repro.resilience.faults import FaultPlan
 from repro.stream.reassembly import DEFAULT_OOO_CAPACITY
 
 
@@ -92,6 +93,47 @@ class RuntimeConfig:
     #: five-tuple, so the sampled set — and the exported trace — is
     #: identical across backends and worker counts. 0.0 disables.
     trace_sample: float = 0.0
+    # -- resilience (repro.resilience) ---------------------------------
+    #: Deterministic fault plan to inject into the run; None disables
+    #: every injection hook (the hot path carries no fault checks).
+    fault_plan: Optional[FaultPlan] = None
+    #: What a raising subscription callback does: "raise" wraps the
+    #: exception in :class:`~repro.errors.CallbackError` and aborts the
+    #: run (the historical behavior, now typed); "isolate" absorbs it,
+    #: counts it against ``callback_error_budget``, and — once the
+    #: budget is exhausted — quarantines the callback on that core
+    #: (deliveries keep being counted and charged, the user function is
+    #: no longer invoked).
+    callback_error_policy: str = "raise"
+    #: Callback errors tolerated per core before quarantine under the
+    #: "isolate" policy.
+    callback_error_budget: int = 3
+    #: What hitting ``memory_limit_bytes`` does: "record" stops the run
+    #: and records ``oom_at`` (the historical Figure 8 behavior);
+    #: "evict" force-expires idle connections (oldest-activity-first,
+    #: via the connection table) until each core is back under its
+    #: share of the limit; "shed" refuses *new* connections while a
+    #: core is over its share. Both degradation policies keep the run
+    #: alive and count their actions in ``RuntimeReport.faults``.
+    memory_policy: str = "record"
+    #: Supervise parallel workers: per-core batch sequence numbers and
+    #: acknowledgements, a bounded redo log, crash detection + restart
+    #: with capped exponential backoff, hang detection via heartbeat
+    #: deadlines, and degraded completion (partial stats) when a core
+    #: is unrecoverable. Implied by a fault plan containing worker
+    #: faults. Off by default: the unsupervised dispatch path is
+    #: byte-identical to previous releases.
+    supervise: bool = False
+    #: Restarts allowed per core before it is declared lost and the run
+    #: completes degraded.
+    max_worker_restarts: int = 2
+    #: Wall-clock seconds without progress before a live-but-silent
+    #: worker is treated as hung (supervised mode only).
+    worker_heartbeat_timeout: float = 5.0
+    #: Bound (in batches) of each core's redo log; in-flight batches
+    #: beyond this cannot be replayed after a crash and are counted as
+    #: ``unreplayable_batches`` in the fault report.
+    redo_log_batches: int = 64
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -115,6 +157,23 @@ class RuntimeConfig:
             raise ConfigError("parallel_queue_depth must be >= 1")
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ConfigError("trace_sample must be in [0, 1]")
+        if self.callback_error_policy not in ("raise", "isolate"):
+            raise ConfigError(
+                f"unknown callback_error_policy "
+                f"{self.callback_error_policy!r} (want 'raise' or "
+                f"'isolate')")
+        if self.callback_error_budget < 1:
+            raise ConfigError("callback_error_budget must be >= 1")
+        if self.memory_policy not in ("record", "evict", "shed"):
+            raise ConfigError(
+                f"unknown memory_policy {self.memory_policy!r} "
+                f"(want 'record', 'evict', or 'shed')")
+        if self.max_worker_restarts < 0:
+            raise ConfigError("max_worker_restarts must be >= 0")
+        if self.worker_heartbeat_timeout <= 0:
+            raise ConfigError("worker_heartbeat_timeout must be > 0")
+        if self.redo_log_batches < 1:
+            raise ConfigError("redo_log_batches must be >= 1")
         if self.parallel and self.callback_execution != "inline":
             raise ConfigError(
                 "the parallel backend supports inline callback execution "

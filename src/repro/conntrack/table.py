@@ -21,6 +21,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.conntrack.conn import Connection, ConnState
 from repro.conntrack.five_tuple import FiveTuple
 from repro.conntrack.timerwheel import ConnectionTimers
+from repro.errors import ResourceExhaustedError
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,7 @@ class ConnTable:
         self.removed = 0
         self.expired_establish = 0
         self.expired_inactive = 0
+        self.evicted = 0
 
     def __len__(self) -> int:
         return len(self._conns)
@@ -136,6 +138,44 @@ class ConnTable:
         self._conns.clear()
         self.removed += len(conns)
         return conns
+
+    def evict_idle(self, target_bytes: int) -> List[Connection]:
+        """Force-expire connections, least-recently-active first, until
+        resident memory is back under ``target_bytes``.
+
+        This is the ``memory_policy="evict"`` degradation action: the
+        victims are returned (like :meth:`expire`) so the pipeline can
+        still deliver whatever connection-level data the subscription
+        asked for. Ordering is by ``(last activity, canonical key)`` —
+        fully deterministic, so the same run evicts the same flows on
+        every backend.
+
+        Raises :class:`~repro.errors.ResourceExhaustedError` — without
+        evicting anything — when even an empty table would sit above
+        ``target_bytes`` (the pressure is not attributable to idle
+        connection state, so eviction cannot relieve it).
+        """
+        if target_bytes < 0:
+            raise ResourceExhaustedError(
+                f"memory target {target_bytes} B unreachable by "
+                f"eviction: the deficit is not attributable to idle "
+                f"connection state")
+        remaining = self.memory_bytes
+        if remaining <= target_bytes:
+            return []
+        victims: List[Connection] = []
+        for conn in sorted(self._conns.values(),
+                           key=lambda c: (c.last_ts, c.key)):
+            if remaining <= target_bytes:
+                break
+            remaining -= conn.memory_bytes
+            del self._conns[conn.key]
+            self._timers.on_remove(conn.key)
+            conn.state = ConnState.DELETE
+            self.removed += 1
+            self.evicted += 1
+            victims.append(conn)
+        return victims
 
     @property
     def memory_bytes(self) -> int:

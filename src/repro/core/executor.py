@@ -51,6 +51,14 @@ class InlineExecutor:
             self._callback(obj)
         return self.callback_cycles
 
+    def record_suppressed(self) -> float:
+        """Account a delivery whose user callback was skipped (callback
+        quarantine). Identical cycle charge and delivery count as
+        :meth:`submit`, so quarantined runs keep baseline-equal
+        accounting — only the user function is withheld."""
+        self.stats.delivered += 1
+        return self.callback_cycles
+
 
 class QueuedExecutor:
     """Future-work model: callbacks on a dedicated worker pool.
@@ -84,6 +92,13 @@ class QueuedExecutor:
         self.stats.worker_cycles += self.callback_cycles
         if self._callback is not None:
             self._callback(obj)
+        return self.enqueue_cycles
+
+    def record_suppressed(self) -> float:
+        """Account a delivery whose user callback was skipped (callback
+        quarantine); same charges as :meth:`submit`."""
+        self.stats.delivered += 1
+        self.stats.worker_cycles += self.callback_cycles
         return self.enqueue_cycles
 
     def finalize(self, duration: float, cpu_hz: float) -> None:

@@ -57,38 +57,65 @@ memory/connection figures — are identical between backends.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing as mp
+import os
 import queue as queue_mod
 import time
 import traceback
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, \
+    Optional, Set, Tuple
 
 if TYPE_CHECKING:
     from repro.config import RuntimeConfig
     from repro.core.runtime import Runtime, RuntimeReport
+    from repro.resilience.faults import PacketFaultInjector
 
 from repro.core.pipeline import CorePipeline
 from repro.core.stats import CoreStats
 from repro.core.subscription import Subscription
 from repro.errors import RetinaError
 from repro.packet.mbuf import Mbuf
+from repro.resilience.faults import FaultPlan, build_fault_report
+from repro.resilience.supervisor import WorkerSupervisor
 
 #: Message tags on the worker input queues.
 _BATCH = 0
 _FINISH = 1
 _SAMPLE = 2
+#: Supervised batch: carries a per-core sequence number the worker
+#: acknowledges after processing (heartbeat + redo-log trim signal).
+_BATCH_SEQ = 3
 #: Message tags on the shared result queue.
 _PROGRESS = "progress"
 _DONE = "done"
 _ERROR = "error"
+_ACK = "ack"
+_CRASHED = "crashed"
 
 #: How long to wait on a stuck queue before checking worker liveness.
 _POLL_TIMEOUT = 5.0
+#: How long an injected worker_hang sleeps — "forever" as far as the
+#: supervisor's heartbeat deadline is concerned.
+_HANG_SLEEP = 3600.0
 
 
 class ParallelExecutionError(RetinaError):
-    """A worker process failed; carries the worker's traceback."""
+    """A worker process failed; carries the worker's traceback.
+
+    ``core_id`` names the failed worker when known; ``partial_stats``
+    maps core id → :class:`CoreStats` for every worker whose final
+    snapshot had already been gathered when the failure surfaced, so
+    callers can salvage partial results.
+    """
+
+    def __init__(self, message: str, core_id: Optional[int] = None,
+                 partial_stats: Optional[Dict[int, CoreStats]] = None
+                 ) -> None:
+        super().__init__(message)
+        self.core_id = core_id
+        self.partial_stats: Dict[int, CoreStats] = partial_stats or {}
 
 
 @dataclass
@@ -111,6 +138,34 @@ class _WorkerSpec:
     #: Virtual seconds between progress reports to the parent, or None
     #: for "never" (no monitor attached and no memory limit).
     progress_interval: Optional[float]
+    #: The run's fault plan (workers fire their own worker_crash/
+    #: worker_hang faults; core-scoped faults are consumed by the
+    #: pipeline's own injector).
+    fault_plan: Optional[FaultPlan] = None
+    #: Plan indices of worker faults that already fired — set on the
+    #: spec of a restarted worker so the same fault does not fire again.
+    suppressed_faults: Tuple[int, ...] = field(default_factory=tuple)
+
+
+def _fire_worker_fault(spec: _WorkerSpec, out_queue, plan_index: int,
+                       kind: str) -> None:
+    """Execute a planned worker fault inside the worker process."""
+    if kind == "worker_hang":
+        # A live-but-stuck worker: stop reading the input queue without
+        # exiting. The parent's heartbeat deadline detects the silence,
+        # terminates this process, and restarts the core.
+        time.sleep(_HANG_SLEEP)
+        return
+    # worker_crash: announce, flush, then die without any cleanup.
+    # os._exit skips atexit/queue teardown (a hard crash), but the
+    # close+join below has already flushed the announcement — and,
+    # because the result queue preserves per-producer order, every ack
+    # this worker sent beforehand reaches the parent first. That
+    # ordering is what makes the parent's replay set deterministic.
+    out_queue.put((_CRASHED, spec.core_id, plan_index))
+    out_queue.close()
+    out_queue.join_thread()
+    os._exit(1)
 
 
 def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
@@ -126,14 +181,27 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
             identify_services=spec.identify_services,
         )
         pipeline = CorePipeline(spec.core_id, subscription, config)
+        plan = spec.fault_plan
         progress_interval = spec.progress_interval
         next_progress: Optional[float] = None
         while True:
             message = in_queue.get()
             tag = message[0]
-            if tag == _BATCH:
-                batch = message[1]
+            if tag == _BATCH or tag == _BATCH_SEQ:
+                if tag == _BATCH_SEQ:
+                    _, seq, batch = message
+                    if plan is not None:
+                        fault = plan.worker_fault_at(
+                            spec.core_id, seq, spec.suppressed_faults)
+                        if fault is not None:
+                            _fire_worker_fault(spec, out_queue,
+                                               fault[0], fault[1].kind)
+                else:
+                    seq = None
+                    batch = message[1]
                 pipeline.process_batch(batch)
+                if seq is not None:
+                    out_queue.put((_ACK, spec.core_id, seq))
                 now = pipeline.now
                 if progress_interval is not None and (
                         next_progress is None or now >= next_progress):
@@ -145,7 +213,7 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                         now,
                         stats.callbacks,
                         len(pipeline.table),
-                        pipeline.table.memory_bytes,
+                        pipeline.memory_bytes,
                         stats.ledger.busy_seconds,
                         stats.pf_packets,
                         stats.connf_packets,
@@ -164,6 +232,7 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                     pipeline.sample_memory()
                     if do_drain:
                         pipeline.drain()
+                pipeline.fold_fault_counters()
                 out_queue.put((_DONE, spec.core_id, pipeline.stats))
                 return
     except BaseException:
@@ -246,13 +315,26 @@ class _RuntimeView:
 # parent-side orchestration
 # ---------------------------------------------------------------------------
 class _WorkerPool:
-    """The fleet of per-core processes plus their queues."""
+    """The fleet of per-core processes plus their queues.
+
+    Usable as a context manager: on an exception inside the ``with``
+    block the pool terminates every worker before the exception
+    propagates, and the queues are closed either way — no leaked
+    children, no feeder threads blocking interpreter exit.
+    """
 
     def __init__(self, runtime: "Runtime",
                  progress_interval: Optional[float]) -> None:
         config = runtime.config
         subscription = runtime.subscription
         self.views = [_CoreView() for _ in range(config.cores)]
+        #: Set by run_parallel in supervised mode; _handle feeds acks
+        #: into it so every drain path keeps the redo logs trimmed.
+        self.supervisor: Optional[WorkerSupervisor] = None
+        #: (core_id, plan_index) crash announcements not yet consumed
+        #: by recovery.
+        self.crashed: Set[Tuple[int, int]] = set()
+        self._closed = False
         # Backend-health telemetry (volatile: wall-clock and scheduling
         # dependent, so it never feeds the deterministic exports).
         self._health: Optional[List[dict]] = (
@@ -273,6 +355,7 @@ class _WorkerPool:
             for _ in range(config.cores)
         ]
         self.processes = []
+        self.specs: List[_WorkerSpec] = []
         for core_id in range(config.cores):
             spec = _WorkerSpec(
                 core_id=core_id,
@@ -282,7 +365,9 @@ class _WorkerPool:
                 callback=subscription.callback,
                 identify_services=subscription.identify_services,
                 progress_interval=progress_interval,
+                fault_plan=config.fault_plan,
             )
+            self.specs.append(spec)
             process = self._ctx.Process(
                 target=_worker_main,
                 args=(spec, self.in_queues[core_id], self.out_queue),
@@ -354,7 +439,7 @@ class _WorkerPool:
 
     def drain_progress(self) -> None:
         """Consume any pending reports without blocking; raises if a
-        worker reported an error."""
+        worker reported an error (after terminating the pool)."""
         while True:
             try:
                 message = self.out_queue.get_nowait()
@@ -362,10 +447,12 @@ class _WorkerPool:
                 return
             self._handle(message, None)
 
-    def gather(self) -> List[CoreStats]:
-        """Block until every worker reported its final stats."""
+    def gather(self, skip: Optional[Set[int]] = None
+               ) -> Dict[int, CoreStats]:
+        """Block until every worker (minus ``skip``) reported its final
+        stats; returns ``{core_id: CoreStats}``."""
         results: Dict[int, CoreStats] = {}
-        remaining = set(range(len(self.processes)))
+        remaining = set(range(len(self.processes))) - (skip or set())
         while remaining:
             try:
                 message = self.out_queue.get(timeout=_POLL_TIMEOUT)
@@ -373,15 +460,20 @@ class _WorkerPool:
                 dead = [core_id for core_id in remaining
                         if not self.processes[core_id].is_alive()]
                 if dead:
+                    self.terminate()
+                    self.close()
                     raise ParallelExecutionError(
-                        f"worker(s) {dead} exited without reporting stats")
+                        f"worker(s) {dead} exited without reporting "
+                        f"stats", core_id=dead[0],
+                        partial_stats=dict(results))
                 continue
             core_id = self._handle(message, results)
             if core_id is not None:
                 remaining.discard(core_id)
-        for process in self.processes:
-            process.join(timeout=_POLL_TIMEOUT)
-        return [results[core_id] for core_id in sorted(results)]
+        for core_id, process in enumerate(self.processes):
+            if skip is None or core_id not in skip:
+                process.join(timeout=_POLL_TIMEOUT)
+        return results
 
     def _handle(self, message,
                 results: Optional[Dict[int, CoreStats]]) -> Optional[int]:
@@ -392,15 +484,56 @@ class _WorkerPool:
             self.views[core_id].update(callbacks, live, memory_bytes,
                                        busy, pf, connf, sessf)
             return None
+        if tag == _ACK:
+            _, core_id, seq = message
+            if self.supervisor is not None:
+                self.supervisor.on_ack(core_id, seq)
+            return None
+        if tag == _CRASHED:
+            _, core_id, plan_index = message
+            self.crashed.add((core_id, plan_index))
+            return None
         if tag == _ERROR:
             _, core_id, worker_traceback = message
+            # Leave no orphaned siblings behind the exception: a raise
+            # out of any drain/gather path tears the whole pool down
+            # first (terminate + close are both idempotent).
+            self.terminate()
+            self.close()
             raise ParallelExecutionError(
-                f"worker {core_id} failed:\n{worker_traceback}")
+                f"worker {core_id} failed:\n{worker_traceback}",
+                core_id=core_id,
+                partial_stats=dict(results) if results else {})
         # _DONE
         _, core_id, stats = message
         if results is not None:
             results[core_id] = stats
         return core_id
+
+    def restart(self, core_id: int,
+                suppressed: Tuple[int, ...]) -> None:
+        """Replace a dead worker with a fresh process on a fresh input
+        queue (anything unread in the old queue is covered by the
+        supervisor's redo log). ``suppressed`` lists the plan indices
+        of worker faults that already fired, so the restarted worker
+        does not re-fire them."""
+        old_queue = self.in_queues[core_id]
+        old_queue.cancel_join_thread()
+        old_queue.close()
+        spec = dataclasses.replace(self.specs[core_id],
+                                   suppressed_faults=tuple(suppressed))
+        self.specs[core_id] = spec
+        in_queue = self._ctx.Queue(
+            maxsize=spec.config.parallel_queue_depth)
+        self.in_queues[core_id] = in_queue
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(spec, in_queue, self.out_queue),
+            daemon=True,
+            name=f"repro-core-{core_id}-restart",
+        )
+        self.processes[core_id] = process
+        process.start()
 
     def terminate(self) -> None:
         for process in self.processes:
@@ -414,11 +547,129 @@ class _WorkerPool:
         # The input queues' feeder threads may hold buffered batches a
         # dead worker will never read; never block interpreter exit on
         # flushing them.
+        if self._closed:
+            return
+        self._closed = True
         for in_queue in self.in_queues:
             in_queue.cancel_join_thread()
             in_queue.close()
         self.out_queue.cancel_join_thread()
         self.out_queue.close()
+
+    def __enter__(self) -> "_WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.terminate()
+        self.close()
+        return False
+
+
+def _await_planned_fault(pool: _WorkerPool, sup: WorkerSupervisor,
+                         core: int, plan_index: int, kind: str) -> None:
+    """Block until the planned fault just triggered on ``core``
+    manifests, draining (and handling) other workers' messages
+    meanwhile. For a crash, the worker's flushed ``_CRASHED``
+    announcement is the signal — it arrives after every ack the worker
+    sent, so the redo log is exactly the unprocessed batches. For a
+    hang, the signal is silence past the heartbeat deadline."""
+    if kind == "worker_crash":
+        while (core, plan_index) not in pool.crashed:
+            try:
+                message = pool.out_queue.get(timeout=_POLL_TIMEOUT)
+            except queue_mod.Empty:
+                if not pool.processes[core].is_alive():
+                    break  # died without managing the announcement
+                continue
+            pool._handle(message, None)
+        pool.crashed.discard((core, plan_index))
+        return
+    # worker_hang: wait out the heartbeat deadline, resetting it on any
+    # sign of life from the core (acks from batches before the hang).
+    poll = min(0.05, sup.heartbeat_timeout / 4)
+    while sup.silent_for(core) < sup.heartbeat_timeout:
+        try:
+            message = pool.out_queue.get(timeout=poll)
+        except queue_mod.Empty:
+            continue
+        pool._handle(message, None)
+
+
+def _recover_core(pool: _WorkerPool, sup: WorkerSupervisor, core: int,
+                  plan_index: Optional[int],
+                  finish=None, hung: bool = False) -> None:
+    """Reap a crashed/hung worker and either restart it (backoff,
+    fresh process, redo-log replay) or declare the core lost.
+
+    ``hung`` is True when the worker is alive-but-stuck and must be
+    terminated. A *crashed* worker is never signalled: it is already
+    exiting on its own, and a SIGTERM racing its final result-queue
+    flush can kill it while it holds the shared queue's write lock —
+    deadlocking every sibling's pending message. Joining is safe;
+    terminating mid-write is not."""
+    process = pool.processes[core]
+    if hung and process.is_alive():
+        # A sleeping worker holds no queue locks (its last acks were
+        # long flushed — that silence is what detected the hang).
+        process.terminate()
+    process.join(timeout=_POLL_TIMEOUT)
+    if process.is_alive():  # ignored SIGTERM / never exited: last resort
+        process.kill()
+        process.join(timeout=_POLL_TIMEOUT)
+    decision = sup.on_failure(core, plan_index)
+    if decision is None:
+        return  # restart budget exhausted: degraded completion
+    backoff, replay, suppressed = decision
+    if backoff > 0:
+        time.sleep(backoff)
+    pool.restart(core, suppressed)
+    for seq, batch in replay:
+        # A replayed batch can itself carry the *next* planned fault
+        # (e.g. two crashes at the same sequence number). Recover
+        # synchronously here too, or the crash lands asynchronously
+        # under later dispatches. The recursive call re-reads the redo
+        # log, so the remaining replays are not lost.
+        fault = None
+        if sup.plan is not None:
+            fault = sup.plan.worker_fault_at(core, seq, suppressed)
+        pool.send(core, (_BATCH_SEQ, seq, batch))
+        if fault is not None:
+            next_index, spec = fault
+            _await_planned_fault(pool, sup, core, next_index, spec.kind)
+            _recover_core(pool, sup, core, next_index, finish=finish,
+                          hung=spec.kind == "worker_hang")
+            return
+    if finish is not None:
+        pool.send(core, finish)
+
+
+def _gather_supervised(pool: _WorkerPool, sup: WorkerSupervisor,
+                       finish) -> Dict[int, CoreStats]:
+    """Supervised final gather: workers that die before reporting are
+    recovered (restart + replay + re-finish) or declared lost."""
+    results: Dict[int, CoreStats] = {}
+    remaining = {core for core in range(len(pool.processes))
+                 if not sup.is_lost(core)}
+    while remaining:
+        try:
+            message = pool.out_queue.get(timeout=0.25)
+        except queue_mod.Empty:
+            for core in list(remaining):
+                if not pool.processes[core].is_alive():
+                    _recover_core(pool, sup, core, None, finish=finish)
+                    if sup.is_lost(core):
+                        remaining.discard(core)
+            continue
+        core_id = pool._handle(message, results)
+        if core_id is not None:
+            remaining.discard(core_id)
+        while pool.crashed:
+            core, plan_index = pool.crashed.pop()
+            _recover_core(pool, sup, core, plan_index, finish=finish)
+            if sup.is_lost(core):
+                remaining.discard(core)
+    return results
 
 
 def run_parallel(
@@ -427,15 +678,25 @@ def run_parallel(
     drain: bool = True,
     memory_sample_interval: float = 1.0,
     monitor=None,
+    packet_injector: Optional["PacketFaultInjector"] = None,
 ) -> "RuntimeReport":
     """Execute ``runtime``'s subscription over ``traffic`` on one OS
-    process per core. See the module docstring for the contract."""
+    process per core. See the module docstring for the contract.
+
+    ``packet_injector`` is the parent-side fault injector whose
+    injection counts feed the fault report (the traffic iterable is
+    already wrapped by :meth:`Runtime.run`).
+    """
     from repro.core.runtime import RuntimeReport
 
     config = runtime.config
     cores = config.cores
     batch_size = config.parallel_batch_size
-    memory_limit = config.memory_limit_bytes
+    # The evict/shed policies are enforced inside the workers at sample
+    # cadence; only the historical "record" policy stops the run here.
+    memory_limit = config.memory_limit_bytes \
+        if config.memory_policy == "record" else None
+    plan = config.fault_plan
 
     # Progress reports are only needed for live monitoring and the OOM
     # check; without either, workers skip the reporting IPC entirely.
@@ -447,15 +708,43 @@ def run_parallel(
     progress_interval = min(progress_needs) if progress_needs else None
 
     pool = _WorkerPool(runtime, progress_interval)
+    supervisor: Optional[WorkerSupervisor] = None
+    if config.supervise or (plan is not None and plan.has_worker_faults):
+        supervisor = WorkerSupervisor(
+            cores, plan, config.max_worker_restarts,
+            config.redo_log_batches, config.worker_heartbeat_timeout)
+        pool.supervisor = supervisor
     view_runtime = _RuntimeView(runtime.nics, pool.views)
 
+    send = pool.send
+    if supervisor is None:
+        def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
+            send(queue_id, (_BATCH, batch))
+    else:
+        def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
+            if supervisor.is_lost(queue_id):
+                return  # dead RX queue: its share of traffic is lost
+            seq, fault = supervisor.on_dispatch(queue_id, batch)
+            send(queue_id, (_BATCH_SEQ, seq, batch))
+            if fault is not None:
+                # Planned fault: pause this core's dispatch until the
+                # fault manifests and recovery completes, so the replay
+                # set (and the whole fault report) is deterministic.
+                plan_index, spec = fault
+                _await_planned_fault(pool, supervisor, queue_id,
+                                     plan_index, spec.kind)
+                _recover_core(pool, supervisor, queue_id, plan_index,
+                              hung=spec.kind == "worker_hang")
+
+    def skip_core(queue_id: int) -> bool:
+        return supervisor is not None and supervisor.is_lost(queue_id)
+
     oom_at: Optional[float] = None
-    try:
+    with pool:
         nics = runtime.nics
         nic0 = nics[0]
         num_nics = len(nics)
         frag = runtime.fragment_reassembler
-        send = pool.send
         pending: List[List[Mbuf]] = [[] for _ in range(cores)]
         next_monitor_ts: Optional[float] = \
             None if monitor is not None else float("inf")
@@ -482,7 +771,7 @@ def run_parallel(
                 queued = pending[queue]
                 queued.append(mbuf)
                 if len(queued) >= batch_size:
-                    send(queue, (_BATCH, queued))
+                    dispatch(queue, queued)
                     pending[queue] = []
             if next_monitor_ts is None or ts >= next_monitor_ts:
                 pool.drain_progress()
@@ -497,10 +786,11 @@ def run_parallel(
                 # sequential backend's flush-then-_sample_memory.
                 for queue, queued in enumerate(pending):
                     if queued:
-                        send(queue, (_BATCH, queued))
+                        dispatch(queue, queued)
                         pending[queue] = []
                 for queue in range(cores):
-                    send(queue, (_SAMPLE,))
+                    if not skip_core(queue):
+                        send(queue, (_SAMPLE,))
                 if memory_limit is not None:
                     pool.drain_progress()
                     if view_runtime.memory_bytes > memory_limit:
@@ -512,30 +802,36 @@ def run_parallel(
         if oom_at is None:
             for queue, queued in enumerate(pending):
                 if queued:
-                    send(queue, (_BATCH, queued))
+                    dispatch(queue, queued)
             finish = (_FINISH, runtime._last_ts, drain)
         else:
             finish = (_FINISH, None, False)
         for queue in range(cores):
-            send(queue, finish)
-        core_stats = pool.gather()
-    except BaseException:
-        pool.terminate()
-        raise
-    finally:
-        pool.close()
+            if not skip_core(queue):
+                send(queue, finish)
+        if supervisor is None:
+            core_stats = pool.gather()
+        else:
+            core_stats = _gather_supervised(pool, supervisor, finish)
 
-    stats = runtime.aggregate(core_stats=core_stats)
+    stats = runtime.aggregate(
+        core_stats=[core_stats[c] for c in sorted(core_stats)])
     if monitor is not None:
         # Refresh the views from the workers' final exact snapshots so
         # the tail sample isn't built from stale progress reports, then
         # flush the final partial interval.
-        for view, final in zip(pool.views, core_stats):
+        for core_id in sorted(core_stats):
+            final = core_stats[core_id]
             last_sample = final.memory_samples[-1] \
                 if final.memory_samples else (0.0, 0, 0)
-            view.update(final.callbacks, last_sample[1], last_sample[2],
-                        final.ledger.busy_seconds, final.pf_packets,
-                        final.connf_packets, final.sessf_packets)
+            pool.views[core_id].update(
+                final.callbacks, last_sample[1], last_sample[2],
+                final.ledger.busy_seconds, final.pf_packets,
+                final.connf_packets, final.sessf_packets)
         monitor.finalize(runtime._last_ts, view_runtime)
+    faults = build_fault_report(
+        config, core_stats, packet_injector,
+        supervisor.summary() if supervisor is not None else None)
     return RuntimeReport(stats=stats, oom_at=oom_at,
-                         backend_health=pool.backend_health())
+                         backend_health=pool.backend_health(),
+                         faults=faults, core_stats=core_stats)

@@ -34,6 +34,8 @@ if TYPE_CHECKING:  # avoid a config<->core import cycle at runtime
 from repro.conntrack.conn import ConnState, Connection
 from repro.conntrack.five_tuple import FiveTuple
 from repro.conntrack.table import ConnTable
+from repro.errors import CallbackError, ProtocolError, \
+    ResourceExhaustedError
 from repro.core.cycles import Stage
 from repro.core.datatypes import (
     ConnectionRecord,
@@ -47,6 +49,7 @@ from repro.packet.ipv4 import PROTO_TCP, PROTO_UDP
 from repro.packet.mbuf import Mbuf
 from repro.packet.stack import parse_stack
 from repro.protocols.base import ParseResult, ProbeResult, Session
+from repro.resilience.faults import CoreFaultInjector
 from repro.stream.buffered import BufferedReassembler
 from repro.stream.pdu import L4Pdu, StreamSegment
 from repro.stream.reassembly import LazyReassembler
@@ -98,6 +101,30 @@ class CorePipeline:
         self._probe_protocols = sorted(subscription.probe_protocols)
         self._now = 0.0
         self._last_expire = 0.0
+        # -- resilience wiring (repro.resilience) ----------------------
+        # All of this resolves to "None / False, check once at a cold
+        # call site" when no plan or non-default policy is configured,
+        # so the disabled path adds nothing to the per-packet loop.
+        self._injector = CoreFaultInjector.for_core(config.fault_plan,
+                                                    core_id)
+        self._isolate = config.callback_error_policy == "isolate"
+        self._error_budget = config.callback_error_budget
+        self._quarantined = False
+        # Cycles to charge the RX core for a delivery whose callback
+        # raised (the stage work up to the user function still ran).
+        self._cb_error_cycles = (
+            self._executor.enqueue_cycles
+            if self._executor.name == "queued"
+            else self._executor.callback_cycles)
+        if config.memory_limit_bytes is not None and \
+                config.memory_policy != "record":
+            # Degradation policies enforce each core's share of the
+            # global limit locally — no cross-core coordination, same
+            # shared-nothing discipline as the rest of the pipeline.
+            self._memory_share = config.memory_limit_bytes // config.cores
+        else:
+            self._memory_share = None
+        self._shedding = False
 
     @property
     def now(self) -> float:
@@ -202,6 +229,12 @@ class CorePipeline:
                 stats.connf_bytes += wire
                 stats.sessf_packets += 1
                 stats.sessf_bytes += wire
+            return
+        if self._shedding and self.table.lookup(five_tuple) is None:
+            # memory_policy="shed": while this core is over its memory
+            # share, refuse to create new flow state (existing flows
+            # keep being processed).
+            stats.conns_shed += 1
             return
         conn, created = self.table.get_or_create(five_tuple, self._now)
         if created:
@@ -338,20 +371,40 @@ class CorePipeline:
         if not isinstance(context, _ProbeContext):
             return
         ledger = self.stats.ledger
+        injector = self._injector
         for segment in segments:
             if not segment.payload:
                 continue
             context.pending.append(segment)
             context.bytes_probed += len(segment.payload)
             ledger.charge(Stage.PARSING)
+            # Parser isolation boundary: a ProtocolError out of probe()
+            # (real or injected) resolves the connection as "no
+            # service" instead of tearing the core down. The resolution
+            # itself runs outside the try so a CallbackError raised
+            # downstream is never swallowed here.
+            matched_parser = None
+            failed = False
             still_unsure = []
-            for parser in context.candidates:
-                outcome = parser.probe(segment)
-                if outcome is ProbeResult.MATCH:
-                    self._on_service_resolved(conn, parser)
-                    return
-                if outcome is ProbeResult.UNSURE:
-                    still_unsure.append(parser)
+            try:
+                if injector is not None:
+                    injector.on_parse()
+                for parser in context.candidates:
+                    outcome = parser.probe(segment)
+                    if outcome is ProbeResult.MATCH:
+                        matched_parser = parser
+                        break
+                    if outcome is ProbeResult.UNSURE:
+                        still_unsure.append(parser)
+            except ProtocolError:
+                self.stats.parser_exceptions += 1
+                failed = True
+            if failed:
+                self._on_service_resolved(conn, None)
+                return
+            if matched_parser is not None:
+                self._on_service_resolved(conn, matched_parser)
+                return
             context.candidates = still_unsure
             if not context.candidates or \
                     context.bytes_probed > self.config.probe_byte_limit:
@@ -419,14 +472,25 @@ class CorePipeline:
     # -- parsing ---------------------------------------------------------------
     def _parse(self, conn: Connection, segments: List[StreamSegment]) -> None:
         ledger = self.stats.ledger
+        injector = self._injector
         for segment in segments:
             if conn.state is not ConnState.PARSE:
                 break
             if not segment.payload:
                 continue
             ledger.charge(Stage.PARSING)
-            result = conn.parser.parse(segment)
-            sessions = conn.parser.drain_sessions()
+            # Parser isolation boundary (see _probe): only the parser
+            # invocation is guarded; _on_session — which can raise
+            # CallbackError — runs outside the try.
+            try:
+                if injector is not None:
+                    injector.on_parse()
+                result = conn.parser.parse(segment)
+                sessions = conn.parser.drain_sessions()
+            except ProtocolError:
+                self.stats.parser_exceptions += 1
+                self._on_parse_error(conn)
+                break
             for session in sessions:
                 self._on_session(conn, session)
                 if conn.state is not ConnState.PARSE:
@@ -603,15 +667,56 @@ class CorePipeline:
 
     # -- delivery ---------------------------------------------------------------
     def _deliver(self, obj) -> None:
-        rx_cycles = self._executor.submit(obj)
-        self.stats.ledger.charge_cycles(Stage.CALLBACK, rx_cycles)
-        self.stats.callbacks += 1
+        stats = self.stats
+        if self._quarantined:
+            # Post-quarantine deliveries are still counted and charged
+            # exactly like real ones (baseline-equal accounting); only
+            # the user function is withheld.
+            rx_cycles = self._executor.record_suppressed()
+            stats.callbacks_suppressed += 1
+        else:
+            try:
+                if self._injector is not None:
+                    self._injector.on_deliver()
+                rx_cycles = self._executor.submit(obj)
+            except Exception as exc:
+                stats.ledger.charge_cycles(Stage.CALLBACK,
+                                           self._cb_error_cycles)
+                stats.callbacks += 1
+                self._on_callback_error(exc)
+                return
+        stats.ledger.charge_cycles(Stage.CALLBACK, rx_cycles)
+        stats.callbacks += 1
+
+    def _on_callback_error(self, exc: Exception) -> None:
+        """A delivery's callback (real or injected) raised."""
+        if not self._isolate:
+            raise CallbackError(
+                f"subscription callback raised on core {self.core_id}: "
+                f"{exc!r}") from exc
+        stats = self.stats
+        stats.callback_errors += 1
+        if stats.callback_errors >= self._error_budget and \
+                not self._quarantined:
+            self._quarantined = True
+            stats.callback_quarantined = 1
 
     # -- monitoring ---------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Resident connection-table bytes, plus any injected memory
+        spike active at the pipeline's virtual time."""
+        memory = self.table.memory_bytes
+        if self._injector is not None:
+            memory += self._injector.memory_spike_bytes(self._now)
+        return memory
+
     def sample_memory(self) -> None:
         stats = self.stats
+        if self._memory_share is not None:
+            self._enforce_memory()
         stats.sample_memory(
-            self._now, len(self.table), self.table.memory_bytes
+            self._now, len(self.table), self.memory_bytes
         )
         if stats.reasm_hist is not None:
             occupancy = 0
@@ -620,3 +725,44 @@ class CorePipeline:
                 if reassembler is not None:
                     occupancy += reassembler.memory_bytes
             stats.observe_reasm_occupancy(occupancy)
+
+    def _enforce_memory(self) -> None:
+        """Apply the evict/shed memory policy against this core's share
+        of ``memory_limit_bytes`` (called at the memory-sample cadence,
+        which is parent-clocked — identical across backends)."""
+        share = self._memory_share
+        spike = (self._injector.memory_spike_bytes(self._now)
+                 if self._injector is not None else 0)
+        if self.table.memory_bytes + spike <= share:
+            self._shedding = False
+            return
+        stats = self.stats
+        if self.config.memory_policy == "shed":
+            self._shedding = True
+            return
+        # "evict": force-expire idle flows, oldest activity first.
+        try:
+            victims = self.table.evict_idle(share - spike)
+        except ResourceExhaustedError:
+            # Even an empty table would sit above the share (an
+            # injected spike, or the share itself is tiny): evict
+            # everything evictable and degrade further by shedding
+            # new connections until the pressure passes.
+            victims = self.table.evict_idle(0)
+            self._shedding = True
+        tracer = self._tracer
+        for conn in victims:
+            stats.conns_evicted += 1
+            self._deliver_connection(conn)
+            if tracer is not None:
+                tracer.record(conn, self._now, "evicted")
+
+    def fold_fault_counters(self) -> None:
+        """Merge the injector's injection counts into the stats
+        snapshot (idempotent; called before stats leave the core)."""
+        if self._injector is not None and self._injector.counters:
+            stats = self.stats
+            for kind, count in self._injector.counters.items():
+                stats.fault_counters[kind] = \
+                    stats.fault_counters.get(kind, 0) + count
+            self._injector.counters.clear()

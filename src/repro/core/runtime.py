@@ -11,16 +11,18 @@ memory samples).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 if TYPE_CHECKING:  # avoid a config<->core import cycle at runtime
     from repro.config import RuntimeConfig
 from repro.core.cycles import Stage
 from repro.core.pipeline import CorePipeline
-from repro.core.stats import AggregateStats
+from repro.core.stats import AggregateStats, CoreStats
 from repro.core.subscription import Subscription
 from repro.nic.device import SimNic
 from repro.packet.mbuf import Mbuf
+from repro.resilience.faults import FaultReport, PacketFaultInjector, \
+    build_fault_report
 
 
 @dataclass
@@ -34,10 +36,23 @@ class RuntimeReport:
     #: occupancy, feeder block time) when ``config.telemetry`` is on;
     #: None otherwise. Volatile — excluded from deterministic exports.
     backend_health: Optional[dict] = None
+    #: Resilience outcome (injections, policy actions, supervisor
+    #: recovery), or None when nothing was configured and nothing
+    #: happened. Deterministic for a fixed ``(seed, FaultPlan)``.
+    faults: Optional[FaultReport] = None
+    #: Final per-core stats snapshots by core id. On a degraded
+    #: parallel run, lost cores are absent.
+    core_stats: Optional[Dict[int, CoreStats]] = None
 
     @property
     def out_of_memory(self) -> bool:
         return self.oom_at is not None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run completed with partial results (one or
+        more worker cores were lost past their restart budget)."""
+        return self.faults is not None and self.faults.degraded
 
 
 class Runtime:
@@ -127,13 +142,23 @@ class Runtime:
                 :class:`~repro.core.monitor.StatsMonitor` receiving
                 periodic snapshots (Section 5.3's live feedback).
         """
+        # Packet faults are injected here — in the feeding process,
+        # before RSS dispatch — so the mutated stream is identical
+        # across backends and worker counts.
+        plan = self.config.fault_plan
+        injector: Optional[PacketFaultInjector] = None
+        if plan is not None and plan.has_packet_faults:
+            injector = PacketFaultInjector(plan)
+            traffic = injector.wrap(traffic)
         if self.config.parallel:
             from repro.core.parallel import run_parallel
             return run_parallel(self, traffic, drain=drain,
                                 memory_sample_interval=memory_sample_interval,
-                                monitor=monitor)
+                                monitor=monitor,
+                                packet_injector=injector)
         return self._run_sequential(traffic, drain,
-                                    memory_sample_interval, monitor)
+                                    memory_sample_interval, monitor,
+                                    packet_injector=injector)
 
     def _run_sequential(
         self,
@@ -141,6 +166,7 @@ class Runtime:
         drain: bool,
         memory_sample_interval: float,
         monitor,
+        packet_injector: Optional[PacketFaultInjector] = None,
     ) -> RuntimeReport:
         oom_at: Optional[float] = None
         batch_size = self.config.parallel_batch_size
@@ -149,7 +175,11 @@ class Runtime:
         nic0 = nics[0]
         num_nics = len(nics)
         frag = self.fragment_reassembler
-        memory_limit = self.config.memory_limit_bytes
+        # The evict/shed policies keep cores under their share of the
+        # limit themselves (at sample cadence, inside the pipelines);
+        # only the historical "record" policy stops the run.
+        memory_limit = self.config.memory_limit_bytes \
+            if self.config.memory_policy == "record" else None
         # Per-queue pending batches: packets are routed immediately
         # (preserving per-flow arrival order even across ports) but run
         # through the pipeline in bursts, amortizing per-packet
@@ -212,7 +242,13 @@ class Runtime:
                 max(self._last_ts - self._first_ts, 1e-9),
                 self.config.cost_model.cpu_hz,
             )
-        return RuntimeReport(stats=self.aggregate(), oom_at=oom_at)
+        for pipeline in pipelines:
+            pipeline.fold_fault_counters()
+        core_stats = {p.core_id: p.stats for p in pipelines}
+        faults = build_fault_report(self.config, core_stats,
+                                    packet_injector)
+        return RuntimeReport(stats=self.aggregate(), oom_at=oom_at,
+                             faults=faults, core_stats=core_stats)
 
     def _flush_pending(self, pending: List[List[Mbuf]]) -> None:
         """Run every queued batch through its pipeline (sample points
@@ -235,7 +271,7 @@ class Runtime:
 
     @property
     def memory_bytes(self) -> int:
-        return sum(p.table.memory_bytes for p in self.pipelines)
+        return sum(p.memory_bytes for p in self.pipelines)
 
     @property
     def live_connections(self) -> int:
@@ -269,6 +305,9 @@ class Runtime:
         pf_packets = pf_bytes = connf_packets = connf_bytes = 0
         sessf_packets = sessf_bytes = 0
         probe_giveups = conns_discarded = conns_expired = 0
+        callback_errors = callbacks_suppressed = quarantined_cores = 0
+        parser_exceptions = conns_evicted = conns_shed = 0
+        fault_counters: Dict[str, int] = {}
         reasm_peak = reasm_occ_sum = 0
         memory_samples = []
         stage_cycle_hist = None
@@ -295,6 +334,14 @@ class Runtime:
             probe_giveups += stats.probe_giveups
             conns_discarded += stats.conns_discarded
             conns_expired += stats.conns_expired
+            callback_errors += stats.callback_errors
+            callbacks_suppressed += stats.callbacks_suppressed
+            quarantined_cores += stats.callback_quarantined
+            parser_exceptions += stats.parser_exceptions
+            conns_evicted += stats.conns_evicted
+            conns_shed += stats.conns_shed
+            for kind, count in stats.fault_counters.items():
+                fault_counters[kind] = fault_counters.get(kind, 0) + count
             if stats.reasm_peak_bytes > reasm_peak:
                 reasm_peak = stats.reasm_peak_bytes
             reasm_occ_sum += stats.reasm_occ_sum
@@ -343,6 +390,13 @@ class Runtime:
             probe_giveups=probe_giveups,
             conns_discarded=conns_discarded,
             conns_expired=conns_expired,
+            callback_errors=callback_errors,
+            callbacks_suppressed=callbacks_suppressed,
+            quarantined_cores=quarantined_cores,
+            parser_exceptions=parser_exceptions,
+            conns_evicted=conns_evicted,
+            conns_shed=conns_shed,
+            fault_counters=fault_counters,
             stage_cycle_hist=stage_cycle_hist,
             reasm_hist=reasm_hist,
             reasm_occ_sum=reasm_occ_sum,

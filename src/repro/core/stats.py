@@ -47,6 +47,20 @@ class CoreStats:
         #: deliver) and connections harvested by the timer wheels.
         self.conns_discarded = 0
         self.conns_expired = 0
+        # Resilience counters (repro.resilience): callback exceptions
+        # absorbed by the "isolate" policy, deliveries whose user
+        # callback was skipped post-quarantine, whether this core's
+        # callback is quarantined, parser exceptions absorbed at the
+        # probe/parse boundary, and memory-policy actions (evictions /
+        # refused new connections).
+        self.callback_errors = 0
+        self.callbacks_suppressed = 0
+        self.callback_quarantined = 0
+        self.parser_exceptions = 0
+        self.conns_evicted = 0
+        self.conns_shed = 0
+        #: Injected-fault counts by kind (repro.resilience.faults).
+        self.fault_counters: Dict[str, int] = {}
         #: (timestamp, live_connections, memory_bytes) samples.
         self.memory_samples: List[Tuple[float, int, int]] = []
         #: Sampled connection-lifecycle events (repro.telemetry.trace).
@@ -79,6 +93,41 @@ class CoreStats:
                       memory_bytes: int) -> None:
         self.memory_samples.append((ts, live_conns, memory_bytes))
 
+    def to_dict(self) -> Dict:
+        """Deterministic, comparable snapshot of one core's counters.
+
+        Used by the crash-recovery tests to show that cores unaffected
+        by a worker fault are *bit-identical* to a fault-free run, and
+        available to callers via ``RuntimeReport.core_stats``.
+        """
+        return {
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "callbacks": self.callbacks,
+            "sessions_parsed": self.sessions_parsed,
+            "sessions_matched": self.sessions_matched,
+            "conns_created": self.conns_created,
+            "conns_delivered": self.conns_delivered,
+            "probe_giveups": self.probe_giveups,
+            "pf_packets": self.pf_packets,
+            "pf_bytes": self.pf_bytes,
+            "connf_packets": self.connf_packets,
+            "connf_bytes": self.connf_bytes,
+            "sessf_packets": self.sessf_packets,
+            "sessf_bytes": self.sessf_bytes,
+            "conns_discarded": self.conns_discarded,
+            "conns_expired": self.conns_expired,
+            "callback_errors": self.callback_errors,
+            "callbacks_suppressed": self.callbacks_suppressed,
+            "callback_quarantined": self.callback_quarantined,
+            "parser_exceptions": self.parser_exceptions,
+            "conns_evicted": self.conns_evicted,
+            "conns_shed": self.conns_shed,
+            "fault_counters": dict(sorted(self.fault_counters.items())),
+            "memory_samples": list(self.memory_samples),
+            "cycles": self.ledger.snapshot(),
+        }
+
     def merge(self, other: "CoreStats") -> None:
         """Fold another core's counters into this one.
 
@@ -104,6 +153,15 @@ class CoreStats:
         self.sessf_bytes += other.sessf_bytes
         self.conns_discarded += other.conns_discarded
         self.conns_expired += other.conns_expired
+        self.callback_errors += other.callback_errors
+        self.callbacks_suppressed += other.callbacks_suppressed
+        self.callback_quarantined += other.callback_quarantined
+        self.parser_exceptions += other.parser_exceptions
+        self.conns_evicted += other.conns_evicted
+        self.conns_shed += other.conns_shed
+        for kind, count in other.fault_counters.items():
+            self.fault_counters[kind] = \
+                self.fault_counters.get(kind, 0) + count
         self.memory_samples.extend(other.memory_samples)
         self.trace_events.extend(other.trace_events)
         if other.reasm_hist is not None:
@@ -149,6 +207,14 @@ class AggregateStats:
     probe_giveups: int = 0
     conns_discarded: int = 0
     conns_expired: int = 0
+    # -- resilience (repro.resilience) ---------------------------------------
+    callback_errors: int = 0
+    callbacks_suppressed: int = 0
+    quarantined_cores: int = 0
+    parser_exceptions: int = 0
+    conns_evicted: int = 0
+    conns_shed: int = 0
+    fault_counters: Dict[str, int] = field(default_factory=dict)
     #: Merged per-stage cycle histograms (None unless telemetry ran).
     stage_cycle_hist: Optional[Dict[Stage, List[int]]] = None
     #: Merged reassembly occupancy histogram (None unless telemetry ran).
@@ -292,6 +358,13 @@ class AggregateStats:
             "probe_giveups": self.probe_giveups,
             "conns_discarded": self.conns_discarded,
             "conns_expired": self.conns_expired,
+            "callback_errors": self.callback_errors,
+            "callbacks_suppressed": self.callbacks_suppressed,
+            "quarantined_cores": self.quarantined_cores,
+            "parser_exceptions": self.parser_exceptions,
+            "conns_evicted": self.conns_evicted,
+            "conns_shed": self.conns_shed,
+            "fault_counters": dict(sorted(self.fault_counters.items())),
             "filter_funnel": [layer.to_dict()
                               for layer in self.filter_funnel()],
         }

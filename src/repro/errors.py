@@ -62,3 +62,28 @@ class SubscriptionError(RetinaError):
     """The subscription (filter + data type + callback) is inconsistent,
     e.g. a session-level filter attached to a packet-only fast path that
     cannot supply connection state."""
+
+
+class CallbackError(RetinaError):
+    """A subscription callback raised.
+
+    Under the default ``callback_error_policy="raise"`` the original
+    exception is wrapped in this type (and chained via ``__cause__``) at
+    the delivery boundary, so applications can distinguish "my callback
+    is buggy" from framework failures. Under ``"isolate"`` the error is
+    counted against the subscription's error budget instead of raising.
+    """
+
+
+class ResourceExhaustedError(RetinaError):
+    """A resource ceiling was hit and the configured degradation policy
+    could not relieve the pressure.
+
+    Raised by the ``evict`` memory policy when evicting every idle
+    connection still leaves a core above its memory share — i.e. the
+    live working set itself exceeds the configured limit.
+    """
+
+
+class FaultInjectionError(RetinaError):
+    """A fault plan is malformed (unknown kind, bad parameters)."""

@@ -1,0 +1,32 @@
+"""Resilience subsystem: deterministic fault injection, worker
+supervision, and graceful degradation under pressure.
+
+See :mod:`repro.resilience.faults` for the fault-plan model and
+:mod:`repro.resilience.supervisor` for the parallel-backend worker
+supervisor; ``docs/RESILIENCE.md`` is the narrative guide.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    CoreFaultInjector,
+    FaultPlan,
+    FaultReport,
+    FaultSpec,
+    PacketFaultInjector,
+    build_fault_report,
+    restart_backoff,
+)
+from repro.resilience.supervisor import RedoLog, WorkerSupervisor
+
+__all__ = [
+    "FAULT_KINDS",
+    "CoreFaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
+    "PacketFaultInjector",
+    "RedoLog",
+    "WorkerSupervisor",
+    "build_fault_report",
+    "restart_backoff",
+]

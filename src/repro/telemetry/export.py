@@ -27,6 +27,7 @@ from repro.telemetry.trace import trace_event_dicts
 
 def build_registry(stats: AggregateStats,
                    backend_health: Optional[dict] = None,
+                   faults: Optional[object] = None,
                    ) -> MetricsRegistry:
     """Populate a metrics registry from one run's aggregate stats.
 
@@ -34,6 +35,11 @@ def build_registry(stats: AggregateStats,
     snapshot — per-worker queue-depth high-water marks, batch occupancy,
     and feeder block time. Its metrics are registered ``volatile=True``
     so the default rendering stays identical across backends.
+
+    ``faults`` is the run's :class:`repro.resilience.FaultReport` (or
+    None). Resilience metric families render only when the run had
+    resilience activity, so plain runs keep their pre-resilience
+    byte-identical output.
     """
     reg = MetricsRegistry()
 
@@ -137,6 +143,52 @@ def build_registry(stats: AggregateStats,
               "Peak live connections") \
         .set(stats.peak_live_connections)
 
+    # -- resilience (repro.resilience) -------------------------------------
+    resilience_active = bool(
+        faults is not None or stats.callback_errors
+        or stats.callbacks_suppressed or stats.parser_exceptions
+        or stats.conns_evicted or stats.conns_shed or stats.fault_counters
+    )
+    if resilience_active:
+        events = reg.counter(
+            "repro_resilience_events_total",
+            "Degradation events absorbed by resilience policies",
+            label_names=("event",))
+        events.inc(stats.callback_errors, labels=("callback_error",))
+        events.inc(stats.callbacks_suppressed,
+                   labels=("callback_suppressed",))
+        events.inc(stats.parser_exceptions, labels=("parser_exception",))
+        events.inc(stats.conns_evicted, labels=("conn_evicted",))
+        events.inc(stats.conns_shed, labels=("conn_shed",))
+        injected = reg.counter("repro_faults_injected_total",
+                               "Faults injected by the active fault plan",
+                               label_names=("kind",))
+        fault_counts = dict(stats.fault_counters)
+        if faults is not None:
+            for kind, count in getattr(faults, "injected", {}).items():
+                fault_counts.setdefault(kind, count)
+        for kind in sorted(fault_counts):
+            injected.inc(fault_counts[kind], labels=(kind,))
+        if faults is not None:
+            reg.counter("repro_worker_restarts_total",
+                        "Crashed or hung workers restarted") \
+                .inc(faults.worker_restarts)
+            replay = reg.counter("repro_replayed_batches_total",
+                                 "Redo-log batches by replay outcome",
+                                 label_names=("outcome",))
+            replay.inc(faults.replayed_batches, labels=("replayed",))
+            replay.inc(faults.unreplayable_batches,
+                       labels=("unreplayable",))
+            reg.gauge("repro_quarantined_cores",
+                      "Cores whose subscription callback is quarantined") \
+                .set(len(faults.quarantined_cores))
+            reg.gauge("repro_lost_cores",
+                      "Cores that exhausted their restart budget") \
+                .set(len(faults.lost_cores))
+            reg.gauge("repro_run_degraded",
+                      "1 when the run completed with partial results") \
+                .set(1 if faults.degraded else 0)
+
     # -- parallel backend health (volatile: wall-clock/schedule noise) -----
     if backend_health is not None:
         reg.gauge("repro_feeder_block_seconds",
@@ -163,17 +215,20 @@ def build_registry(stats: AggregateStats,
 
 def render_metrics(stats: AggregateStats,
                    backend_health: Optional[dict] = None,
-                   include_volatile: bool = False) -> str:
+                   include_volatile: bool = False,
+                   faults: Optional[object] = None) -> str:
     """The run's metrics in the Prometheus text exposition format."""
-    return build_registry(stats, backend_health) \
+    return build_registry(stats, backend_health, faults=faults) \
         .render_prometheus(include_volatile=include_volatile)
 
 
 def write_metrics(path: Union[str, Path], stats: AggregateStats,
                   backend_health: Optional[dict] = None,
-                  include_volatile: bool = False) -> None:
+                  include_volatile: bool = False,
+                  faults: Optional[object] = None) -> None:
     Path(path).write_text(
-        render_metrics(stats, backend_health, include_volatile))
+        render_metrics(stats, backend_health, include_volatile,
+                       faults=faults))
 
 
 def trace_lines(stats: AggregateStats) -> List[str]:

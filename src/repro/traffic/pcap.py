@@ -9,8 +9,9 @@ round-trip through the same on-disk representation.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.errors import RetinaError
 from repro.packet.mbuf import Mbuf
@@ -26,6 +27,21 @@ _PACKET_HEADER = struct.Struct("<IIII")
 
 class PcapFormatError(RetinaError):
     """The file is not a readable classic pcap capture."""
+
+
+@dataclass
+class PcapReadStats:
+    """Counters filled in by :func:`iter_pcap` (pass ``stats=``).
+
+    ``truncated_tail`` counts final records cut off mid-header or
+    mid-body — the usual signature of a capture interrupted by a crash
+    or a full disk. In strict mode (default) such a record raises
+    :class:`PcapFormatError`; in tolerant mode it is counted here and
+    the stream ends cleanly with every complete record delivered.
+    """
+
+    packets: int = 0
+    truncated_tail: int = 0
 
 
 def write_pcap(path: Union[str, Path], mbufs: Iterable[Mbuf],
@@ -56,8 +72,23 @@ def read_pcap(path: Union[str, Path]) -> List[Mbuf]:
     return list(iter_pcap(path))
 
 
-def iter_pcap(path: Union[str, Path]) -> Iterator[Mbuf]:
-    """Stream frames from a classic pcap file."""
+def iter_pcap(path: Union[str, Path], strict: bool = True,
+              stats: Optional[PcapReadStats] = None) -> Iterator[Mbuf]:
+    """Stream frames from a classic pcap file.
+
+    Args:
+        path: Capture file to read.
+        strict: With the default True, a record truncated by an
+            interrupted capture raises :class:`PcapFormatError`. With
+            False, the truncated tail is dropped, counted in ``stats``
+            (when given), reported once via :mod:`warnings`, and the
+            iterator ends cleanly — long offline analyses survive a
+            ragged final record instead of dying at 99%. Global-header
+            and magic/linktype errors always raise: a file whose very
+            framing is wrong is not a pcap, not a damaged one.
+        stats: Optional :class:`PcapReadStats` to fill with packet and
+            truncation counts.
+    """
     with open(path, "rb") as handle:
         header = handle.read(_GLOBAL_HEADER.size)
         if len(header) < _GLOBAL_HEADER.size:
@@ -85,9 +116,28 @@ def iter_pcap(path: Union[str, Path]) -> Iterator[Mbuf]:
             if not raw:
                 return
             if len(raw) < packet_header.size:
-                raise PcapFormatError("truncated packet header")
+                if strict:
+                    raise PcapFormatError("truncated packet header")
+                _note_truncation(path, stats, "header")
+                return
             seconds, sub, incl_len, _orig_len = packet_header.unpack(raw)
             data = handle.read(incl_len)
             if len(data) < incl_len:
-                raise PcapFormatError("truncated packet body")
+                if strict:
+                    raise PcapFormatError("truncated packet body")
+                _note_truncation(path, stats, "body")
+                return
+            if stats is not None:
+                stats.packets += 1
             yield Mbuf(data, timestamp=seconds + sub / ts_divisor)
+
+
+def _note_truncation(path, stats: Optional[PcapReadStats],
+                     where: str) -> None:
+    import warnings
+    if stats is not None:
+        stats.truncated_tail += 1
+    warnings.warn(
+        f"{path}: final pcap record truncated mid-{where}; "
+        f"dropping it and stopping cleanly (tolerant mode)",
+        RuntimeWarning, stacklevel=3)

@@ -1,0 +1,180 @@
+"""Seeded mutation fuzzing of the application-layer parsers.
+
+The resilience contract for parsers (docs/RESILIENCE.md): fed arbitrary
+bytes, a parser may return ``NO_MATCH``/``UNSURE``/``ERROR`` or raise
+:class:`~repro.errors.ProtocolError` — it must never leak a raw
+``IndexError``, ``struct.error``, ``KeyError``, ``UnicodeDecodeError``
+or similar. Corrupt traffic is routine at 100GbE; a parser that throws
+on it takes the whole core down.
+
+The corpus is every builder-produced *valid* message, and the mutations
+are seeded (flip/truncate/duplicate/extend/zero), so a failure here is
+a deterministic reproducer: rerun with the printed seed.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols import (
+    DnsParser,
+    HttpParser,
+    QuicParser,
+    SshParser,
+    TlsParser,
+)
+from repro.protocols.dns.build import build_dns_query, build_dns_response
+from repro.protocols.quic.build import (
+    build_quic_initial,
+    build_quic_short,
+    build_quic_version_negotiation,
+)
+from repro.protocols.tls.build import (
+    build_application_data,
+    build_certificate,
+    build_client_hello,
+    build_server_hello,
+    build_server_hello_done,
+)
+from repro.stream.pdu import StreamSegment
+
+CLIENT_RANDOM = bytes(range(32))
+SERVER_RANDOM = bytes(range(32, 64))
+
+#: (parser factory, [valid message bytes]) — one corpus per protocol.
+CORPUS = [
+    (TlsParser, [
+        build_client_hello("fuzz.example.com", CLIENT_RANDOM),
+        build_server_hello(SERVER_RANDOM),
+        build_certificate(),
+        build_server_hello_done(),
+        build_application_data(b"x" * 64),
+    ]),
+    (HttpParser, [
+        b"GET /video?id=1 HTTP/1.1\r\nHost: example.com\r\n"
+        b"User-Agent: Fuzz/1.0\r\n\r\n",
+        b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n"
+        b"Content-Type: text/plain\r\n\r\nhello",
+        b"POST /u HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nBODY",
+    ]),
+    (DnsParser, [
+        build_dns_query("fuzz.example.com"),
+        build_dns_response("fuzz.example.com"),
+        build_dns_response("fuzz.example.com", rcode=3),
+    ]),
+    (QuicParser, [
+        build_quic_initial(b"\x01" * 8, b"\x02" * 8),
+        build_quic_short(b"\x01" * 8),
+        build_quic_version_negotiation(b"\x01" * 8, b"\x02" * 8),
+    ]),
+    (SshParser, [
+        b"SSH-2.0-OpenSSH_9.3\r\n",
+        b"SSH-1.99-legacy\r\n",
+    ]),
+]
+
+SEEDS = range(25)
+
+#: Exceptions a parser is allowed to raise on malformed input. Anything
+#: else (IndexError, struct.error, KeyError, ...) is the bug under test.
+ALLOWED = (ProtocolError,)
+
+
+def _mutate(data: bytes, rng: random.Random) -> bytes:
+    """One seeded mutation: flip, truncate, duplicate, extend, or zero."""
+    if not data:
+        return bytes([rng.randrange(256)])
+    choice = rng.randrange(5)
+    out = bytearray(data)
+    if choice == 0:  # flip 1-8 bytes
+        for _ in range(rng.randrange(1, 9)):
+            out[rng.randrange(len(out))] ^= rng.randrange(1, 256)
+        return bytes(out)
+    if choice == 1:  # truncate
+        return bytes(out[:rng.randrange(len(out))])
+    if choice == 2:  # duplicate a slice in place
+        start = rng.randrange(len(out))
+        end = min(len(out), start + rng.randrange(1, 32))
+        return bytes(out[:end] + out[start:end] + out[end:])
+    if choice == 3:  # extend with random garbage
+        return bytes(out) + bytes(rng.randrange(256)
+                                  for _ in range(rng.randrange(1, 64)))
+    # zero a run (kills length fields)
+    start = rng.randrange(len(out))
+    for i in range(start, min(len(out), start + rng.randrange(1, 16))):
+        out[i] = 0
+    return bytes(out)
+
+
+def _exercise(factory, payload: bytes, seed: int) -> None:
+    """Drive one mutant through the probe→parse→drain lifecycle the
+    pipeline uses, tolerating only the sanctioned outcomes."""
+    segment = StreamSegment(payload, True, 0.0)
+    parser = factory()
+    try:
+        result = parser.probe(segment)
+    except ALLOWED:
+        return
+    if result.value == "no_match":
+        return
+    try:
+        parser.parse(segment)
+        # A mid-stream continuation (possibly from the other side) must
+        # be survivable too.
+        parser.parse(StreamSegment(payload[::-1], False, 0.1))
+        parser.drain_sessions()
+    except ALLOWED:
+        pass
+
+
+@pytest.mark.parametrize(
+    "factory,messages",
+    CORPUS, ids=[factory.__name__ for factory, _ in CORPUS])
+def test_mutated_messages_never_leak_raw_exceptions(factory, messages):
+    for index, message in enumerate(messages):
+        for seed in SEEDS:
+            rng = random.Random((factory.__name__, index, seed).__repr__())
+            mutant = _mutate(message, rng)
+            try:
+                _exercise(factory, mutant, seed)
+            except ALLOWED:
+                pass
+            except Exception as exc:  # pragma: no cover - the bug report
+                pytest.fail(
+                    f"{factory.__name__} leaked {type(exc).__name__} "
+                    f"({exc}) on corpus[{index}] seed {seed}: "
+                    f"{mutant[:48].hex()}...")
+
+
+@pytest.mark.parametrize(
+    "factory,messages",
+    CORPUS, ids=[factory.__name__ for factory, _ in CORPUS])
+def test_mutated_tail_after_valid_prefix(factory, messages):
+    """An identified stream (valid first message) followed by corrupt
+    continuation bytes: the established parser must degrade to ERROR or
+    ProtocolError, never a raw exception."""
+    for index, message in enumerate(messages):
+        for seed in SEEDS:
+            rng = random.Random(f"tail:{factory.__name__}:{index}:{seed}")
+            parser = factory()
+            try:
+                parser.probe(StreamSegment(message, True, 0.0))
+                parser.parse(StreamSegment(message, True, 0.0))
+                parser.parse(StreamSegment(_mutate(message, rng),
+                                           False, 0.1))
+                parser.drain_sessions()
+            except ALLOWED:
+                pass
+            except Exception as exc:  # pragma: no cover - the bug report
+                pytest.fail(
+                    f"{factory.__name__} leaked {type(exc).__name__} "
+                    f"({exc}) on tail fuzz corpus[{index}] seed {seed}")
+
+
+def test_empty_and_tiny_inputs():
+    """Degenerate segments: empty, single byte, all-zero, all-0xff."""
+    probes = [b"", b"\x00", b"\xff", b"\x00" * 64, b"\xff" * 64]
+    for factory, _ in CORPUS:
+        for payload in probes:
+            _exercise(factory, payload, seed=-1)

@@ -1,0 +1,112 @@
+"""Tolerant pcap reading: a capture truncated by a crash or full disk
+loses only its ragged final record, not the whole analysis.
+
+Strict mode (the default) keeps the old raise-on-truncation behavior;
+global-header and magic/linktype damage always raises in both modes (a
+file whose framing is wrong is not a pcap at all).
+"""
+
+import warnings
+
+import pytest
+
+from repro.packet.mbuf import Mbuf
+from repro.traffic.pcap import (
+    PcapFormatError,
+    PcapReadStats,
+    iter_pcap,
+    read_pcap,
+    write_pcap,
+)
+
+
+@pytest.fixture
+def capture(tmp_path):
+    """A small valid capture plus its on-disk size."""
+    path = tmp_path / "ok.pcap"
+    mbufs = [Mbuf(bytes([i]) * (40 + i), timestamp=float(i))
+             for i in range(8)]
+    write_pcap(path, mbufs)
+    return path, mbufs
+
+
+def _truncated(tmp_path, source, cut: int):
+    data = source.read_bytes()
+    out = tmp_path / f"cut-{cut}.pcap"
+    out.write_bytes(data[:len(data) - cut])
+    return out
+
+
+class TestStrict:
+    def test_round_trip_intact(self, capture):
+        path, mbufs = capture
+        got = read_pcap(path)
+        assert [m.data for m in got] == [m.data for m in mbufs]
+
+    def test_truncated_body_raises(self, capture, tmp_path):
+        path, _ = capture
+        with pytest.raises(PcapFormatError, match="truncated packet body"):
+            read_pcap(_truncated(tmp_path, path, 3))
+
+    def test_truncated_header_raises(self, capture, tmp_path):
+        path, mbufs = capture
+        # Cut into the final record's 16-byte header: drop the whole
+        # final body plus part of its header.
+        cut = len(mbufs[-1].data) + 5
+        with pytest.raises(PcapFormatError,
+                           match="truncated packet header"):
+            read_pcap(_truncated(tmp_path, path, cut))
+
+
+class TestTolerant:
+    def test_truncated_body_stops_cleanly(self, capture, tmp_path):
+        path, mbufs = capture
+        stats = PcapReadStats()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = list(iter_pcap(_truncated(tmp_path, path, 3),
+                                 strict=False, stats=stats))
+        # Every complete record was delivered; only the ragged tail is
+        # gone.
+        assert [m.data for m in got] == [m.data for m in mbufs[:-1]]
+        assert stats.packets == len(mbufs) - 1
+        assert stats.truncated_tail == 1
+        assert any("truncated mid-body" in str(w.message) for w in caught)
+
+    def test_truncated_header_stops_cleanly(self, capture, tmp_path):
+        path, mbufs = capture
+        cut = len(mbufs[-1].data) + 5
+        stats = PcapReadStats()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = list(iter_pcap(_truncated(tmp_path, path, cut),
+                                 strict=False, stats=stats))
+        assert len(got) == len(mbufs) - 1
+        assert stats.truncated_tail == 1
+        assert any("truncated mid-header" in str(w.message)
+                   for w in caught)
+
+    def test_intact_file_warns_nothing(self, capture):
+        path, mbufs = capture
+        stats = PcapReadStats()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = list(iter_pcap(path, strict=False, stats=stats))
+        assert len(got) == len(mbufs)
+        assert stats.packets == len(mbufs)
+        assert stats.truncated_tail == 0
+        assert caught == []
+
+    def test_framing_damage_still_raises(self, capture, tmp_path):
+        """Tolerant mode forgives a ragged tail, not a broken file."""
+        path, _ = capture
+        bad_magic = tmp_path / "bad.pcap"
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        bad_magic.write_bytes(bytes(data))
+        with pytest.raises(PcapFormatError, match="bad magic"):
+            list(iter_pcap(bad_magic, strict=False))
+        stub = tmp_path / "stub.pcap"
+        stub.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(PcapFormatError, match="global header"):
+            list(iter_pcap(stub, strict=False))

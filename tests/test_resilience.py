@@ -1,0 +1,459 @@
+"""Resilience subsystem: deterministic fault injection, worker
+supervision, and graceful degradation (repro.resilience).
+
+The acceptance contract under test:
+
+- **Determinism** — the same ``(seed, FaultPlan)`` produces
+  byte-identical ``RuntimeReport.faults`` and aggregate stats across
+  repeated runs and across backends (where the plan's coordinates
+  permit the comparison; see faults.py's coordinate notes).
+- **Crash recovery** — a plan that kills one worker completes; cores
+  the fault never touched are *bit-identical* to a fault-free run; the
+  report records the restart and the replayed batches.
+- **Callback isolation** — under ``callback_error_policy="isolate"``
+  the run completes, non-faulty counters match the baseline, and the
+  quarantine fires exactly when the error budget is spent.
+- **Zero overhead when disabled** — a plain run reports no faults
+  section at all.
+"""
+
+import json
+
+import pytest
+
+from repro import FaultPlan, FaultSpec, Runtime, RuntimeConfig
+from repro.core.parallel import ParallelExecutionError
+from repro.errors import (
+    CallbackError,
+    FaultInjectionError,
+    ResourceExhaustedError,
+)
+from repro.resilience import RedoLog, WorkerSupervisor, restart_backoff
+from repro.traffic import CampusTrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return list(CampusTrafficGenerator(seed=21).packets(
+        duration=0.4, gbps=0.1))
+
+
+@pytest.fixture(scope="module")
+def long_traffic():
+    """Slower, longer trace: crosses several memory-sample points."""
+    return list(CampusTrafficGenerator(seed=21).packets(
+        duration=3.0, gbps=0.05))
+
+
+def _run(traffic, plan=None, parallel=False, cores=4, filter_str="tcp",
+         datatype="connection", **config_kwargs):
+    config = RuntimeConfig(cores=cores, parallel=parallel,
+                           fault_plan=plan, **config_kwargs)
+    runtime = Runtime(config, filter_str=filter_str, datatype=datatype,
+                      callback=None)
+    return runtime.run(iter(traffic))
+
+
+# ---------------------------------------------------------------------------
+# plan model
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_round_trip(self):
+        plan = FaultPlan.from_dict({
+            "seed": 9,
+            "faults": [
+                {"kind": "corrupt_packet", "at_packet": 5, "count": 2},
+                {"kind": "callback_error", "at_ordinal": 3, "core": 1},
+                {"kind": "worker_crash", "at_batch": 2},
+                {"kind": "memory_spike", "at_time": 1.5, "bytes": 4096,
+                 "duration": 0.5},
+            ],
+        })
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert FaultPlan.from_json(json.dumps(plan.to_dict())) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault kind"):
+            FaultPlan.from_dict(
+                {"faults": [{"kind": "set_on_fire", "at_packet": 0}]})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault field"):
+            FaultPlan.from_dict(
+                {"faults": [{"kind": "worker_crash", "at_batch": 0,
+                             "at_pakcet": 1}]})
+
+    def test_missing_coordinate_rejected(self):
+        with pytest.raises(FaultInjectionError, match="at_packet"):
+            FaultPlan(faults=(FaultSpec(kind="corrupt_packet"),))
+        with pytest.raises(FaultInjectionError, match="bytes"):
+            FaultPlan(faults=(FaultSpec(kind="memory_spike", at_time=1.0),))
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultInjectionError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_worker_fault_lookup_and_suppression(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="worker_crash", at_batch=2, core=1),
+            FaultSpec(kind="worker_hang", at_batch=2, core=1),
+        ))
+        index, spec = plan.worker_fault_at(1, 2)
+        assert (index, spec.kind) == (0, "worker_crash")
+        # After the crash fired once it is suppressed; the hang at the
+        # same coordinate is next.
+        index, spec = plan.worker_fault_at(1, 2, suppressed=(0,))
+        assert (index, spec.kind) == (1, "worker_hang")
+        assert plan.worker_fault_at(0, 2) is None
+        assert plan.worker_fault_at(1, 3) is None
+
+
+# ---------------------------------------------------------------------------
+# packet faults: parent-side, pre-RSS
+# ---------------------------------------------------------------------------
+class TestPacketFaults:
+    PLAN = {"seed": 7, "faults": [
+        {"kind": "corrupt_packet", "at_packet": 10, "count": 4},
+        {"kind": "truncate_packet", "at_packet": 100, "keep_bytes": 20},
+        {"kind": "truncate_packet", "at_packet": 101},
+    ]}
+
+    def test_injection_counts(self, traffic):
+        report = _run(traffic, FaultPlan.from_dict(self.PLAN))
+        assert report.faults.injected == {"corrupt_packet": 4,
+                                          "truncate_packet": 2}
+
+    def test_two_runs_byte_identical(self, traffic):
+        plan = FaultPlan.from_dict(self.PLAN)
+        one = _run(traffic, plan)
+        two = _run(traffic, plan)
+        assert one.faults.to_dict() == two.faults.to_dict()
+        assert one.stats.to_dict() == two.stats.to_dict()
+
+    def test_backends_byte_identical(self, traffic):
+        plan = FaultPlan.from_dict(self.PLAN)
+        for cores in (1, 2, 4):
+            seq = _run(traffic, plan, cores=cores)
+            par = _run(traffic, plan, parallel=True, cores=cores)
+            assert seq.stats.to_dict() == par.stats.to_dict(), \
+                f"backends diverged at {cores} cores"
+            assert seq.faults.to_dict() == par.faults.to_dict()
+
+    def test_seed_changes_corruption(self, traffic):
+        """Different seeds corrupt differently — the seed is live."""
+        base = dict(self.PLAN)
+        one = _run(traffic, FaultPlan.from_dict({**base, "seed": 1}))
+        two = _run(traffic, FaultPlan.from_dict({**base, "seed": 2}))
+        # Same number of injections either way...
+        assert one.faults.injected == two.faults.injected
+        # ...but not necessarily the same downstream effect. (Equality
+        # here would be astronomically unlikely to matter; we only
+        # assert the runs completed with the same packet totals.)
+        assert one.stats.ingress_packets == two.stats.ingress_packets
+
+
+# ---------------------------------------------------------------------------
+# callback faults + isolation policy
+# ---------------------------------------------------------------------------
+class TestCallbackIsolation:
+    def test_raise_policy_propagates_callback_error(self, traffic):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="callback_error", at_ordinal=0),))
+        with pytest.raises(CallbackError):
+            _run(traffic, plan)
+
+    def test_isolate_completes_and_counts(self, traffic):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="callback_error", at_ordinal=0, core=0),))
+        report = _run(traffic, plan, callback_error_policy="isolate")
+        assert report.faults.callback_errors == 1
+        assert report.faults.quarantined_cores == []
+        assert report.faults.injected.get("callback_error") == 1
+
+    def test_quarantine_fires_exactly_at_budget(self, traffic):
+        """Errors on every delivery: the quarantine engages after
+        exactly ``budget`` errors and suppresses the rest — while every
+        non-faulty counter stays equal to the fault-free baseline."""
+        budget = 3
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="callback_error", at_ordinal=0, every=1,
+                      core=0),))
+        base = _run(traffic, None)
+        report = _run(traffic, plan, callback_error_policy="isolate",
+                      callback_error_budget=budget)
+        faults = report.faults
+        assert faults.callback_errors == budget
+        assert faults.quarantined_cores == [0]
+        assert faults.callbacks_suppressed > 0
+        # Delivery accounting is baseline-equal: the quarantine only
+        # withholds the user function.
+        basedict = base.stats.to_dict()
+        gotdict = report.stats.to_dict()
+        for key in ("ingress_packets", "processed_packets", "callbacks",
+                    "conns_created", "conns_delivered", "sessions_parsed",
+                    "stage_cycles", "peak_memory_bytes"):
+            assert gotdict[key] == basedict[key], key
+        assert report.stats.memory_samples == base.stats.memory_samples
+
+    def test_isolation_identical_across_backends(self, traffic):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="callback_error", at_ordinal=2, core=1,
+                      every=5),))
+        seq = _run(traffic, plan, callback_error_policy="isolate",
+                   callback_error_budget=2)
+        par = _run(traffic, plan, parallel=True,
+                   callback_error_policy="isolate",
+                   callback_error_budget=2)
+        assert seq.stats.to_dict() == par.stats.to_dict()
+        assert seq.faults.to_dict() == par.faults.to_dict()
+
+    def test_user_callback_exception_isolated_too(self, traffic):
+        """The policy isolates *real* callback bugs, not only injected
+        ones."""
+        calls = []
+
+        def flaky(obj):
+            calls.append(obj)
+            if len(calls) <= 2:
+                raise ValueError("user bug")
+
+        config = RuntimeConfig(cores=2, callback_error_policy="isolate")
+        runtime = Runtime(config, filter_str="tcp", datatype="connection",
+                          callback=flaky)
+        report = runtime.run(iter(traffic))
+        assert report.faults.callback_errors == 2
+        assert calls  # the callback did run
+
+
+# ---------------------------------------------------------------------------
+# parser faults
+# ---------------------------------------------------------------------------
+class TestParserFaults:
+    def test_parser_fault_absorbed(self, traffic):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="parser_error", at_ordinal=0, core=0),))
+        base = _run(traffic, None, filter_str="tls",
+                    datatype="tls_handshake")
+        report = _run(traffic, plan, filter_str="tls",
+                      datatype="tls_handshake")
+        assert base.stats.sessions_parsed > 0  # comparison not vacuous
+        assert report.faults.parser_exceptions == 1
+        assert report.faults.injected.get("parser_error") == 1
+
+    def test_parser_faults_identical_across_backends(self, traffic):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="parser_error", at_ordinal=1, every=10),))
+        seq = _run(traffic, plan, filter_str="tls",
+                   datatype="tls_handshake")
+        par = _run(traffic, plan, parallel=True, filter_str="tls",
+                   datatype="tls_handshake")
+        assert seq.faults.parser_exceptions > 1
+        assert seq.stats.to_dict() == par.stats.to_dict()
+        assert seq.faults.to_dict() == par.faults.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# memory pressure: record / evict / shed
+# ---------------------------------------------------------------------------
+class TestMemoryPolicies:
+    def test_spike_triggers_oom_under_record(self, long_traffic):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="memory_spike", at_time=1.0,
+                      bytes=10_000_000),))
+        report = _run(long_traffic, plan, cores=2,
+                      memory_limit_bytes=200_000)
+        assert report.out_of_memory
+        assert report.oom_at >= 1.0
+        assert report.faults.injected.get("memory_spike") == 1
+
+    def test_evict_keeps_run_alive(self, long_traffic):
+        report = _run(long_traffic, cores=2, memory_policy="evict",
+                      memory_limit_bytes=20_000)
+        assert not report.out_of_memory
+        assert report.faults.conns_evicted > 0
+        assert report.faults.conns_shed == 0
+        # The policy actually enforces the per-core share at sample
+        # cadence.
+        share = 20_000 // 2
+        for _, _, memory in report.stats.memory_samples:
+            assert memory <= 2 * share
+
+    def test_shed_refuses_new_connections(self, long_traffic):
+        report = _run(long_traffic, cores=2, memory_policy="shed",
+                      memory_limit_bytes=20_000)
+        assert not report.out_of_memory
+        assert report.faults.conns_shed > 0
+        assert report.faults.conns_evicted == 0
+
+    def test_policies_identical_across_backends(self, long_traffic):
+        for policy in ("evict", "shed"):
+            seq = _run(long_traffic, cores=2, memory_policy=policy,
+                       memory_limit_bytes=20_000)
+            par = _run(long_traffic, cores=2, parallel=True,
+                       memory_policy=policy, memory_limit_bytes=20_000)
+            assert seq.stats.to_dict() == par.stats.to_dict(), policy
+            assert seq.faults.to_dict() == par.faults.to_dict(), policy
+
+    def test_evict_idle_unreachable_target_raises(self):
+        from repro.conntrack.table import ConnTable
+        table = ConnTable()
+        with pytest.raises(ResourceExhaustedError):
+            table.evict_idle(-1)
+        # Non-destructive: a reachable target still works afterwards.
+        assert table.evict_idle(0) == []
+
+
+# ---------------------------------------------------------------------------
+# supervisor bookkeeping (unit)
+# ---------------------------------------------------------------------------
+class TestSupervisorUnits:
+    def test_backoff_schedule(self):
+        assert [restart_backoff(i) for i in range(6)] == \
+            [0.05, 0.1, 0.2, 0.4, 0.8, 1.0]
+
+    def test_redo_log_bounds_and_ack(self):
+        log = RedoLog(capacity=2)
+        for seq in range(4):
+            log.record(seq, [seq])
+        assert [s for s, _ in log.pending()] == [2, 3]
+        assert log.unreplayable == 2  # seqs 0 and 1 were evicted
+        log.ack(1)  # the worker did process them before crashing
+        assert log.unreplayable == 0
+        log.ack(2)
+        assert [s for s, _ in log.pending()] == [3]
+
+    def test_supervisor_budget_exhaustion(self):
+        sup = WorkerSupervisor(cores=2, plan=None, max_restarts=1,
+                               redo_capacity=8, heartbeat_timeout=5.0)
+        seq, fault = sup.on_dispatch(0, ["batch"])
+        assert (seq, fault) == (0, None)
+        backoff, replay, suppressed = sup.on_failure(0, None)
+        assert backoff == 0.05
+        assert [s for s, _ in replay] == [0]
+        assert not sup.is_lost(0)
+        assert sup.on_failure(0, None) is None  # budget spent
+        assert sup.is_lost(0)
+        assert sup.degraded
+        assert sup.lost_cores == [0]
+        summary = sup.summary()
+        assert summary["restarts"] == 1
+        assert summary["degraded"] is True
+
+    def test_planned_fault_surfaces_on_dispatch(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="worker_crash", at_batch=1, core=0),))
+        sup = WorkerSupervisor(cores=1, plan=plan, max_restarts=2,
+                               redo_capacity=8, heartbeat_timeout=5.0)
+        assert sup.on_dispatch(0, ["b0"])[1] is None
+        seq, fault = sup.on_dispatch(0, ["b1"])
+        assert seq == 1 and fault is not None
+        index, spec = fault
+        assert spec.kind == "worker_crash"
+        # Recovery suppresses the fired index in the restarted worker.
+        _, _, suppressed = sup.on_failure(0, index)
+        assert index in suppressed
+
+
+# ---------------------------------------------------------------------------
+# crash recovery end-to-end (parallel backend)
+# ---------------------------------------------------------------------------
+class TestCrashRecovery:
+    CRASH = FaultPlan(seed=1, faults=(
+        FaultSpec(kind="worker_crash", at_batch=1, core=1),))
+
+    def test_crash_restart_completes(self, traffic):
+        report = _run(traffic, self.CRASH, parallel=True)
+        faults = report.faults
+        assert faults.worker_restarts == 1
+        assert faults.replayed_batches == 1
+        assert faults.unreplayable_batches == 0
+        assert faults.restart_backoffs == [0.05]
+        assert not faults.degraded
+        assert report.stats.ingress_packets > 0
+
+    def test_crash_recovery_deterministic(self, traffic):
+        one = _run(traffic, self.CRASH, parallel=True)
+        two = _run(traffic, self.CRASH, parallel=True)
+        assert one.faults.to_dict() == two.faults.to_dict()
+        assert one.stats.to_dict() == two.stats.to_dict()
+
+    def test_unaffected_cores_bit_identical(self, traffic):
+        """Cores the fault never touched match a fault-free run
+        bit-for-bit — the blast radius really is one core."""
+        base = _run(traffic, None, parallel=True)
+        hurt = _run(traffic, self.CRASH, parallel=True)
+        for core in (0, 2, 3):
+            assert base.core_stats[core].to_dict() == \
+                hurt.core_stats[core].to_dict(), f"core {core} diverged"
+
+    def test_hang_detected_and_restarted(self, traffic):
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="worker_hang", at_batch=1, core=0),))
+        report = _run(traffic, plan, parallel=True,
+                      worker_heartbeat_timeout=0.5)
+        assert report.faults.worker_restarts == 1
+        assert not report.faults.degraded
+
+    def test_restart_budget_exhaustion_degrades(self, traffic):
+        """Two planned crashes against a budget of one: the core is
+        lost and the run completes degraded with partial stats."""
+        plan = FaultPlan(faults=(
+            FaultSpec(kind="worker_crash", at_batch=0, core=1),
+            FaultSpec(kind="worker_crash", at_batch=0, core=1),
+        ))
+        base = _run(traffic, None, parallel=True)
+        report = _run(traffic, plan, parallel=True, max_worker_restarts=1)
+        faults = report.faults
+        assert faults.degraded and report.degraded
+        assert faults.lost_cores == [1]
+        assert faults.worker_restarts == 1
+        # Partial results: the three surviving cores still reported.
+        assert sorted(report.core_stats) == [0, 2, 3]
+        assert 0 < report.stats.processed_packets < \
+            base.stats.processed_packets
+
+    def test_sequential_backend_skips_worker_faults(self, traffic):
+        report = _run(traffic, self.CRASH, parallel=False)
+        assert report.faults.worker_restarts == 0
+        assert report.faults.skipped_worker_faults == 1
+
+
+# ---------------------------------------------------------------------------
+# pool lifecycle (satellite: no leaked workers on error)
+# ---------------------------------------------------------------------------
+class TestPoolLifecycle:
+    def test_error_terminates_pool_and_keeps_partial_stats(self, traffic):
+        import multiprocessing as mp
+
+        def exploding(obj):
+            raise RuntimeError("callback boom")
+
+        config = RuntimeConfig(cores=2, parallel=True)
+        runtime = Runtime(config, filter_str="", datatype="packet",
+                          callback=exploding)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            runtime.run(iter(traffic))
+        assert excinfo.value.core_id is not None
+        # The pool was torn down before the exception propagated: no
+        # repro worker processes survive.
+        leaked = [p for p in mp.active_children()
+                  if p.name.startswith("repro-core-")]
+        assert leaked == []
+
+
+# ---------------------------------------------------------------------------
+# zero overhead when disabled
+# ---------------------------------------------------------------------------
+class TestDisabled:
+    def test_plain_run_has_no_faults_section(self, traffic):
+        report = _run(traffic, None)
+        assert report.faults is None
+        d = report.stats.to_dict()
+        assert d["callback_errors"] == 0
+        assert d["parser_exceptions"] == 0
+        assert d["fault_counters"] == {}
+
+    def test_report_json_round_trips(self, traffic):
+        report = _run(traffic, FaultPlan.from_dict(TestPacketFaults.PLAN))
+        payload = report.faults.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
