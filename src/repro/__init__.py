@@ -38,6 +38,7 @@ from repro.core import (
 )
 from repro.conntrack.table import TimeoutConfig
 from repro.filter import compile_filter, CompiledFilter, FilterResult
+from repro.overload import LossLedger
 from repro.resilience import FaultPlan, FaultReport, FaultSpec
 
 __version__ = "1.0.0"
@@ -65,5 +66,6 @@ __all__ = [
     "FaultPlan",
     "FaultReport",
     "FaultSpec",
+    "LossLedger",
     "__version__",
 ]

@@ -37,7 +37,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="subscribable data type")
     source = parser.add_mutually_exclusive_group()
     source.add_argument("--pcap", help="read traffic from a pcap file")
-    source.add_argument("--synthetic", choices=["campus", "https"],
+    source.add_argument("--synthetic", choices=["campus", "https", "burst"],
                         help="generate synthetic traffic")
     parser.add_argument("--duration", type=float, default=0.5,
                         help="synthetic traffic duration (virtual s)")
@@ -45,6 +45,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="synthetic campus traffic rate")
     parser.add_argument("--seed", type=int, default=0,
                         help="synthetic traffic seed")
+    parser.add_argument("--burst-intensity", type=float, default=8.0,
+                        metavar="X",
+                        help="with --synthetic burst, arrival-rate "
+                             "multiplier inside the burst window "
+                             "(default: 8.0)")
     parser.add_argument("--cores", type=int, default=4)
     parser.add_argument("--parallel", type=int, metavar="N", default=0,
                         help="run N cores as real OS worker processes "
@@ -103,6 +108,21 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "crashed/hung cores with batch replay")
     resilience.add_argument("--faults-out", metavar="PATH",
                             help="write the run's fault report as JSON")
+    overload = parser.add_argument_group(
+        "overload", "closed-loop overload control "
+        "(see docs/OVERLOAD.md)")
+    overload.add_argument("--overload-policy", default="off",
+                          choices=["off", "ladder", "failfast"],
+                          help="degradation ladder under sustained "
+                               "pressure, failfast abort, or off "
+                               "(default: off)")
+    overload.add_argument("--overload-target-lag", type=float,
+                          default=0.05, metavar="S",
+                          help="virtual seconds a core may lag the "
+                               "arrival clock before climbing the "
+                               "ladder (default: 0.05)")
+    overload.add_argument("--overload-out", metavar="PATH",
+                          help="write the loss ledger as NDJSON")
     parser.add_argument("--describe-filter", metavar="FILTER",
                         help="print a filter's decomposition and exit")
     return parser
@@ -147,6 +167,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(compiled.generated_source)
         return 0
 
+    # Conflicting-flag validation, with errors that say what to change
+    # instead of just what is wrong.
+    if args.overload_policy != "off" and \
+            args.memory_policy in ("evict", "shed"):
+        print(f"error: --overload-policy {args.overload_policy} "
+              f"conflicts with --memory-policy {args.memory_policy}: "
+              f"the overload ladder already owns admission control "
+              f"under memory pressure; drop --memory-policy (keeping "
+              f"the default 'record') or use --overload-policy off",
+              file=sys.stderr)
+        return 2
+    if args.supervise and args.parallel <= 0:
+        print("error: --supervise requires --parallel N: supervision "
+              "restarts worker *processes*, which only exist on the "
+              "parallel backend; add --parallel 2 (or more) or drop "
+              "--supervise", file=sys.stderr)
+        return 2
+    if args.overload_target_lag <= 0:
+        print("error: --overload-target-lag must be positive "
+              "(virtual seconds of tolerated backlog)", file=sys.stderr)
+        return 2
+    if args.burst_intensity < 1.0:
+        print("error: --burst-intensity must be >= 1.0 (it multiplies "
+              "the baseline arrival rate)", file=sys.stderr)
+        return 2
+
     if args.pcap:
         from repro.traffic.pcap import iter_pcap
         traffic = iter_pcap(args.pcap)
@@ -154,6 +200,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.traffic import HttpsWorkloadGenerator
         traffic = iter(HttpsWorkloadGenerator(seed=args.seed).packets(
             requests_per_second=50, duration=args.duration))
+    elif args.synthetic == "burst":
+        from repro.traffic import BurstTrafficGenerator, BurstWindow
+        traffic = iter(BurstTrafficGenerator(
+            seed=args.seed,
+            windows=(BurstWindow(intensity=args.burst_intensity),),
+        ).packets(duration=args.duration, gbps=args.gbps))
     else:
         from repro.traffic import CampusTrafficGenerator
         traffic = iter(CampusTrafficGenerator(seed=args.seed).packets(
@@ -187,6 +239,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             memory_policy=args.memory_policy,
             memory_limit_bytes=args.memory_limit or None,
             supervise=args.supervise,
+            overload_policy=args.overload_policy,
+            overload_target_lag=args.overload_target_lag,
         )
         runtime = Runtime(config, filter_str=args.filter_str,
                           datatype=args.datatype, callback=callback)
@@ -202,6 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     print()
     print(report.stats.describe())
+    if report.overload is not None:
+        print(report.overload.describe())
     if report.faults is not None:
         faults = report.faults
         line = (f"faults: injected={sum(faults.injected.values())} "
@@ -227,12 +283,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.telemetry import export
         export.write_metrics(args.metrics_out, report.stats,
                              backend_health=report.backend_health,
-                             faults=report.faults)
+                             faults=report.faults,
+                             overload=report.overload)
         print(f"(metrics written to {args.metrics_out})")
     if args.trace_out:
         from repro.telemetry import export
         events = export.write_trace(args.trace_out, report.stats)
         print(f"({events} trace events written to {args.trace_out})")
+    if args.overload_out and report.overload is not None:
+        from repro.telemetry import export
+        records = export.write_overload(args.overload_out,
+                                        report.overload)
+        print(f"({records} overload records written to "
+              f"{args.overload_out})")
+    if report.failed_fast:
+        print(f"aborted: overload failfast at "
+              f"{report.overload.failfast_at:.3f}s", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -134,6 +134,34 @@ class RuntimeConfig:
     #: beyond this cannot be replayed after a crash and are counted as
     #: ``unreplayable_batches`` in the fault report.
     redo_log_batches: int = 64
+    # -- overload control (repro.overload) ------------------------------
+    #: What a core does when it cannot keep up with arrivals: "off"
+    #: (keep absorbing load, the historical behavior), "ladder" (the
+    #: AIMD degradation ladder: shed new packet-level connections, then
+    #: all new connections, then downgrade the heaviest established
+    #: ones — established connections are preserved bit-exactly), or
+    #: "failfast" (the paper's §7 behavior as an explicit policy: never
+    #: shed, abort the run on sustained overload). Every shed packet
+    #: and downgraded connection is attributed in the run's
+    #: :class:`~repro.overload.LossLedger`.
+    overload_policy: str = "off"
+    #: Virtual seconds of cycle backlog (arrival clock minus the cycle
+    #: ledger's budget) a core tolerates before the controller counts
+    #: it as overloaded. The ladder's primary pressure signal.
+    overload_target_lag: float = 0.05
+    #: Virtual seconds between controller evaluations on each core.
+    overload_eval_interval: float = 0.05
+    #: Highest rung the ladder may climb to (1-4; 4 enables the
+    #: fail-fast last resort at the top of the ladder).
+    overload_max_rung: int = 3
+    #: Consecutive calm evaluations (pressure < 0.5) before the ladder
+    #: relaxes multiplicatively (rung //= 2).
+    overload_relax_ticks: int = 3
+    #: Rung 3's per-connection circuit breaker: established probing/
+    #: parsing connections holding more than this many bytes of heavy
+    #: state (reassembly buffers + packet buffers) get their lazy
+    #: reassembly and session parsing disabled.
+    overload_heavy_bytes: int = 65536
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -174,6 +202,29 @@ class RuntimeConfig:
             raise ConfigError("worker_heartbeat_timeout must be > 0")
         if self.redo_log_batches < 1:
             raise ConfigError("redo_log_batches must be >= 1")
+        if self.overload_policy not in ("off", "ladder", "failfast"):
+            raise ConfigError(
+                f"unknown overload_policy {self.overload_policy!r} "
+                f"(want 'off', 'ladder', or 'failfast')")
+        if self.overload_target_lag <= 0:
+            raise ConfigError("overload_target_lag must be > 0")
+        if self.overload_eval_interval <= 0:
+            raise ConfigError("overload_eval_interval must be > 0")
+        if not 1 <= self.overload_max_rung <= 4:
+            raise ConfigError("overload_max_rung must be in [1, 4]")
+        if self.overload_relax_ticks < 1:
+            raise ConfigError("overload_relax_ticks must be >= 1")
+        if self.overload_heavy_bytes < 0:
+            raise ConfigError("overload_heavy_bytes must be >= 0")
+        if self.overload_policy != "off" and \
+                self.memory_policy in ("evict", "shed"):
+            raise ConfigError(
+                f"overload_policy={self.overload_policy!r} conflicts "
+                f"with memory_policy={self.memory_policy!r}: the "
+                f"overload ladder already owns admission control under "
+                f"memory pressure (it senses table occupancy against "
+                f"memory_limit_bytes itself); use memory_policy="
+                f"'record' or overload_policy='off'")
         if self.parallel and self.callback_execution != "inline":
             raise ConfigError(
                 "the parallel backend supports inline callback execution "

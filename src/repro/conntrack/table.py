@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.conntrack.conn import Connection, ConnState
+from repro.conntrack.conn import CONN_BASE_MEMORY_BYTES, Connection, \
+    ConnState
 from repro.conntrack.five_tuple import FiveTuple
 from repro.conntrack.timerwheel import ConnectionTimers
 from repro.errors import ResourceExhaustedError
@@ -176,6 +177,30 @@ class ConnTable:
             self.evicted += 1
             victims.append(conn)
         return victims
+
+    def heavy_connections(self, min_overhead_bytes: int
+                          ) -> List[Connection]:
+        """Connections still carrying heavy state (probing or parsing)
+        whose per-connection overhead — reassembly buffers, held
+        references, buffered packets — exceeds ``min_overhead_bytes``.
+
+        This feeds the overload ladder's rung-3 circuit breaker
+        (:mod:`repro.overload`): the returned victims get their lazy
+        reassembly / session parsing disabled. Ordering is heaviest
+        first with the canonical key as tiebreak — fully deterministic,
+        so every backend downgrades the same flows.
+        """
+        heavy: List[Connection] = []
+        for conn in self._conns.values():
+            state = conn.state
+            if state is not ConnState.PROBE and \
+                    state is not ConnState.PARSE:
+                continue
+            if conn.memory_bytes - CONN_BASE_MEMORY_BYTES \
+                    > min_overhead_bytes:
+                heavy.append(conn)
+        heavy.sort(key=lambda c: (-c.memory_bytes, c.key))
+        return heavy
 
     @property
     def memory_bytes(self) -> int:

@@ -39,6 +39,10 @@ class MonitorSample:
     pf_packets: int = 0
     connf_packets: int = 0
     sessf_packets: int = 0
+    # Overload ladder: highest rung held by any core at snapshot time,
+    # and packets shed by admission control this interval.
+    overload_rung: int = 0
+    shed_packets: int = 0
 
     @property
     def loss_fraction(self) -> float:
@@ -49,7 +53,7 @@ class MonitorSample:
 
     def format(self) -> str:
         loss = self.loss_fraction
-        return (
+        line = (
             f"[{self.timestamp:9.3f}s] {self.interval_gbps:7.3f} Gbps  "
             f"pkts={self.ingress_packets}  "
             f"funnel={self.pf_packets}/{self.connf_packets}"
@@ -59,6 +63,10 @@ class MonitorSample:
             f"busy={self.busy_fraction * 100:5.1f}%  "
             f"loss={'%.2f%%' % (loss * 100) if loss else '0'}"
         )
+        if self.overload_rung or self.shed_packets:
+            line += f"  rung={self.overload_rung}" \
+                    f" shed={self.shed_packets}"
+        return line
 
 
 class StatsMonitor:
@@ -82,6 +90,7 @@ class StatsMonitor:
         self._last_pf = 0
         self._last_connf = 0
         self._last_sessf = 0
+        self._last_shed = 0
 
     def observe(self, runtime, now: float) -> None:
         """Called by the runtime; snapshots when the interval elapsed."""
@@ -112,6 +121,12 @@ class StatsMonitor:
             (p.stats.ledger.busy_seconds for p in runtime.pipelines),
             default=0.0,
         )
+        # Pipelines without the overload ladder lack these attributes
+        # (and so do older parallel views) — default to quiet.
+        rung = max((getattr(p, "overload_rung", 0)
+                    for p in runtime.pipelines), default=0)
+        shed = sum(getattr(p, "overload_shed_packets", 0)
+                   for p in runtime.pipelines)
         sample = MonitorSample(
             timestamp=now,
             interval=elapsed,
@@ -126,6 +141,8 @@ class StatsMonitor:
             pf_packets=pf - self._last_pf,
             connf_packets=connf - self._last_connf,
             sessf_packets=sessf - self._last_sessf,
+            overload_rung=rung,
+            shed_packets=shed - self._last_shed,
         )
         self.samples.append(sample)
         if self._emit is not None:
@@ -138,6 +155,7 @@ class StatsMonitor:
         self._last_pf = pf
         self._last_connf = connf
         self._last_sessf = sessf
+        self._last_shed = shed
 
     # -- feedback signals (Section 5.3's tuning loop) ------------------------
     @property

@@ -145,6 +145,10 @@ class _WorkerSpec:
     #: Plan indices of worker faults that already fired — set on the
     #: spec of a restarted worker so the same fault does not fire again.
     suppressed_faults: Tuple[int, ...] = field(default_factory=tuple)
+    #: Overload-ladder rung the core held when its previous incarnation
+    #: last acknowledged a batch — set on restart so a crash
+    #: mid-overload does not silently reopen the admission gate.
+    initial_overload_rung: int = 0
 
 
 def _fire_worker_fault(spec: _WorkerSpec, out_queue, plan_index: int,
@@ -180,7 +184,9 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
             nic=config.nic,
             identify_services=spec.identify_services,
         )
-        pipeline = CorePipeline(spec.core_id, subscription, config)
+        pipeline = CorePipeline(
+            spec.core_id, subscription, config,
+            initial_overload_rung=spec.initial_overload_rung)
         plan = spec.fault_plan
         progress_interval = spec.progress_interval
         next_progress: Optional[float] = None
@@ -201,7 +207,10 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                     batch = message[1]
                 pipeline.process_batch(batch)
                 if seq is not None:
-                    out_queue.put((_ACK, spec.core_id, seq))
+                    # The ack carries the ladder's current rung so the
+                    # supervisor can hand it to a restarted worker.
+                    out_queue.put((_ACK, spec.core_id, seq,
+                                   pipeline.overload_rung))
                 now = pipeline.now
                 if progress_interval is not None and (
                         next_progress is None or now >= next_progress):
@@ -218,6 +227,9 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                         stats.pf_packets,
                         stats.connf_packets,
                         stats.sessf_packets,
+                        pipeline.overload_rung,
+                        pipeline.overload_shed_packets,
+                        pipeline.overload_failfast_at,
                     ))
             elif tag == _SAMPLE:
                 # Parent-clocked sample point: every batch dispatched
@@ -277,15 +289,21 @@ class _StatsView:
 class _CoreView:
     """Last-reported state of one worker, shaped like a CorePipeline."""
 
-    __slots__ = ("stats", "table")
+    __slots__ = ("stats", "table", "overload_rung",
+                 "overload_shed_packets", "overload_failfast_at")
 
     def __init__(self) -> None:
         self.stats = _StatsView()
         self.table = _TableView()
+        self.overload_rung = 0
+        self.overload_shed_packets = 0
+        self.overload_failfast_at: Optional[float] = None
 
     def update(self, callbacks: int, live: int, memory_bytes: int,
                busy_seconds: float, pf_packets: int = 0,
-               connf_packets: int = 0, sessf_packets: int = 0) -> None:
+               connf_packets: int = 0, sessf_packets: int = 0,
+               overload_rung: int = 0, overload_shed: int = 0,
+               overload_failfast_at: Optional[float] = None) -> None:
         self.stats.callbacks = callbacks
         self.stats.ledger.busy_seconds = busy_seconds
         self.stats.pf_packets = pf_packets
@@ -293,6 +311,10 @@ class _CoreView:
         self.stats.sessf_packets = sessf_packets
         self.table.live = live
         self.table.memory_bytes = memory_bytes
+        self.overload_rung = overload_rung
+        self.overload_shed_packets = overload_shed
+        if overload_failfast_at is not None:
+            self.overload_failfast_at = overload_failfast_at
 
 
 class _RuntimeView:
@@ -309,6 +331,12 @@ class _RuntimeView:
     @property
     def memory_bytes(self) -> int:
         return sum(view.table.memory_bytes for view in self.pipelines)
+
+    @property
+    def overload_failfast_at(self) -> Optional[float]:
+        trips = [view.overload_failfast_at for view in self.pipelines
+                 if view.overload_failfast_at is not None]
+        return min(trips) if trips else None
 
 
 # ---------------------------------------------------------------------------
@@ -480,14 +508,16 @@ class _WorkerPool:
         tag = message[0]
         if tag == _PROGRESS:
             (_, core_id, _, callbacks, live, memory_bytes, busy,
-             pf, connf, sessf) = message
+             pf, connf, sessf, rung, shed, failfast_at) = message
             self.views[core_id].update(callbacks, live, memory_bytes,
-                                       busy, pf, connf, sessf)
+                                       busy, pf, connf, sessf,
+                                       rung, shed, failfast_at)
             return None
         if tag == _ACK:
-            _, core_id, seq = message
+            _, core_id, seq, rung = message
             if self.supervisor is not None:
                 self.supervisor.on_ack(core_id, seq)
+                self.supervisor.note_rung(core_id, rung)
             return None
         if tag == _CRASHED:
             _, core_id, plan_index = message
@@ -520,8 +550,14 @@ class _WorkerPool:
         old_queue = self.in_queues[core_id]
         old_queue.cancel_join_thread()
         old_queue.close()
+        # Re-seed the replacement at the rung its predecessor last
+        # acknowledged: a crash mid-overload must not silently reopen
+        # the admission gate.
+        rung = self.supervisor.last_rung(core_id) \
+            if self.supervisor is not None else 0
         spec = dataclasses.replace(self.specs[core_id],
-                                   suppressed_faults=tuple(suppressed))
+                                   suppressed_faults=tuple(suppressed),
+                                   initial_overload_rung=rung)
         self.specs[core_id] = spec
         in_queue = self._ctx.Queue(
             maxsize=spec.config.parallel_queue_depth)
@@ -705,6 +741,13 @@ def run_parallel(
         progress_needs.append(monitor.interval)
     if memory_limit is not None:
         progress_needs.append(memory_sample_interval)
+    # Failfast is parent-enforced at progress cadence (approximate,
+    # like oom_at — see the module docstring's caveats).
+    ff_possible = config.overload_policy == "failfast" or (
+        config.overload_policy == "ladder"
+        and config.overload_max_rung >= 4)
+    if ff_possible:
+        progress_needs.append(config.overload_eval_interval)
     progress_interval = min(progress_needs) if progress_needs else None
 
     pool = _WorkerPool(runtime, progress_interval)
@@ -740,6 +783,7 @@ def run_parallel(
         return supervisor is not None and supervisor.is_lost(queue_id)
 
     oom_at: Optional[float] = None
+    failfast_at: Optional[float] = None
     with pool:
         nics = runtime.nics
         nic0 = nics[0]
@@ -749,6 +793,7 @@ def run_parallel(
         next_monitor_ts: Optional[float] = \
             None if monitor is not None else float("inf")
         next_memory_ts = float("inf")
+        next_ff_ts = float("inf")
         first = runtime._first_ts is None
         for mbuf in traffic:
             ts = mbuf.timestamp
@@ -758,6 +803,8 @@ def run_parallel(
                     runtime._first_ts = ts
                     runtime._last_memory_sample = ts
                     next_memory_ts = ts + memory_sample_interval
+                if ff_possible:
+                    next_ff_ts = ts + config.overload_eval_interval
             if ts > runtime._last_ts:
                 runtime._last_ts = ts
             if frag is not None:
@@ -796,10 +843,20 @@ def run_parallel(
                     if view_runtime.memory_bytes > memory_limit:
                         oom_at = ts
                         break
+            if ts >= next_ff_ts:
+                next_ff_ts = ts + config.overload_eval_interval
+                # A tripped worker reports failfast_at in its progress
+                # tuple; stop feeding traffic as soon as any core says
+                # so (approximate cutoff, like oom_at).
+                pool.drain_progress()
+                tripped = view_runtime.overload_failfast_at
+                if tripped is not None:
+                    failfast_at = tripped
+                    break
         # Ship the stragglers, then tell every worker to wrap up. On
-        # OOM the workers neither advance time nor drain, matching the
-        # sequential backend's early exit.
-        if oom_at is None:
+        # OOM or failfast the workers neither advance time nor drain,
+        # matching the sequential backend's early exit.
+        if oom_at is None and failfast_at is None:
             for queue, queued in enumerate(pending):
                 if queued:
                     dispatch(queue, queued)
@@ -824,14 +881,29 @@ def run_parallel(
             final = core_stats[core_id]
             last_sample = final.memory_samples[-1] \
                 if final.memory_samples else (0.0, 0, 0)
+            ledger = final.overload
             pool.views[core_id].update(
                 final.callbacks, last_sample[1], last_sample[2],
                 final.ledger.busy_seconds, final.pf_packets,
-                final.connf_packets, final.sessf_packets)
+                final.connf_packets, final.sessf_packets,
+                ledger.current_rung if ledger is not None else 0,
+                ledger.packets_shed if ledger is not None else 0,
+                ledger.failfast_at if ledger is not None else None)
         monitor.finalize(runtime._last_ts, view_runtime)
+    overload = None
+    if config.overload_policy != "off":
+        from repro.overload import merge_ledgers
+
+        overload = merge_ledgers(
+            core_stats[c].overload for c in sorted(core_stats))
+        if overload is not None and overload.failfast_at is not None:
+            # The workers' exact trip times override the parent's
+            # progress-cadence approximation.
+            failfast_at = overload.failfast_at
     faults = build_fault_report(
         config, core_stats, packet_injector,
         supervisor.summary() if supervisor is not None else None)
     return RuntimeReport(stats=stats, oom_at=oom_at,
                          backend_health=pool.backend_health(),
-                         faults=faults, core_stats=core_stats)
+                         faults=faults, core_stats=core_stats,
+                         overload=overload)

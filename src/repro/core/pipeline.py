@@ -78,6 +78,7 @@ class CorePipeline:
         subscription: Subscription,
         config: "RuntimeConfig",
         executor=None,
+        initial_overload_rung: int = 0,
     ) -> None:
         self.core_id = core_id
         self.sub = subscription
@@ -125,6 +126,38 @@ class CorePipeline:
         else:
             self._memory_share = None
         self._shedding = False
+        # -- overload control (repro.overload) -------------------------
+        # One controller per core, clocked on virtual time inside the
+        # packet loop; `_ov_next = inf` when the policy is off, so the
+        # disabled hot path pays one float compare per packet.
+        if config.overload_policy != "off":
+            from repro.overload import LossLedger, OverloadController
+            ledger = LossLedger(core_id, initial_overload_rung)
+            self.stats.overload = ledger
+            self._overload = OverloadController(
+                config, ledger, initial_rung=initial_overload_rung)
+            self._ov_next = 0.0
+            self._ov_mem_share = (
+                config.memory_limit_bytes // config.cores
+                if config.memory_limit_bytes is not None else None)
+        else:
+            self._overload = None
+            self._ov_next = float("inf")
+            self._ov_mem_share = None
+        #: Current admission block (0/1/2), mirrored from the
+        #: controller at each tick so _stateful reads one attribute.
+        self._ov_block = (self._overload.admission_block
+                          if self._overload is not None else 0)
+        #: Tuples whose flow was refused: canonical key → (rung,
+        #: funnel layer) at first refusal. Once a flow's start is shed
+        #: its remaining packets are shed too (even after the ladder
+        #: relaxes) — a half-seen flow would otherwise surface as a
+        #: connection record that exists in no unshedded run, breaking
+        #: the admitted-connections-are-bit-exact guarantee.
+        self._ov_shed: dict = {}
+        #: Virtual timestamp at which this core tripped fail-fast, or
+        #: None. The runtime polls it after each batch.
+        self.overload_failfast_at: Optional[float] = None
 
     @property
     def now(self) -> float:
@@ -161,6 +194,7 @@ class CorePipeline:
         deliver = self._deliver
         stateful = self._stateful
         now = self._now
+        ov_next = self._ov_next
         packets = 0
         wire_bytes = 0
         # Funnel survivor counters, accumulated in locals and folded
@@ -176,6 +210,12 @@ class CorePipeline:
             if ts > now:
                 now = ts
                 self._now = ts
+            if ts >= ov_next:
+                # Controller tick: clocked on the per-core virtual
+                # packet stream, so transitions are identical across
+                # backends and batch boundaries.
+                self._overload_tick(ts)
+                ov_next = self._ov_next
             packets += 1
             frame_bytes = len(mbuf)
             wire_bytes += frame_bytes
@@ -200,6 +240,8 @@ class CorePipeline:
             now = self._now  # _stateful may not move it, expiry may
         stats.packets += packets
         stats.bytes += wire_bytes
+        if self._overload is not None:
+            self._overload.ledger.packets_seen += packets
         stats.pf_packets += pf_packets
         stats.pf_bytes += pf_bytes
         if fast_packets:
@@ -230,6 +272,34 @@ class CorePipeline:
                 stats.sessf_packets += 1
                 stats.sessf_bytes += wire
             return
+        block = self._ov_block
+        shed_map = self._ov_shed
+        if (block or shed_map) and self.table.lookup(five_tuple) is None:
+            # Overload ladder admission gate. Rung 1 refuses new
+            # connections whose only use is packet-level delivery
+            # (their packets already matched the packet filter — the
+            # conntrack/probe work is pure overhead under pressure);
+            # rung 2+ refuses all new connections. Established flows
+            # are never touched here, so their results stay bit-exact —
+            # and once a flow's start is refused, the rest of it is
+            # too, so no half-seen flow ever surfaces as a record.
+            key = five_tuple.canonical()
+            tag = shed_map.get(key)
+            if tag is None and block and (
+                    block == 2 or self._level is Level.PACKET):
+                ctl = self._overload
+                tag = (ctl.rung, "packet_filter" if block == 1
+                       else "connection_filter")
+                shed_map[key] = tag
+            if tag is not None:
+                stats.conns_shed += 1
+                self._overload.ledger.record_shed(
+                    tag[0], tag[1], len(mbuf))
+                # Keep the timer wheel advancing on shed packets:
+                # admitted connections must expire at exactly the same
+                # virtual times as in an unshedded run.
+                self._maybe_expire()
+                return
         if self._shedding and self.table.lookup(five_tuple) is None:
             # memory_policy="shed": while this core is over its memory
             # share, refuse to create new flow state (existing flows
@@ -361,8 +431,22 @@ class CorePipeline:
                 model.reassembly +
                 model.reassembly_copy_per_byte * len(payload),
             )
-        else:
-            self.stats.ledger.charge(Stage.REASSEMBLY)
+            segments = conn.reassembler.push(pdu)
+            dropped = conn.reassembler.drain_truncations()
+            if dropped:
+                # max_buffer overflow: the stream was truncated at a
+                # hole. Surface it as an explicit event (telemetry +
+                # loss ledger), not just a memory-accounting blip.
+                stats = self.stats
+                for nbytes in dropped:
+                    stats.reasm_truncations += 1
+                    stats.reasm_truncated_bytes += nbytes
+                    if self._overload is not None:
+                        self._overload.ledger.record_truncation(nbytes)
+                if self._tracer is not None:
+                    self._tracer.record(conn, self._now, "truncated")
+            return segments
+        self.stats.ledger.charge(Stage.REASSEMBLY)
         return conn.reassembler.push(pdu)
 
     # -- probing ---------------------------------------------------------------
@@ -756,6 +840,54 @@ class CorePipeline:
             self._deliver_connection(conn)
             if tracer is not None:
                 tracer.record(conn, self._now, "evicted")
+
+    # -- overload control (repro.overload) --------------------------------
+    def _overload_tick(self, now: float) -> None:
+        """One controller evaluation at virtual time ``now`` (reached
+        via the per-packet ``ts >= ov_next`` compare)."""
+        ctl = self._overload
+        tripped = ctl.evaluate(now, self.stats.ledger.busy_seconds,
+                               self.table.memory_bytes,
+                               self._ov_mem_share)
+        self._ov_next = now + ctl.interval
+        self._ov_block = ctl.admission_block
+        if ctl.downgrading and not tripped:
+            self._overload_downgrade(now)
+        if tripped and self.overload_failfast_at is None:
+            self.overload_failfast_at = now
+            ctl.ledger.failfast_at = now
+
+    def _overload_downgrade(self, now: float) -> None:
+        """Rung 3's per-connection circuit breaker: disable lazy
+        reassembly / session parsing for the heaviest still-probing
+        connections. Matched connections keep being tracked (their
+        connection records still deliver, with full packet/byte
+        counts); connections whose filter verdict depended on the now-
+        abandoned parse can no longer resolve and drop to a tombstone."""
+        victims = self.table.heavy_connections(
+            self.config.overload_heavy_bytes)
+        if not victims:
+            return
+        ledger = self._overload.ledger
+        tracer = self._tracer
+        for conn in victims:
+            ledger.record_downgrade()
+            if tracer is not None:
+                tracer.record(conn, now, "downgraded")
+            if conn.matched and self._level is not Level.SESSION:
+                self._stop_heavy_processing(conn, ConnState.TRACK)
+            else:
+                self._discard(conn, rejected=False)
+
+    @property
+    def overload_rung(self) -> int:
+        """The ladder's current rung (0 when the policy is off)."""
+        return self._overload.rung if self._overload is not None else 0
+
+    @property
+    def overload_shed_packets(self) -> int:
+        return (self._overload.ledger.packets_shed
+                if self._overload is not None else 0)
 
     def fold_fault_counters(self) -> None:
         """Merge the injector's injection counts into the stats

@@ -43,10 +43,23 @@ class RuntimeReport:
     #: Final per-core stats snapshots by core id. On a degraded
     #: parallel run, lost cores are absent.
     core_stats: Optional[Dict[int, CoreStats]] = None
+    #: Merged overload loss ledger (:class:`repro.overload.LossLedger`)
+    #: when an overload policy was active; None otherwise. Attributes
+    #: every shed packet / downgraded connection to a ladder rung and
+    #: filter-funnel layer, so degraded output always carries a precise
+    #: statement of what was *not* analyzed.
+    overload: Optional[object] = None
 
     @property
     def out_of_memory(self) -> bool:
         return self.oom_at is not None
+
+    @property
+    def failed_fast(self) -> bool:
+        """True when the overload policy aborted the run (the paper's
+        §7 fail-fast exit, as an explicit opt-in policy)."""
+        return self.overload is not None and \
+            self.overload.failfast_at is not None
 
     @property
     def degraded(self) -> bool:
@@ -169,6 +182,12 @@ class Runtime:
         packet_injector: Optional[PacketFaultInjector] = None,
     ) -> RuntimeReport:
         oom_at: Optional[float] = None
+        failfast_at: Optional[float] = None
+        # Fail-fast can only trip under the failfast policy or a ladder
+        # allowed to climb to rung 4; skip the per-batch poll otherwise.
+        ff_possible = self.config.overload_policy == "failfast" or (
+            self.config.overload_policy == "ladder"
+            and self.config.overload_max_rung >= 4)
         batch_size = self.config.parallel_batch_size
         pipelines = self.pipelines
         nics = self.nics
@@ -213,6 +232,15 @@ class Runtime:
                 if len(queued) >= batch_size:
                     pipelines[queue].process_batch(queued)
                     queued.clear()
+                    if ff_possible and \
+                            pipelines[queue].overload_failfast_at \
+                            is not None:
+                        # Sustained overload under the fail-fast policy:
+                        # abort rather than silently corrupt results
+                        # (PAPER §7), like the OOM cutoff above.
+                        failfast_at = \
+                            pipelines[queue].overload_failfast_at
+                        break
             if next_monitor_ts is None or ts >= next_monitor_ts:
                 self._flush_pending(pending)
                 monitor.observe(self, ts)
@@ -226,7 +254,13 @@ class Runtime:
                     oom_at = ts
                     break
         self._flush_pending(pending)
-        if oom_at is None:
+        if ff_possible and failfast_at is None:
+            # A trip on the final (or a monitor-flushed) partial batch.
+            trips = [p.overload_failfast_at for p in pipelines
+                     if p.overload_failfast_at is not None]
+            if trips:
+                failfast_at = min(trips)
+        if oom_at is None and failfast_at is None:
             for pipeline in pipelines:
                 pipeline.advance_time(self._last_ts)
             self._sample_memory(self._last_ts)
@@ -247,8 +281,14 @@ class Runtime:
         core_stats = {p.core_id: p.stats for p in pipelines}
         faults = build_fault_report(self.config, core_stats,
                                     packet_injector)
+        overload = None
+        if self.config.overload_policy != "off":
+            from repro.overload import merge_ledgers
+            overload = merge_ledgers(
+                p.stats.overload for p in pipelines)
         return RuntimeReport(stats=self.aggregate(), oom_at=oom_at,
-                             faults=faults, core_stats=core_stats)
+                             faults=faults, core_stats=core_stats,
+                             overload=overload)
 
     def _flush_pending(self, pending: List[List[Mbuf]]) -> None:
         """Run every queued batch through its pipeline (sample points
@@ -307,6 +347,7 @@ class Runtime:
         probe_giveups = conns_discarded = conns_expired = 0
         callback_errors = callbacks_suppressed = quarantined_cores = 0
         parser_exceptions = conns_evicted = conns_shed = 0
+        reasm_truncations = reasm_truncated_bytes = 0
         fault_counters: Dict[str, int] = {}
         reasm_peak = reasm_occ_sum = 0
         memory_samples = []
@@ -340,6 +381,8 @@ class Runtime:
             parser_exceptions += stats.parser_exceptions
             conns_evicted += stats.conns_evicted
             conns_shed += stats.conns_shed
+            reasm_truncations += stats.reasm_truncations
+            reasm_truncated_bytes += stats.reasm_truncated_bytes
             for kind, count in stats.fault_counters.items():
                 fault_counters[kind] = fault_counters.get(kind, 0) + count
             if stats.reasm_peak_bytes > reasm_peak:
@@ -396,6 +439,8 @@ class Runtime:
             parser_exceptions=parser_exceptions,
             conns_evicted=conns_evicted,
             conns_shed=conns_shed,
+            reasm_truncations=reasm_truncations,
+            reasm_truncated_bytes=reasm_truncated_bytes,
             fault_counters=fault_counters,
             stage_cycle_hist=stage_cycle_hist,
             reasm_hist=reasm_hist,

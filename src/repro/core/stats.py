@@ -61,6 +61,16 @@ class CoreStats:
         self.conns_shed = 0
         #: Injected-fault counts by kind (repro.resilience.faults).
         self.fault_counters: Dict[str, int] = {}
+        #: BufferedReassembler per-direction buffer overflows: segments
+        #: dropped (truncating the reconstructed stream) and their
+        #: payload bytes. Always-on plain counters; zero under the lazy
+        #: reassembler, which never copies into a bounded buffer.
+        self.reasm_truncations = 0
+        self.reasm_truncated_bytes = 0
+        #: The core's overload loss ledger (repro.overload), attached
+        #: by the pipeline when an overload policy is active; None
+        #: otherwise. Travels with the snapshot like every counter.
+        self.overload = None
         #: (timestamp, live_connections, memory_bytes) samples.
         self.memory_samples: List[Tuple[float, int, int]] = []
         #: Sampled connection-lifecycle events (repro.telemetry.trace).
@@ -124,6 +134,10 @@ class CoreStats:
             "conns_evicted": self.conns_evicted,
             "conns_shed": self.conns_shed,
             "fault_counters": dict(sorted(self.fault_counters.items())),
+            "reasm_truncations": self.reasm_truncations,
+            "reasm_truncated_bytes": self.reasm_truncated_bytes,
+            "overload": (self.overload.to_dict()
+                         if self.overload is not None else None),
             "memory_samples": list(self.memory_samples),
             "cycles": self.ledger.snapshot(),
         }
@@ -162,6 +176,13 @@ class CoreStats:
         for kind, count in other.fault_counters.items():
             self.fault_counters[kind] = \
                 self.fault_counters.get(kind, 0) + count
+        self.reasm_truncations += other.reasm_truncations
+        self.reasm_truncated_bytes += other.reasm_truncated_bytes
+        if other.overload is not None:
+            if self.overload is None:
+                from repro.overload.ledger import LossLedger
+                self.overload = LossLedger(core_id=-1)
+            self.overload.merge(other.overload)
         self.memory_samples.extend(other.memory_samples)
         self.trace_events.extend(other.trace_events)
         if other.reasm_hist is not None:
@@ -215,6 +236,9 @@ class AggregateStats:
     conns_evicted: int = 0
     conns_shed: int = 0
     fault_counters: Dict[str, int] = field(default_factory=dict)
+    # -- overload / stream truncation (repro.overload) -------------------
+    reasm_truncations: int = 0
+    reasm_truncated_bytes: int = 0
     #: Merged per-stage cycle histograms (None unless telemetry ran).
     stage_cycle_hist: Optional[Dict[Stage, List[int]]] = None
     #: Merged reassembly occupancy histogram (None unless telemetry ran).
@@ -365,6 +389,8 @@ class AggregateStats:
             "conns_evicted": self.conns_evicted,
             "conns_shed": self.conns_shed,
             "fault_counters": dict(sorted(self.fault_counters.items())),
+            "reasm_truncations": self.reasm_truncations,
+            "reasm_truncated_bytes": self.reasm_truncated_bytes,
             "filter_funnel": [layer.to_dict()
                               for layer in self.filter_funnel()],
         }

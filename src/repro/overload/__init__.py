@@ -1,0 +1,41 @@
+"""Closed-loop overload control (the graceful alternative to §7's
+fail-fast exit).
+
+Retina's answer to overload is blunt: watch mempool saturation and
+packet drops, and exit on sustained loss rather than silently corrupt
+results. This package keeps that option (now opt-in) but adds the
+degradation ladder commodity deployments actually need: sense per-core
+pressure, shed the least valuable *new* work first, preserve
+established connections bit-exactly, and account for every packet and
+connection that was not analyzed.
+
+- :class:`~repro.overload.ledger.LossLedger` — precise, per-rung and
+  per-funnel-layer accounting of everything shed or downgraded.
+- :class:`~repro.overload.controller.OverloadController` — the
+  AIMD-style ladder state machine, clocked on per-core virtual time so
+  rung transitions (and therefore every shed decision) are byte-
+  identical between the sequential and parallel backends.
+"""
+
+from repro.overload.controller import (
+    RUNG_DOWNGRADE,
+    RUNG_FAILFAST,
+    RUNG_NAMES,
+    RUNG_NORMAL,
+    RUNG_SHED_NEW_CONNS,
+    RUNG_SHED_PACKET_LEVEL,
+    OverloadController,
+)
+from repro.overload.ledger import LossLedger, merge_ledgers
+
+__all__ = [
+    "LossLedger",
+    "merge_ledgers",
+    "OverloadController",
+    "RUNG_NAMES",
+    "RUNG_NORMAL",
+    "RUNG_SHED_PACKET_LEVEL",
+    "RUNG_SHED_NEW_CONNS",
+    "RUNG_DOWNGRADE",
+    "RUNG_FAILFAST",
+]

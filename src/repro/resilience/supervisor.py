@@ -86,7 +86,7 @@ class RedoLog:
 
 class _CoreState:
     __slots__ = ("next_seq", "redo", "restarts", "suppressed", "lost",
-                 "last_heard")
+                 "last_heard", "last_rung")
 
     def __init__(self, redo_capacity: int) -> None:
         self.next_seq = 0
@@ -95,6 +95,10 @@ class _CoreState:
         self.suppressed: Tuple[int, ...] = ()
         self.lost = False
         self.last_heard = time.monotonic()
+        #: Overload-ladder rung carried on the core's last ack; a
+        #: restarted worker is re-seeded at this rung so a crash cannot
+        #: silently reopen the admission gate mid-overload.
+        self.last_rung = 0
 
 
 class WorkerSupervisor:
@@ -137,6 +141,14 @@ class WorkerSupervisor:
         state = self._cores[core]
         state.redo.ack(seq)
         state.last_heard = time.monotonic()
+
+    def note_rung(self, core: int, rung: int) -> None:
+        """Remember the overload-ladder rung ``core`` reported on its
+        latest ack (the restart seed; see :class:`_CoreState`)."""
+        self._cores[core].last_rung = rung
+
+    def last_rung(self, core: int) -> int:
+        return self._cores[core].last_rung
 
     def heard_from(self, core: int) -> None:
         self._cores[core].last_heard = time.monotonic()

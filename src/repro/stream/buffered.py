@@ -21,7 +21,9 @@ class _BufferedDirection:
     """Receive buffer for one direction."""
 
     __slots__ = ("base", "segments", "buffered_bytes", "ooo_events",
-                 "dup_segments", "copied_bytes", "max_buffer")
+                 "dup_segments", "copied_bytes", "max_buffer",
+                 "truncated_segments", "truncated_bytes",
+                 "pending_truncations")
 
     def __init__(self, max_buffer: int) -> None:
         self.base: Optional[int] = None  # seq of next byte to deliver
@@ -33,6 +35,15 @@ class _BufferedDirection:
         #: Total bytes memcpy'd — the cost lazy reassembly avoids.
         self.copied_bytes = 0
         self.max_buffer = max_buffer
+        #: Segments dropped because buffering them would overflow
+        #: ``max_buffer`` (typically a never-filled hole forcing
+        #: unbounded out-of-order growth). Each drop truncates the
+        #: reconstructed stream; the pipeline drains
+        #: ``pending_truncations`` into telemetry and the loss ledger
+        #: so the loss is explicit, not just a memory-accounting blip.
+        self.truncated_segments = 0
+        self.truncated_bytes = 0
+        self.pending_truncations: List[int] = []
 
     def push(self, pdu: L4Pdu) -> List[StreamSegment]:
         if self.base is None:
@@ -56,6 +67,13 @@ class _BufferedDirection:
                 self.segments[seq] = bytes(payload)
                 self.copied_bytes += len(payload)
                 self.buffered_bytes += len(payload)
+            elif payload:
+                # Buffer overflow: the segment is dropped and the
+                # stream truncated at the hole. Record an explicit
+                # truncation event for the pipeline to drain.
+                self.truncated_segments += 1
+                self.truncated_bytes += len(payload)
+                self.pending_truncations.append(len(payload))
         if pdu.is_fin:
             pass  # FIN consumes a seqno but carries no data to copy
         return self._drain(pdu)
@@ -103,6 +121,26 @@ class BufferedReassembler:
     @property
     def ooo_events(self) -> int:
         return self.orig.ooo_events + self.resp.ooo_events
+
+    @property
+    def truncated_segments(self) -> int:
+        return self.orig.truncated_segments + self.resp.truncated_segments
+
+    @property
+    def truncated_bytes(self) -> int:
+        return self.orig.truncated_bytes + self.resp.truncated_bytes
+
+    def drain_truncations(self) -> List[int]:
+        """Pop the dropped-payload byte counts recorded since the last
+        drain (orig direction first — a deterministic order)."""
+        if not self.orig.pending_truncations and \
+                not self.resp.pending_truncations:
+            return []
+        events = self.orig.pending_truncations + \
+            self.resp.pending_truncations
+        self.orig.pending_truncations = []
+        self.resp.pending_truncations = []
+        return events
 
     @property
     def copied_bytes(self) -> int:

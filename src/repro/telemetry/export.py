@@ -28,6 +28,7 @@ from repro.telemetry.trace import trace_event_dicts
 def build_registry(stats: AggregateStats,
                    backend_health: Optional[dict] = None,
                    faults: Optional[object] = None,
+                   overload: Optional[object] = None,
                    ) -> MetricsRegistry:
     """Populate a metrics registry from one run's aggregate stats.
 
@@ -40,6 +41,11 @@ def build_registry(stats: AggregateStats,
     None). Resilience metric families render only when the run had
     resilience activity, so plain runs keep their pre-resilience
     byte-identical output.
+
+    ``overload`` is the run's merged :class:`repro.overload.LossLedger`
+    (or None). Like the resilience families, overload families render
+    only when the ladder was armed, and truncation families only when a
+    reassembly buffer actually overflowed.
     """
     reg = MetricsRegistry()
 
@@ -189,6 +195,60 @@ def build_registry(stats: AggregateStats,
                       "1 when the run completed with partial results") \
                 .set(1 if faults.degraded else 0)
 
+    # -- overload ladder (repro.overload) ----------------------------------
+    if overload is not None:
+        from repro.overload import RUNG_NAMES
+
+        shed_p = reg.counter(
+            "repro_overload_shed_packets_total",
+            "Packets shed by overload admission control, by ladder rung",
+            label_names=("rung",))
+        shed_b = reg.counter(
+            "repro_overload_shed_bytes_total",
+            "Wire bytes shed by overload admission control, by rung",
+            label_names=("rung",))
+        for rung, name in enumerate(RUNG_NAMES):
+            if overload.shed_packets[rung]:
+                shed_p.inc(overload.shed_packets[rung], labels=(name,))
+                shed_b.inc(overload.shed_bytes[rung], labels=(name,))
+        layer_p = reg.counter(
+            "repro_overload_shed_layer_packets_total",
+            "Packets shed, attributed to the filter-funnel layer that "
+            "would have processed them", label_names=("layer",))
+        for layer in sorted(overload.layer_packets):
+            layer_p.inc(overload.layer_packets[layer], labels=(layer,))
+        reg.counter("repro_overload_conns_downgraded_total",
+                    "Established connections downgraded by the rung-3 "
+                    "circuit breaker") \
+            .inc(overload.conns_downgraded)
+        transitions = reg.counter(
+            "repro_overload_rung_transitions_total",
+            "Ladder transitions into each rung", label_names=("rung",))
+        rung_time = reg.gauge(
+            "repro_overload_rung_seconds",
+            "Virtual seconds spent on each ladder rung",
+            label_names=("rung",))
+        entered = [0] * len(RUNG_NAMES)
+        for _, _, to_rung, _, _ in overload.transitions:
+            entered[to_rung] += 1
+        for rung, name in enumerate(RUNG_NAMES):
+            if entered[rung]:
+                transitions.inc(entered[rung], labels=(name,))
+            if overload.rung_time[rung]:
+                rung_time.set(overload.rung_time[rung], labels=(name,))
+        reg.gauge("repro_overload_failfast",
+                  "1 when the run aborted via the failfast rung") \
+            .set(0 if overload.failfast_at is None else 1)
+
+    if stats.reasm_truncations:
+        reg.counter("repro_reassembly_truncations_total",
+                    "Stream segments dropped on reassembly-buffer "
+                    "overflow (explicit truncation events)") \
+            .inc(stats.reasm_truncations)
+        reg.counter("repro_reassembly_truncated_bytes_total",
+                    "Payload bytes lost to reassembly truncation") \
+            .inc(stats.reasm_truncated_bytes)
+
     # -- parallel backend health (volatile: wall-clock/schedule noise) -----
     if backend_health is not None:
         reg.gauge("repro_feeder_block_seconds",
@@ -216,19 +276,22 @@ def build_registry(stats: AggregateStats,
 def render_metrics(stats: AggregateStats,
                    backend_health: Optional[dict] = None,
                    include_volatile: bool = False,
-                   faults: Optional[object] = None) -> str:
+                   faults: Optional[object] = None,
+                   overload: Optional[object] = None) -> str:
     """The run's metrics in the Prometheus text exposition format."""
-    return build_registry(stats, backend_health, faults=faults) \
+    return build_registry(stats, backend_health, faults=faults,
+                          overload=overload) \
         .render_prometheus(include_volatile=include_volatile)
 
 
 def write_metrics(path: Union[str, Path], stats: AggregateStats,
                   backend_health: Optional[dict] = None,
                   include_volatile: bool = False,
-                  faults: Optional[object] = None) -> None:
+                  faults: Optional[object] = None,
+                  overload: Optional[object] = None) -> None:
     Path(path).write_text(
         render_metrics(stats, backend_health, include_volatile,
-                       faults=faults))
+                       faults=faults, overload=overload))
 
 
 def trace_lines(stats: AggregateStats) -> List[str]:
@@ -247,6 +310,56 @@ def write_trace(sink: Union[str, Path, IO[str]], stats: AggregateStats,
     """
     from repro.analysis.logwriter import BufferedLineWriter
     lines = trace_lines(stats)
+    with BufferedLineWriter(sink, batch_size=batch_size) as writer:
+        for line in lines:
+            writer.write_line(line)
+    return len(lines)
+
+
+def overload_lines(ledger) -> List[str]:
+    """A merged :class:`repro.overload.LossLedger` as NDJSON lines.
+
+    Deterministic order: per-rung shed summaries, per-layer
+    attribution, every ladder transition (already merge-sorted by
+    virtual time), then one run summary line.
+    """
+    from repro.overload import RUNG_NAMES
+
+    records: List[dict] = []
+    for rung, name in enumerate(RUNG_NAMES):
+        if ledger.shed_packets[rung]:
+            records.append({"event": "shed", "rung": name,
+                            "packets": ledger.shed_packets[rung],
+                            "bytes": ledger.shed_bytes[rung]})
+    for layer in sorted(ledger.layer_packets):
+        records.append({"event": "shed_layer", "layer": layer,
+                        "packets": ledger.layer_packets[layer]})
+    for ts, from_rung, to_rung, reason, core in ledger.transitions:
+        records.append({"event": "transition", "ts": round(ts, 9),
+                        "from": RUNG_NAMES[from_rung],
+                        "to": RUNG_NAMES[to_rung],
+                        "reason": reason, "core": core})
+    records.append({"event": "summary",
+                    "packets_seen": ledger.packets_seen,
+                    "packets_analyzed": ledger.packets_analyzed,
+                    "packets_shed": ledger.packets_shed,
+                    "bytes_shed": ledger.bytes_shed,
+                    "conns_downgraded": ledger.conns_downgraded,
+                    "reasm_truncations": ledger.reasm_truncations,
+                    "max_rung_seen": ledger.max_rung_seen,
+                    "failfast_at": ledger.failfast_at})
+    return [json.dumps(record, separators=(",", ":"), sort_keys=True)
+            for record in records]
+
+
+def write_overload(sink: Union[str, Path, IO[str]], ledger,
+                   batch_size: int = 256) -> int:
+    """Write the loss ledger as an NDJSON stream (``--overload-out``).
+
+    Returns the number of records written.
+    """
+    from repro.analysis.logwriter import BufferedLineWriter
+    lines = overload_lines(ledger)
     with BufferedLineWriter(sink, batch_size=batch_size) as writer:
         for line in lines:
             writer.write_line(line)

@@ -23,6 +23,7 @@ from repro.traffic.flows import (
     udp_flow,
 )
 from repro.traffic.campus import CampusTrafficGenerator, CampusProfile
+from repro.traffic.burst import BurstTrafficGenerator, BurstWindow
 from repro.traffic.https_workload import HttpsWorkloadGenerator
 from repro.traffic.strato import stratosphere_trace
 from repro.traffic.pcap import read_pcap, write_pcap
@@ -41,6 +42,8 @@ __all__ = [
     "duplicate_across_ports",
     "CampusTrafficGenerator",
     "CampusProfile",
+    "BurstTrafficGenerator",
+    "BurstWindow",
     "HttpsWorkloadGenerator",
     "stratosphere_trace",
     "read_pcap",

@@ -124,6 +124,86 @@ class TestCli:
         assert "RawPacket" not in out
 
 
+class TestFlagValidation:
+    """Conflicting-flag combinations fail fast with actionable errors
+    (exit code 2, remediation in the message) instead of surprising
+    behavior deep in a run."""
+
+    def test_overload_vs_memory_policy_conflict(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--overload-policy", "ladder",
+                     "--memory-policy", "shed"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--overload-policy ladder" in err
+        assert "--memory-policy shed" in err
+        assert "drop --memory-policy" in err
+
+    def test_overload_vs_memory_evict_conflict(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--overload-policy", "failfast",
+                     "--memory-policy", "evict"])
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_memory_record_is_compatible(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--gbps", "0.02", "--print-limit", "0",
+                     "--overload-policy", "ladder",
+                     "--memory-policy", "record"])
+        assert code == 0
+
+    def test_supervise_requires_parallel(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--supervise"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--supervise requires --parallel" in err
+        assert "--parallel 2" in err  # the remediation
+
+    def test_nonpositive_target_lag(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--overload-policy", "ladder",
+                     "--overload-target-lag", "0"])
+        assert code == 2
+        assert "--overload-target-lag" in capsys.readouterr().err
+
+    def test_burst_intensity_below_one(self, capsys):
+        code = main(["--synthetic", "burst", "--duration", "0.1",
+                     "--burst-intensity", "0.5"])
+        assert code == 2
+        assert "--burst-intensity" in capsys.readouterr().err
+
+
+class TestOverloadCli:
+    def test_burst_ladder_run(self, tmp_path, capsys):
+        """End-to-end CLI: burst traffic under the ladder, loss ledger
+        summary printed and NDJSON/metrics artifacts written."""
+        import json
+        ledger_out = tmp_path / "overload.ndjson"
+        metrics_out = tmp_path / "metrics.prom"
+        code = main(["--synthetic", "burst", "--duration", "0.3",
+                     "--gbps", "0.02", "--seed", "3",
+                     "--print-limit", "0", "--datatype", "connection",
+                     "--overload-policy", "ladder",
+                     "--overload-out", str(ledger_out),
+                     "--metrics-out", str(metrics_out)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overload:" in out
+        assert "overload records written" in out
+        lines = [json.loads(l) for l in
+                 ledger_out.read_text().splitlines() if l]
+        assert any(r.get("event") == "summary" for r in lines)
+        assert "repro_overload_failfast 0" in metrics_out.read_text()
+
+    def test_off_policy_prints_no_overload(self, capsys):
+        code = main(["--synthetic", "burst", "--duration", "0.2",
+                     "--gbps", "0.02", "--print-limit", "0"])
+        assert code == 0
+        assert "overload:" not in capsys.readouterr().out
+
+
 class TestJsonStats:
     def test_json_stats_written(self, tmp_path, capsys):
         import json
