@@ -17,6 +17,16 @@ from repro.conntrack.five_tuple import FiveTuple
 from repro.packet.mbuf import Mbuf
 from repro.packet.tcp import TcpFlags
 
+# Raw TCP flag bits for the per-packet hot path. ``record_packet`` runs
+# for every analyzed packet; plain int masking avoids constructing and
+# combining ``enum.IntFlag`` instances there. ``TcpFlags`` values are
+# ints, so callers may pass either form.
+_FIN = 0x01
+_SYN = 0x02
+_RST = 0x04
+_ACK = 0x10
+_SYN_OR_FIN = _SYN | _FIN
+
 
 class ConnState(enum.Enum):
     """Figure 4 connection processing states."""
@@ -147,7 +157,7 @@ class Connection:
         wire_bytes: int,
         payload_bytes: int,
         now: float,
-        tcp_flags: Optional[TcpFlags] = None,
+        tcp_flags: Optional[int] = None,
         seq: Optional[int] = None,
     ) -> bool:
         """Update counters and TCP liveness; returns True if the packet
@@ -173,25 +183,25 @@ class Connection:
         self.weirds[name] = self.weirds.get(name, 0) + 1
 
     def _check_weird(self, from_orig: bool, payload_bytes: int,
-                     flags: TcpFlags) -> None:
-        if flags & TcpFlags.SYN and flags & TcpFlags.FIN:
+                     flags: int) -> None:
+        if flags & _SYN and flags & _FIN:
             self.weird("syn_and_fin")
-        if flags & TcpFlags.SYN and payload_bytes > 0:
+        if flags & _SYN and payload_bytes > 0:
             self.weird("data_on_syn")
         if self.tcp_state is TcpConnState.SYN_SENT:
-            if flags & TcpFlags.FIN and not (flags & TcpFlags.SYN):
+            if flags & _FIN and not (flags & _SYN):
                 self.weird("fin_without_handshake")
             elif payload_bytes > 0 and from_orig and \
-                    not (flags & TcpFlags.SYN) and self.pkts_orig <= 1:
+                    not (flags & _SYN) and self.pkts_orig <= 1:
                 self.weird("data_before_established")
         if self.tcp_state is TcpConnState.CLOSED and payload_bytes > 0:
             self.weird("data_after_close")
 
     def _track_sequence(self, from_orig: bool, seq: int,
-                        payload_bytes: int, flags: TcpFlags) -> None:
+                        payload_bytes: int, flags: int) -> None:
         """Count late (out-of-order or retransmitted) data segments."""
         span = payload_bytes
-        if flags & (TcpFlags.SYN | TcpFlags.FIN):
+        if flags & _SYN_OR_FIN:
             span += 1
         expected = self._next_seq_orig if from_orig else self._next_seq_resp
         if expected is not None and payload_bytes > 0:
@@ -217,15 +227,15 @@ class Connection:
         else:
             self._next_seq_resp = new_expected
 
-    def _track_tcp(self, from_orig: bool, flags: TcpFlags,
+    def _track_tcp(self, from_orig: bool, flags: int,
                    now: float) -> bool:
         newly_established = False
-        if flags & TcpFlags.RST:
+        if flags & _RST:
             self.tcp_state = TcpConnState.CLOSED
             self.history.append("R")
             return False
-        if flags & TcpFlags.SYN:
-            if flags & TcpFlags.ACK:
+        if flags & _SYN:
+            if flags & _ACK:
                 self.history.append("SA")
                 if self.tcp_state is TcpConnState.SYN_SENT:
                     self.tcp_state = TcpConnState.ESTABLISHED
@@ -236,7 +246,7 @@ class Connection:
                 if self.syn_ts is None:
                     self.syn_ts = now
             return newly_established
-        if flags & TcpFlags.FIN:
+        if flags & _FIN:
             self.history.append("F")
             if self.tcp_state is TcpConnState.CLOSING:
                 self.tcp_state = TcpConnState.CLOSED

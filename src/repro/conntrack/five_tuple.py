@@ -7,6 +7,9 @@ from typing import Optional, Tuple
 
 from repro.packet.stack import PacketStack
 
+#: Cache sentinel for "computed: this frame has no five-tuple".
+_NO_TUPLE = "no-tuple"
+
 
 @dataclass(frozen=True)
 class FiveTuple:
@@ -27,26 +30,44 @@ class FiveTuple:
 
     @classmethod
     def from_stack(cls, stack: PacketStack) -> Optional["FiveTuple"]:
-        """Extract the five-tuple, or None for non-IP/transport frames."""
-        if stack.ip is None or stack.transport is None:
+        """Extract the five-tuple, or None for non-IP/transport frames.
+
+        Memoized on the stack: conntrack keying, the overload admission
+        gate, and subscription callbacks all see the same object, built
+        from raw address bytes (no ``ipaddress`` round-trip).
+        """
+        cached = stack._five_tuple
+        if cached is not None:
+            return None if cached is _NO_TUPLE else cached
+        ip = stack.ip
+        transport = stack.tcp if stack.tcp is not None else stack.udp
+        if ip is None or transport is None:
+            stack._five_tuple = _NO_TUPLE
             return None
-        return cls(
-            stack.ip.src_addr().packed,
-            stack.ip.dst_addr().packed,
-            stack.transport.src_port(),
-            stack.transport.dst_port(),
-            stack.ip.next_protocol(),
+        tup = cls(
+            ip.src_addr_bytes(),
+            ip.dst_addr_bytes(),
+            transport.src_port(),
+            transport.dst_port(),
+            ip.next_protocol(),
         )
+        stack._five_tuple = tup
+        return tup
 
     def canonical(self) -> Tuple:
-        """Direction-insensitive hashable key."""
-        fwd = (self.src_ip, self.src_port)
-        rev = (self.dst_ip, self.dst_port)
-        if fwd <= rev:
-            return (self.src_ip, self.src_port, self.dst_ip,
-                    self.dst_port, self.protocol)
-        return (self.dst_ip, self.dst_port, self.src_ip,
-                self.src_port, self.protocol)
+        """Direction-insensitive hashable key (computed once, cached)."""
+        try:
+            return self._canonical  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        if (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port):
+            canon = (self.src_ip, self.src_port, self.dst_ip,
+                     self.dst_port, self.protocol)
+        else:
+            canon = (self.dst_ip, self.dst_port, self.src_ip,
+                     self.src_port, self.protocol)
+        object.__setattr__(self, "_canonical", canon)
+        return canon
 
     def reversed(self) -> "FiveTuple":
         return FiveTuple(self.dst_ip, self.src_ip, self.dst_port,

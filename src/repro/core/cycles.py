@@ -33,6 +33,12 @@ class Stage(enum.Enum):
     SESSION_FILTER = "session_filter"
     CALLBACK = "callback"
 
+    # Ledger dicts are keyed by Stage on the per-packet hot path;
+    # Enum's default __hash__ is a Python-level function that rehashes
+    # the (string) value on every dict access. Members are singletons,
+    # so the C-level identity hash is equivalent and far cheaper.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class CostModel:

@@ -17,8 +17,11 @@ Design, mirroring the paper's data path:
   is per packet, in stream order.
 - **Batching** amortizes IPC and pickle cost the same way Retina
   amortizes per-packet overhead with DPDK bursts: packets travel in
-  ``config.parallel_batch_size``-packet batches, and workers process
-  them with :meth:`CorePipeline.process_batch`.
+  ``config.parallel_batch_size``-packet batches packed into flat
+  buffers (:class:`~repro.packet.batch.PackedBatch` — one frames blob
+  plus offset/timestamp/port arrays, so serialization is O(bytes)
+  rather than O(objects)); workers rebuild zero-copy mbuf views and
+  process them with :meth:`CorePipeline.process_batch`.
 - **Backpressure**: each worker's input queue holds at most
   ``config.parallel_queue_depth`` batches; the feeder blocks instead of
   buffering unboundedly (the analogue of a finite RX descriptor ring).
@@ -76,6 +79,7 @@ from repro.core.pipeline import CorePipeline
 from repro.core.stats import CoreStats
 from repro.core.subscription import Subscription
 from repro.errors import RetinaError
+from repro.packet.batch import PackedBatch
 from repro.packet.mbuf import Mbuf
 from repro.resilience.faults import FaultPlan, build_fault_report
 from repro.resilience.supervisor import WorkerSupervisor
@@ -205,6 +209,10 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                 else:
                     seq = None
                     batch = message[1]
+                if type(batch) is PackedBatch:
+                    # Flat-buffer IPC: one blob + offset arrays crossed
+                    # the queue; rebuild zero-copy mbuf views here.
+                    batch = batch.unpack()
                 pipeline.process_batch(batch)
                 if seq is not None:
                     # The ack carries the ladder's current rung so the
@@ -366,8 +374,9 @@ class _WorkerPool:
         # Backend-health telemetry (volatile: wall-clock and scheduling
         # dependent, so it never feeds the deterministic exports).
         self._health: Optional[List[dict]] = (
-            [{"batches": 0, "queue_highwater": 0,
-              "batch_occupancy_max": 0} for _ in range(config.cores)]
+            [{"batches": 0, "packets": 0, "ipc_bytes": 0,
+              "queue_highwater": 0, "batch_occupancy_max": 0}
+             for _ in range(config.cores)]
             if config.telemetry else None
         )
         self.feeder_block_seconds = 0.0
@@ -417,10 +426,18 @@ class _WorkerPool:
         """Blocking put with liveness checks (bounded-queue backpressure
         must not deadlock on a dead worker)."""
         in_queue = self.in_queues[core_id]
-        if self._health is not None and message[0] == _BATCH:
+        tag = message[0]
+        if self._health is not None and \
+                (tag == _BATCH or tag == _BATCH_SEQ):
+            batch = message[1] if tag == _BATCH else message[2]
             row = self._health[core_id]
             row["batches"] += 1
-            occupancy = len(message[1])
+            occupancy = len(batch)
+            row["packets"] += occupancy
+            if type(batch) is PackedBatch:
+                row["ipc_bytes"] += batch.nbytes
+            else:  # object batch (legacy path): count frame bytes only
+                row["ipc_bytes"] += sum(len(m.data) for m in batch)
             if occupancy > row["batch_occupancy_max"]:
                 row["batch_occupancy_max"] = occupancy
             try:
@@ -459,8 +476,14 @@ class _WorkerPool:
         """Volatile health snapshot, or None when telemetry is off."""
         if self._health is None:
             return None
+        ipc_bytes = sum(row["ipc_bytes"] for row in self._health)
+        ipc_packets = sum(row["packets"] for row in self._health)
         return {
             "feeder_block_seconds": self.feeder_block_seconds,
+            "ipc_bytes": ipc_bytes,
+            "ipc_packets": ipc_packets,
+            "ipc_bytes_per_packet": (ipc_bytes / ipc_packets)
+            if ipc_packets else 0.0,
             "workers": [{"worker": core_id, **row}
                         for core_id, row in enumerate(self._health)],
         }
@@ -760,15 +783,19 @@ def run_parallel(
     view_runtime = _RuntimeView(runtime.nics, pool.views)
 
     send = pool.send
+    pack = PackedBatch.pack
     if supervisor is None:
         def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
-            send(queue_id, (_BATCH, batch))
+            send(queue_id, (_BATCH, pack(batch, queue_id)))
     else:
         def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
             if supervisor.is_lost(queue_id):
                 return  # dead RX queue: its share of traffic is lost
-            seq, fault = supervisor.on_dispatch(queue_id, batch)
-            send(queue_id, (_BATCH_SEQ, seq, batch))
+            # The redo log stores the *packed* batch, so a replay after
+            # a crash re-sends the identical flat buffer.
+            packed = pack(batch, queue_id)
+            seq, fault = supervisor.on_dispatch(queue_id, packed)
+            send(queue_id, (_BATCH_SEQ, seq, packed))
             if fault is not None:
                 # Planned fault: pause this core's dispatch until the
                 # fault manifests and recovery completes, so the replay

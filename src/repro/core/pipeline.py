@@ -217,7 +217,7 @@ class CorePipeline:
                 self._overload_tick(ts)
                 ov_next = self._ov_next
             packets += 1
-            frame_bytes = len(mbuf)
+            frame_bytes = len(mbuf.data)
             wire_bytes += frame_bytes
             invocations[capture_stage] += 1
             cycles[capture_stage] += capture_cost
@@ -257,7 +257,9 @@ class CorePipeline:
         stats = self.stats
         ledger = stats.ledger
         ledger.charge(Stage.CONN_TRACK)
-        stack = parse_stack(mbuf)
+        stack = mbuf.stack
+        if stack is None:  # match-all filters skip the layer walk
+            stack = parse_stack(mbuf)
         five_tuple = FiveTuple.from_stack(stack)
         if five_tuple is None:
             # Non-transport traffic cannot be tracked; packet-level
@@ -266,7 +268,7 @@ class CorePipeline:
             # the remaining funnel layers.
             if result.terminal and self._level is Level.PACKET:
                 self._deliver(RawPacket(mbuf=mbuf))
-                wire = len(mbuf)
+                wire = len(mbuf.data)
                 stats.connf_packets += 1
                 stats.connf_bytes += wire
                 stats.sessf_packets += 1
@@ -294,7 +296,7 @@ class CorePipeline:
             if tag is not None:
                 stats.conns_shed += 1
                 self._overload.ledger.record_shed(
-                    tag[0], tag[1], len(mbuf))
+                    tag[0], tag[1], len(mbuf.data))
                 # Keep the timer wheel advancing on shed packets:
                 # admitted connections must expire at exactly the same
                 # virtual times as in an unshedded run.
@@ -313,11 +315,15 @@ class CorePipeline:
                 self._tracer.record(conn, self._now, "created")
             self._init_connection(conn, result)
         from_orig = conn.five_tuple.same_direction(five_tuple)
-        payload = stack.l4_payload()
-        flags = stack.tcp.flags() if stack.tcp is not None else None
-        seq = stack.tcp.seq_no() if stack.tcp is not None else None
+        # Only the payload *length* is needed for accounting; the bytes
+        # are sliced lazily below, and only for connections that still
+        # probe/parse/stream (TRACK-state flows skip the copy).
+        payload_len = stack.l4_payload_len()
+        tcp = stack.tcp
+        flags = tcp.flags_raw() if tcp is not None else None
+        seq = tcp.seq_no() if tcp is not None else None
         newly_established = conn.record_packet(
-            from_orig, len(mbuf), len(payload), self._now, flags, seq
+            from_orig, len(mbuf.data), payload_len, self._now, flags, seq
         )
         self.table.touch(conn, self._now, newly_established)
 
@@ -330,12 +336,13 @@ class CorePipeline:
                 # Byte-stream subscriptions keep the reorderer alive
                 # past the filter match: the stream IS the data.
                 segments = self._reassemble(conn, stack, five_tuple,
-                                            payload)
+                                            stack.l4_payload())
                 self._handle_stream_segments(conn, segments)
         elif state in (ConnState.PROBE, ConnState.PARSE):
             if self.sub.buffers_packets and not conn.matched:
                 conn.buffer_packet(mbuf)
-            segments = self._reassemble(conn, stack, five_tuple, payload)
+            segments = self._reassemble(conn, stack, five_tuple,
+                                        stack.l4_payload())
             if self.sub.streams_bytes:
                 self._handle_stream_segments(conn, segments)
             if segments:
@@ -352,7 +359,7 @@ class CorePipeline:
         # Undecided (probing) and rejected connections drop here.
         if conn.state is not ConnState.DELETE and \
                 conn.conn_term_node is not None:
-            wire = len(mbuf)
+            wire = len(mbuf.data)
             stats.connf_packets += 1
             stats.connf_bytes += wire
             if conn.matched:
@@ -419,7 +426,7 @@ class CorePipeline:
                                   self._now)]
         if conn.reassembler is None:
             return []
-        pdu = L4Pdu.from_stack(stack, five_tuple, conn.five_tuple)
+        pdu = L4Pdu.from_stack(stack, five_tuple, conn.five_tuple, payload)
         # Every segment of a connection still being probed/parsed goes
         # through the reorderer (sequence tracking examines ACKs too).
         model = self.stats.ledger.model

@@ -146,7 +146,8 @@ class Runtime:
         the same traffic.
 
         Args:
-            traffic: Mbufs in non-decreasing timestamp order.
+            traffic: Mbufs — or :class:`~repro.packet.batch.PackedBatch`
+                chunks of them — in non-decreasing timestamp order.
             drain: Deliver still-live matched connections at the end
                 (set False to model an ongoing live capture).
             memory_sample_interval: Virtual seconds between memory
@@ -155,6 +156,12 @@ class Runtime:
                 :class:`~repro.core.monitor.StatsMonitor` receiving
                 periodic snapshots (Section 5.3's live feedback).
         """
+        # Accept batched sources: a traffic iterable may yield
+        # PackedBatch chunks (a generator's flat-buffer output) instead
+        # of — or mixed with — individual mbufs. Plain mbuf lists pass
+        # through untouched, keeping the hot loop generator-free.
+        from repro.packet.batch import iter_mbufs
+        traffic = iter_mbufs(traffic)
         # Packet faults are injected here — in the feeding process,
         # before RSS dispatch — so the mutated stream is identical
         # across backends and worker counts.

@@ -36,11 +36,16 @@ from repro.packet.ethernet import Ethernet
 from repro.packet.icmp import Icmp
 from repro.packet.ipv4 import Ipv4
 from repro.packet.ipv6 import Ipv6
+from repro.packet.stack import parse_stack
 from repro.packet.tcp import Tcp
 from repro.packet.udp import Udp
 
 _PARSERS = {"ipv4": Ipv4, "ipv6": Ipv6, "tcp": Tcp, "udp": Udp,
             "icmp": Icmp}
+
+#: Protocols whose parsed view lives as a slot on the PacketStack; the
+#: generated packet filter reads these instead of re-parsing headers.
+_STACK_SLOTS = frozenset({"ipv4", "ipv6", "tcp", "udp", "icmp"})
 
 
 def _try_parse(parse_fn, outer):
@@ -162,6 +167,7 @@ class GeneratedFilter:
         namespace: Dict[str, Any] = {
             "_try": _try_parse,
             "_try_eth": _try_eth,
+            "_stack": parse_stack,
             "_terminal": FilterResult.match_terminal,
             "_non_terminal": FilterResult.match_non_terminal,
             "_NO_MATCH": FilterResult.no_match(),
@@ -177,13 +183,24 @@ class GeneratedFilter:
 
     # -- packet filter -------------------------------------------------------
     def _gen_packet_filter(self, pool: _ConstPool) -> str:
+        """Emit ``packet_filter(mbuf)`` reading parse-once stack slots.
+
+        The emitted ladder branches on the memoized
+        :class:`~repro.packet.stack.PacketStack` (``mbuf.stack``,
+        parsed at most once per frame) instead of re-running header
+        parsers per filter layer — the zero-copy analogue of Figure 3's
+        ``if let`` ladder over in-mbuf views.
+        """
         writer = _SourceWriter()
         writer.emit(0, "def packet_filter(mbuf):")
         root = self.trie.root
         if root.terminal:
             writer.emit(1, "return _terminal(0)")
             return writer.source()
-        writer.emit(1, "eth = _try_eth(mbuf)")
+        writer.emit(1, "stack = mbuf.stack")
+        writer.emit(1, "if stack is None:")
+        writer.emit(2, "stack = _stack(mbuf)")
+        writer.emit(1, "eth = stack.eth")
         writer.emit(1, "if eth is None:")
         writer.emit(2, "return _NO_MATCH")
         env = {"eth": "eth"}
@@ -214,9 +231,8 @@ class GeneratedFilter:
                 self._emit_packet_children(writer, node, indent, env, pool)
                 return
             var = pred.protocol
-            parent_var = self._parent_var(node, env)
-            writer.emit(indent, f"{var} = _try({var_cls(pred.protocol)}"
-                                f".parse_from, {parent_var})")
+            assert var in _STACK_SLOTS, f"no stack slot for {var!r}"
+            writer.emit(indent, f"{var} = stack.{var}")
             writer.emit(indent, f"if {var} is not None:")
             child_env = dict(env)
             child_env[pred.protocol] = var
@@ -241,15 +257,6 @@ class GeneratedFilter:
                 self._emit_packet_node(writer, child, indent, env, pool)
         if _is_report(node):
             writer.emit(indent, _result_stmt(node))
-
-    def _parent_var(self, node: TrieNode, env: Dict[str, str]) -> str:
-        """Variable holding the nearest parsed ancestor header."""
-        current = node.parent
-        while current is not None and current.pred is not None:
-            if current.pred.is_unary and current.pred.protocol in env:
-                return env[current.pred.protocol]
-            current = current.parent
-        return "eth"
 
     # -- connection filter -----------------------------------------------------
     def _gen_connection_filter(self, pool: _ConstPool) -> str:

@@ -139,21 +139,18 @@ class FlowRule:
 
     def matches(self, stack: PacketStack,
                 registry: FieldRegistry = DEFAULT_REGISTRY) -> bool:
-        """Evaluate the rule against a parsed packet."""
-        headers = {
-            "eth": stack.eth,
-            "ipv4": stack.ip if stack.ip is not None and
-            stack.ip.version() == 4 else None,
-            "ipv6": stack.ip if stack.ip is not None and
-            stack.ip.version() == 6 else None,
-            "tcp": stack.tcp,
-            "udp": stack.udp,
-        }
+        """Evaluate the rule against a parsed packet.
+
+        Protocol names coincide with the :class:`PacketStack` slot
+        names (``eth``/``ipv4``/``ipv6``/``tcp``/``udp``/``icmp``), so
+        the parse-once views are read straight off the stack — this
+        runs per ingress packet in the dispatching process.
+        """
         for proto in self.protocols:
-            if headers.get(proto) is None:
+            if getattr(stack, proto, None) is None:
                 return False
         for pred in self.items:
-            obj = headers.get(pred.protocol)
+            obj = getattr(stack, pred.protocol, None)
             if obj is None or not evaluate_binary(pred, obj, registry):
                 return False
         return True
@@ -177,7 +174,10 @@ class HardwareFilter:
         """True if the packet survives hardware filtering."""
         if self.accept_all:
             return True
-        return any(rule.matches(stack, registry) for rule in self.rules)
+        for rule in self.rules:  # plain loop: no genexpr frame/packet
+            if rule.matches(stack, registry):
+                return True
+        return False
 
     def describe(self) -> List[str]:
         if self.accept_all:

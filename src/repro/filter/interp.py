@@ -13,21 +13,12 @@ from __future__ import annotations
 import re
 from typing import Any, Dict, Optional
 
-from repro.errors import PacketParseError
 from repro.filter.ast import Op, Predicate
 from repro.filter.fields import DEFAULT_REGISTRY, FieldRegistry, Layer
 from repro.filter.result import FilterResult
 from repro.filter.trie import PredicateTrie, TrieNode
-from repro.packet.ethernet import Ethernet
-from repro.packet.icmp import Icmp
-from repro.packet.ipv4 import Ipv4
-from repro.packet.ipv6 import Ipv6
 from repro.packet.mbuf import Mbuf
-from repro.packet.tcp import Tcp
-from repro.packet.udp import Udp
-
-_PARSE_FROM = {"ipv4": Ipv4, "ipv6": Ipv6, "tcp": Tcp, "udp": Udp,
-               "icmp": Icmp}
+from repro.packet.stack import parse_stack
 
 
 def evaluate_binary(pred: Predicate, obj: Any,
@@ -79,14 +70,30 @@ class InterpretedFilter:
 
     # -- packet filter -------------------------------------------------------
     def packet_filter(self, mbuf: Mbuf) -> FilterResult:
+        """Walk the trie against the memoized parse-once stack.
+
+        Both execution strategies (this walker and the generated code)
+        read the same :class:`~repro.packet.stack.PacketStack` views,
+        so their semantics — including skipping the transport layer on
+        non-first IP fragments — stay aligned with the reference
+        oracle by construction.
+        """
         root = self.trie.root
         if root.terminal:
             return FilterResult.match_terminal(0)
-        try:
-            eth = Ethernet.parse(mbuf)
-        except PacketParseError:
+        stack = mbuf.stack
+        if stack is None:
+            stack = parse_stack(mbuf)
+        if stack.eth is None:
             return FilterResult.no_match()
-        headers: Dict[str, Any] = {"eth": eth}
+        headers: Dict[str, Any] = {
+            "eth": stack.eth,
+            "ipv4": stack.ipv4,
+            "ipv6": stack.ipv6,
+            "tcp": stack.tcp,
+            "udp": stack.udp,
+            "icmp": stack.icmp,
+        }
         for child in root.children:
             if child.layer is not Layer.PACKET:
                 continue
@@ -103,11 +110,8 @@ class InterpretedFilter:
     ) -> Optional[FilterResult]:
         pred = node.pred
         if pred.is_unary and not parsed_unary:
-            header = self._parse_header(pred.protocol, headers)
-            if header is None:
+            if headers.get(pred.protocol) is None:
                 return None
-            headers = dict(headers)
-            headers[pred.protocol] = header
         elif not pred.is_unary:
             obj = headers.get(pred.protocol)
             if obj is None or not evaluate_binary(pred, obj, self.registry):
@@ -123,23 +127,6 @@ class InterpretedFilter:
         if any(c.layer is not Layer.PACKET for c in node.children):
             return FilterResult.match_non_terminal(node.id)
         return None
-
-    def _parse_header(
-        self, proto: str, headers: Dict[str, Any]
-    ) -> Optional[Any]:
-        cls = _PARSE_FROM.get(proto)
-        if cls is None:
-            return None
-        if proto in ("ipv4", "ipv6"):
-            outer = headers.get("eth")
-        else:
-            outer = headers.get("ipv4") or headers.get("ipv6")
-        if outer is None:
-            return None
-        try:
-            return cls.parse_from(outer)
-        except PacketParseError:
-            return None
 
     # -- connection filter -----------------------------------------------------
     def connection_filter(self, conn: Any, pkt_term_node: int) -> FilterResult:

@@ -106,13 +106,16 @@ class SimNic:
         the hash cache and redirection table are accessed inline.
         """
         stats = self.stats
+        frame_bytes = len(mbuf.data)
         stats.received_packets += 1
-        stats.received_bytes += len(mbuf)
-        stack = parse_stack(mbuf)
+        stats.received_bytes += frame_bytes
+        stack = mbuf.stack
+        if stack is None:
+            stack = parse_stack(mbuf)
         hw = self.hardware_filter
         if hw is not None and not hw.admits(stack):
             stats.hw_dropped_packets += 1
-            stats.hw_dropped_bytes += len(mbuf)
+            stats.hw_dropped_bytes += frame_bytes
             return None
         data = rss_input_bytes(stack)
         if data is None:
@@ -129,7 +132,7 @@ class SimNic:
         queue = table.entries[rss % table.size]
         if queue == self.SINK:
             stats.sink_dropped_packets += 1
-            stats.sink_dropped_bytes += len(mbuf)
+            stats.sink_dropped_bytes += frame_bytes
             return None
         mbuf.queue = queue
         dispatched = stats.dispatched_packets

@@ -53,22 +53,30 @@ def rss_input_bytes(stack: PacketStack) -> Optional[bytes]:
     ip = stack.ip
     if ip is None:
         return None
+    cached = stack._rss_input
+    if cached is not None:
+        return cached
     # Hot path: this runs once per ingress packet in the dispatching
     # process. The (src, dst) address fields are contiguous in both IP
     # headers, as are the transport's (src port, dst port), so the
     # canonical input is two raw slices — no address objects, no
-    # per-field int round-trips.
+    # per-field int round-trips. ``bytes()`` normalizes slices of
+    # memoryview-backed mbufs (flat-buffer IPC) so the result hashes
+    # and concatenates; it is a no-op for bytes-backed frames.
     frame = stack.mbuf.data
     offset = ip.offset
     if isinstance(ip, Ipv4):
-        addrs = frame[offset + 12:offset + 20]
+        addrs = bytes(frame[offset + 12:offset + 20])
     else:
-        addrs = frame[offset + 8:offset + 40]
+        addrs = bytes(frame[offset + 8:offset + 40])
     transport = stack.tcp if stack.tcp is not None else stack.udp
     if transport is None:
-        return addrs
-    toff = transport.offset
-    return addrs + frame[toff:toff + 4]
+        result = addrs
+    else:
+        toff = transport.offset
+        result = addrs + bytes(frame[toff:toff + 4])
+    stack._rss_input = result
+    return result
 
 
 class RedirectionTable:

@@ -56,7 +56,9 @@ class HeaderView:
 
     # -- decoding helpers ------------------------------------------------
     def _u8(self, rel: int) -> int:
-        return _U8.unpack_from(self.mbuf.data, self.offset + rel)[0]
+        # Indexing bytes/memoryview yields the int directly; going
+        # through struct would cost a C-call plus tuple per field.
+        return self.mbuf.data[self.offset + rel]
 
     def _u16(self, rel: int) -> int:
         return _U16.unpack_from(self.mbuf.data, self.offset + rel)[0]
@@ -66,4 +68,7 @@ class HeaderView:
 
     def _bytes(self, rel: int, length: int) -> bytes:
         start = self.offset + rel
-        return self.mbuf.data[start:start + length]
+        # ``bytes()`` is a no-op for bytes-backed mbufs and normalizes
+        # memoryview-backed ones (flat-buffer IPC) so callers can hash,
+        # compare, and pickle the result.
+        return bytes(self.mbuf.data[start:start + length])

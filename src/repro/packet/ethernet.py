@@ -22,9 +22,38 @@ class Ethernet(HeaderView):
     Transparently skips up to two stacked 802.1Q/802.1ad VLAN tags when
     reporting :meth:`header_len` and :meth:`next_protocol`, so upper
     layers parse from the right offset regardless of tagging.
+
+    The VLAN walk runs once, bounds-checked, at construction time: the
+    hot path calls :meth:`next_protocol` and :meth:`header_len` for
+    every frame, and a truncated tag stack must surface as "no next
+    protocol" rather than an escaping ``struct.error``.
     """
 
+    __slots__ = ("_vlans", "_hdr_len", "_next_proto")
+
     MIN_LEN = _ETH_LEN
+
+    def __init__(self, mbuf: Mbuf, offset: int) -> None:
+        super().__init__(mbuf, offset)
+        data = mbuf.data
+        end = len(data)
+        rel = offset + 12
+        ethertype = (data[rel] << 8) | data[rel + 1]
+        vlans = []
+        while ethertype in (ETHERTYPE_VLAN, ETHERTYPE_QINQ) and len(vlans) < 2:
+            if rel + _VLAN_TAG_LEN + 2 > end:
+                # Truncated tag stack: no complete inner EtherType.
+                self._vlans = tuple(vlans)
+                self._hdr_len = rel + 2 - offset
+                self._next_proto = None
+                return
+            tci = (data[rel + 2] << 8) | data[rel + 3]
+            vlans.append(tci & 0x0FFF)
+            rel += _VLAN_TAG_LEN
+            ethertype = (data[rel] << 8) | data[rel + 1]
+        self._vlans = tuple(vlans)
+        self._hdr_len = rel + 2 - offset
+        self._next_proto = ethertype
 
     @classmethod
     def parse(cls, mbuf: Mbuf) -> "Ethernet":
@@ -43,20 +72,11 @@ class Ethernet(HeaderView):
 
     def vlan_ids(self) -> tuple:
         """VLAN IDs of any stacked tags, outermost first."""
-        ids = []
-        rel = 12
-        ethertype = self._u16(rel)
-        while ethertype in (ETHERTYPE_VLAN, ETHERTYPE_QINQ) and len(ids) < 2:
-            tci = self._u16(rel + 2)
-            ids.append(tci & 0x0FFF)
-            rel += _VLAN_TAG_LEN
-            ethertype = self._u16(rel)
-        return tuple(ids)
+        return self._vlans
 
     def header_len(self) -> int:
-        return _ETH_LEN + _VLAN_TAG_LEN * len(self.vlan_ids())
+        return self._hdr_len
 
     def next_protocol(self) -> Optional[int]:
-        """EtherType of the encapsulated protocol, past any VLAN tags."""
-        rel = 12 + _VLAN_TAG_LEN * len(self.vlan_ids())
-        return self._u16(rel)
+        """EtherType past any VLAN tags; ``None`` if tags are truncated."""
+        return self._next_proto

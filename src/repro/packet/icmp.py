@@ -17,6 +17,8 @@ TIME_EXCEEDED = 11
 class Icmp(HeaderView):
     """ICMPv4 header parsed in place."""
 
+    __slots__ = ()
+
     MIN_LEN = 8
 
     @classmethod

@@ -18,6 +18,8 @@ PROTO_ICMP = 1
 class Ipv4(HeaderView):
     """IPv4 header parsed in place, options included in header length."""
 
+    __slots__ = ("_hdr_len",)
+
     MIN_LEN = 20
 
     def __init__(self, mbuf: Mbuf, offset: int) -> None:
@@ -82,6 +84,14 @@ class Ipv4(HeaderView):
 
     def dst_addr_u32(self) -> int:
         return self._u32(16)
+
+    def src_addr_bytes(self) -> bytes:
+        """Raw 4-byte source address (hot path: no ipaddress object)."""
+        return self._bytes(12, 4)
+
+    def dst_addr_bytes(self) -> bytes:
+        """Raw 4-byte destination address (hot path: no ipaddress object)."""
+        return self._bytes(16, 4)
 
     # -- PacketParsable ----------------------------------------------------
     def header_len(self) -> int:

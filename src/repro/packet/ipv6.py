@@ -24,6 +24,8 @@ class Ipv6(HeaderView):
     TCP/UDP parse from the correct offset.
     """
 
+    __slots__ = ("_transport_proto", "_hdr_len")
+
     MIN_LEN = _FIXED_LEN
 
     def __init__(self, mbuf: Mbuf, offset: int) -> None:
@@ -78,6 +80,14 @@ class Ipv6(HeaderView):
 
     def dst_addr(self) -> ipaddress.IPv6Address:
         return ipaddress.IPv6Address(self._bytes(24, 16))
+
+    def src_addr_bytes(self) -> bytes:
+        """Raw 16-byte source address (hot path: no ipaddress object)."""
+        return self._bytes(8, 16)
+
+    def dst_addr_bytes(self) -> bytes:
+        """Raw 16-byte destination address (hot path: no ipaddress object)."""
+        return self._bytes(24, 16)
 
     # -- PacketParsable ----------------------------------------------------
     def header_len(self) -> int:

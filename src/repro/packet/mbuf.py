@@ -24,9 +24,14 @@ class Mbuf:
             packet filter when a pattern matches non-terminally. Later
             filter layers branch directly from this node instead of
             re-walking the trie (Section 4.1 of the paper).
+        stack: Memoized :class:`~repro.packet.stack.PacketStack` set by
+            the first :func:`~repro.packet.stack.parse_stack` call, so
+            RSS dispatch, the software filters, and conntrack all read
+            the same parse-once header views instead of re-decoding.
     """
 
-    __slots__ = ("data", "timestamp", "port", "queue", "pkt_term_node")
+    __slots__ = ("data", "timestamp", "port", "queue", "pkt_term_node",
+                 "stack")
 
     def __init__(
         self,
@@ -40,6 +45,7 @@ class Mbuf:
         self.port = port
         self.queue = queue
         self.pkt_term_node: Optional[int] = None
+        self.stack = None
 
     def __len__(self) -> int:
         return len(self.data)
@@ -47,9 +53,13 @@ class Mbuf:
     def __reduce__(self):
         # Compact pickling for the parallel backend's IPC batches:
         # rebuild from constructor args instead of a per-slot state
-        # dict. ``pkt_term_node`` is filter-walk scratch state that is
-        # only set after dispatch, so it is deliberately not carried.
-        return (Mbuf, (self.data, self.timestamp, self.port, self.queue))
+        # dict. ``pkt_term_node`` and ``stack`` are derived scratch
+        # state that is only set after dispatch, so they are
+        # deliberately not carried. ``bytes()`` normalizes
+        # memoryview-backed frames (which cannot pickle) and is a no-op
+        # for ``bytes`` data.
+        return (Mbuf, (bytes(self.data), self.timestamp, self.port,
+                       self.queue))
 
     def __repr__(self) -> str:
         return (

@@ -1,10 +1,12 @@
-"""Convenience parsing of a full frame into a layered view.
+"""Parse-once decoding of a full frame into a layered view.
 
-:func:`parse_stack` walks Ethernet → IP → transport once and returns a
-:class:`PacketStack` with whichever layers parsed. The software packet
-filter generated by :mod:`repro.filter.codegen` does its own layer walk
-(that is the point of code generation); this helper serves everything
-else — connection tracking, traffic tests, examples.
+:func:`parse_stack` walks Ethernet → IP → transport once and memoizes
+the resulting :class:`PacketStack` on ``mbuf.stack``. Every later
+consumer — RSS dispatch, the software packet filter (generated and
+interpreted), the connection filter, conntrack keying — reads the same
+decoded fields instead of re-running ``struct.unpack_from`` per layer.
+The stack also carries per-packet caches for the canonical 5-tuple and
+the symmetric-RSS input bytes so those are computed at most once.
 """
 
 from __future__ import annotations
@@ -22,17 +24,28 @@ from repro.packet.udp import Udp
 
 
 class PacketStack:
-    """Parsed layers of a single frame; absent layers are ``None``."""
+    """Parsed layers of a single frame; absent layers are ``None``.
 
-    __slots__ = ("mbuf", "eth", "ip", "tcp", "udp", "icmp")
+    ``ipv4``/``ipv6`` alias ``ip`` split by version so filter closures
+    can branch on protocol without calling ``version()`` per packet.
+    ``_five_tuple``/``_rss_input`` are lazily filled caches owned by
+    :mod:`repro.conntrack.five_tuple` and :mod:`repro.nic.rss`.
+    """
+
+    __slots__ = ("mbuf", "eth", "ip", "ipv4", "ipv6", "tcp", "udp", "icmp",
+                 "_five_tuple", "_rss_input")
 
     def __init__(self, mbuf: Mbuf) -> None:
         self.mbuf = mbuf
         self.eth: Optional[Ethernet] = None
         self.ip: Optional[Union[Ipv4, Ipv6]] = None
+        self.ipv4: Optional[Ipv4] = None
+        self.ipv6: Optional[Ipv6] = None
         self.tcp: Optional[Tcp] = None
         self.udp: Optional[Udp] = None
         self.icmp: Optional[Icmp] = None
+        self._five_tuple = None
+        self._rss_input: Optional[bytes] = None
 
     @property
     def transport(self) -> Optional[Union[Tcp, Udp]]:
@@ -44,43 +57,78 @@ class PacketStack:
         if transport is None or self.ip is None:
             return b""
         start = transport.payload_offset()
-        if isinstance(self.ip, Ipv4):
-            end = self.ip.offset + self.ip.total_length()
+        if self.ipv4 is not None:
+            end = self.ipv4.offset + self.ipv4.total_length()
+        else:
+            end = self.ip.payload_offset() + self.ip.payload_length()
+        data = self.mbuf.data
+        end = min(end, len(data))
+        # bytes() is a no-op for bytes-backed mbufs and normalizes
+        # memoryview-backed ones from the flat-buffer IPC path.
+        return bytes(data[start:end])
+
+    def l4_payload_len(self) -> int:
+        """Length of :meth:`l4_payload` without materializing the bytes.
+
+        The hot path needs only the payload *size* for connection
+        accounting; the bytes themselves are sliced lazily, and only
+        for connections still probing/parsing/streaming.
+        """
+        transport = self.transport
+        if transport is None or self.ip is None:
+            return 0
+        start = transport.payload_offset()
+        if self.ipv4 is not None:
+            end = self.ipv4.offset + self.ipv4.total_length()
         else:
             end = self.ip.payload_offset() + self.ip.payload_length()
         end = min(end, len(self.mbuf.data))
-        return self.mbuf.data[start:end]
+        return end - start if end > start else 0
 
 
 def parse_stack(mbuf: Mbuf) -> PacketStack:
-    """Parse as many layers as the frame contains; never raises."""
+    """Parse as many layers as the frame contains; never raises.
+
+    The result is memoized on ``mbuf.stack``: the first caller pays for
+    the layer walk, every later layer reads the cached views.
+    """
+    stack = mbuf.stack
+    if stack is not None:
+        return stack
     stack = PacketStack(mbuf)
+    mbuf.stack = stack
+    # Constructors are invoked directly (not via the parse_from
+    # classmethods) because this walk has already validated what those
+    # wrappers re-check: the EtherType / IP protocol dispatch below IS
+    # the check, and each layer's offset comes from the previous
+    # layer's cached header length.
     try:
-        stack.eth = Ethernet.parse(mbuf)
+        eth = stack.eth = Ethernet(mbuf, 0)
     except PacketParseError:
         return stack
-    ethertype = stack.eth.next_protocol()
+    ethertype = eth._next_proto
     try:
         if ethertype == ETHERTYPE_IPV4:
-            stack.ip = Ipv4.parse_from(stack.eth)
+            ip = stack.ip = stack.ipv4 = Ipv4(mbuf, eth._hdr_len)
         elif ethertype == ETHERTYPE_IPV6:
-            stack.ip = Ipv6.parse_from(stack.eth)
+            ip = stack.ip = stack.ipv6 = Ipv6(mbuf, eth._hdr_len)
         else:
             return stack
     except PacketParseError:
         return stack
-    if isinstance(stack.ip, Ipv4) and stack.ip.fragment_offset() > 0:
+    if stack.ipv4 is not None and ip.fragment_offset() > 0:
         # Non-first fragment: the transport header lives in fragment 0;
         # whatever bytes sit here are mid-payload, not a header.
         return stack
-    proto = stack.ip.next_protocol()
+    proto = ip.next_protocol()
+    transport_offset = ip.offset + ip._hdr_len
     try:
         if proto == PROTO_TCP:
-            stack.tcp = Tcp.parse_from(stack.ip)
+            stack.tcp = Tcp(mbuf, transport_offset)
         elif proto == PROTO_UDP:
-            stack.udp = Udp.parse_from(stack.ip)
-        elif proto == PROTO_ICMP and stack.ip.version() == 4:
-            stack.icmp = Icmp.parse_from(stack.ip)
+            stack.udp = Udp(mbuf, transport_offset)
+        elif proto == PROTO_ICMP and stack.ipv4 is not None:
+            stack.icmp = Icmp(mbuf, transport_offset)
     except PacketParseError:
         pass
     return stack

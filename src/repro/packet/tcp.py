@@ -28,6 +28,8 @@ class TcpFlags(enum.IntFlag):
 class Tcp(HeaderView):
     """TCP header parsed in place; options covered by the data offset."""
 
+    __slots__ = ("_hdr_len",)
+
     MIN_LEN = 20
 
     def __init__(self, mbuf: Mbuf, offset: int) -> None:
@@ -59,6 +61,10 @@ class Tcp(HeaderView):
 
     def flags(self) -> TcpFlags:
         return TcpFlags(self._u8(13))
+
+    def flags_raw(self) -> int:
+        """Flag bits as a plain int (hot path: no IntFlag construction)."""
+        return self._u8(13)
 
     def window(self) -> int:
         return self._u16(14)

@@ -13,6 +13,8 @@ from repro.packet.ipv6 import Ipv6
 class Udp(HeaderView):
     """UDP header parsed in place."""
 
+    __slots__ = ()
+
     MIN_LEN = 8
 
     @classmethod

@@ -28,17 +28,25 @@ class L4Pdu:
 
     @classmethod
     def from_stack(
-        cls, stack: PacketStack, five_tuple: FiveTuple, conn_tuple: FiveTuple
+        cls,
+        stack: PacketStack,
+        five_tuple: FiveTuple,
+        conn_tuple: FiveTuple,
+        payload: Optional[bytes] = None,
     ) -> "L4Pdu":
         """Build a PDU from a parsed packet.
 
         UDP datagrams get a synthetic always-in-order sequence of 0 and
-        no flags — they bypass reordering by construction.
+        no flags — they bypass reordering by construction. Callers that
+        already computed ``stack.l4_payload()`` pass it in to avoid
+        re-slicing.
         """
-        payload = stack.l4_payload()
-        if stack.tcp is not None:
-            seq = stack.tcp.seq_no()
-            flags = int(stack.tcp.flags())
+        if payload is None:
+            payload = stack.l4_payload()
+        tcp = stack.tcp
+        if tcp is not None:
+            seq = tcp.seq_no()
+            flags = tcp.flags_raw()
         else:
             seq, flags = 0, 0
         return cls(

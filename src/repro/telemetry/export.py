@@ -255,6 +255,15 @@ def build_registry(stats: AggregateStats,
                   "Wall-clock seconds the feeder spent blocked on full "
                   "worker queues", volatile=True) \
             .set(backend_health.get("feeder_block_seconds", 0.0))
+        reg.counter("repro_ipc_bytes_total",
+                    "Flat-buffer bytes shipped feeder->workers",
+                    volatile=True) \
+            .inc(backend_health.get("ipc_bytes", 0))
+        reg.gauge("repro_ipc_bytes_per_packet",
+                  "Average serialized IPC bytes per dispatched packet "
+                  "(flat-buffer batches: frames blob + offset/ts/port "
+                  "arrays)", volatile=True) \
+            .set(backend_health.get("ipc_bytes_per_packet", 0.0))
         qhw = reg.gauge("repro_worker_queue_highwater",
                         "Per-worker input queue depth high-water mark "
                         "(batches)", label_names=("worker",),

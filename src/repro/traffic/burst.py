@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
+from repro.packet.batch import DEFAULT_BATCH_SIZE, PackedBatch, pack_stream
 from repro.packet.mbuf import Mbuf
 from repro.traffic.campus import CampusProfile, CampusTrafficGenerator
 
@@ -91,3 +92,14 @@ class BurstTrafficGenerator:
         arrivals.sort()
         flows = [self._campus._one_connection(ts) for ts in arrivals]
         return list(heapq.merge(*flows, key=lambda mbuf: mbuf.timestamp))
+
+    def packed_batches(
+        self,
+        duration: float = 1.0,
+        gbps: float = 0.1,
+        start_ts: float = 0.0,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[PackedBatch]:
+        """Like :meth:`packets`, emitted as flat-buffer batches."""
+        yield from pack_stream(
+            self.packets(duration, gbps, start_ts), batch_size)

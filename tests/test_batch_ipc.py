@@ -1,0 +1,273 @@
+"""Zero-copy substrate tests: malformed input through the parse-once
+views, flat-buffer batch round-trips, and the allocation budget of the
+filtered-out fast path."""
+
+import pickle
+import struct
+import tracemalloc
+
+import pytest
+
+from repro import Runtime, RuntimeConfig
+from repro.packet import (
+    ETHERTYPE_IPV4,
+    Mbuf,
+    PackedBatch,
+    build_ethernet,
+    build_tcp_packet,
+    build_udp_packet,
+    iter_mbufs,
+    pack_stream,
+    parse_stack,
+)
+from repro.packet.ethernet import ETHERTYPE_VLAN
+from repro.traffic import CampusTrafficGenerator
+
+
+def tcp_frame(**kwargs):
+    defaults = dict(src="10.0.0.1", dst="192.168.1.2", src_port=12345,
+                    dst_port=443, payload=b"hello")
+    defaults.update(kwargs)
+    return build_tcp_packet(**defaults)
+
+
+class TestMalformedFrames:
+    """parse_stack never raises; it records exactly the layers present."""
+
+    def test_truncated_ethernet(self):
+        stack = parse_stack(Mbuf(b"\x00" * 10))
+        assert stack.eth is None
+        assert stack.ip is None
+        assert stack.l4_payload() == b""
+        assert stack.l4_payload_len() == 0
+
+    def test_empty_frame(self):
+        stack = parse_stack(Mbuf(b""))
+        assert stack.eth is None
+
+    def test_truncated_ipv4_header(self):
+        frame = tcp_frame()[:14 + 10]  # mid-IPv4 fixed header
+        stack = parse_stack(Mbuf(frame))
+        assert stack.eth is not None
+        assert stack.ipv4 is None
+        assert stack.tcp is None
+
+    def test_truncated_tcp_header(self):
+        frame = tcp_frame()
+        stack = parse_stack(Mbuf(frame[:14 + 20 + 10]))  # mid-TCP
+        assert stack.ipv4 is not None
+        assert stack.tcp is None
+        assert stack.l4_payload_len() == 0
+
+    def test_truncated_vlan_tag_is_partial_not_error(self):
+        # Frame ends inside the 802.1Q tag: the eager VLAN walk must
+        # stop cleanly (historically this escaped as struct.error).
+        frame = build_ethernet(b"", ETHERTYPE_VLAN) + b"\x00"
+        stack = parse_stack(Mbuf(frame))
+        assert stack.eth is not None
+        assert stack.eth.next_protocol() is None
+        assert stack.ip is None
+
+    def test_ipv4_options_shift_transport_offset(self):
+        # Rewrite IHL to 6 (one 4-byte option word) and splice the
+        # option in; the TCP view must start 4 bytes later.
+        frame = bytearray(tcp_frame(payload=b"PAYLOAD"))
+        frame[14] = 0x46
+        total_len = struct.unpack_from("!H", frame, 16)[0] + 4
+        struct.pack_into("!H", frame, 16, total_len)
+        frame = bytes(frame[:34]) + b"\x01\x01\x01\x00" + bytes(frame[34:])
+        stack = parse_stack(Mbuf(frame))
+        assert stack.ipv4 is not None
+        assert stack.ipv4.header_len() == 24
+        assert stack.tcp is not None
+        assert stack.tcp.offset == 14 + 24
+        assert stack.tcp.dst_port() == 443
+        assert stack.l4_payload() == b"PAYLOAD"
+
+    def test_vlan_offsets_through_parse_stack(self):
+        # Single and double (QinQ) tags push every layer to odd
+        # offsets; the cached header walk must follow them.
+        inner = tcp_frame(payload=b"odd")[14:]
+        single = build_ethernet(
+            struct.pack("!HH", 7, ETHERTYPE_IPV4) + inner, ETHERTYPE_VLAN)
+        double = build_ethernet(
+            struct.pack("!HH", 8, ETHERTYPE_VLAN)
+            + struct.pack("!HH", 9, ETHERTYPE_IPV4) + inner,
+            ETHERTYPE_VLAN)
+        for frame, hdr_len, vlans in ((single, 18, (7,)),
+                                      (double, 22, (8, 9))):
+            stack = parse_stack(Mbuf(frame))
+            assert stack.eth.vlan_ids() == vlans
+            assert stack.eth.header_len() == hdr_len
+            assert stack.ipv4.offset == hdr_len
+            assert stack.tcp is not None
+            assert stack.l4_payload() == b"odd"
+
+    def test_transport_claim_with_no_transport_bytes(self):
+        # IPv4 says protocol=TCP but the frame stops at the IP header.
+        frame = tcp_frame()[:34]
+        stack = parse_stack(Mbuf(frame))
+        assert stack.ipv4 is not None
+        assert stack.tcp is None
+
+
+class TestPackedBatch:
+    def _mbufs(self):
+        return [
+            Mbuf(tcp_frame(payload=b"a" * 40), 1.25, 0),
+            Mbuf(build_udp_packet("10.0.0.9", "8.8.8.8", 5353, 53,
+                                  payload=b"q"), 2.5, 1),
+            Mbuf(b"", 3.0625, 0),  # empty frame keeps its slot
+        ]
+
+    def test_round_trip_preserves_everything(self):
+        mbufs = self._mbufs()
+        batch = pickle.loads(pickle.dumps(PackedBatch.pack(mbufs, 5)))
+        out = batch.unpack()
+        assert len(batch) == len(out) == len(mbufs)
+        for orig, new in zip(mbufs, out):
+            assert bytes(new.data) == bytes(orig.data)
+            assert new.timestamp == orig.timestamp  # exact float64
+            assert new.port == orig.port
+            assert new.queue == 5
+            assert new.stack is None and new.pkt_term_node is None
+
+    def test_unpacked_data_is_zero_copy_view(self):
+        batch = PackedBatch.pack(self._mbufs())
+        views = batch.unpack()
+        assert all(isinstance(m.data, memoryview) for m in views)
+        assert views[0].data.obj is batch.blob
+
+    def test_memoryview_mbufs_roundtrip_through_ipc(self):
+        # Worker-side mbufs are memoryview-backed; re-packing them
+        # (e.g. a redo-log replay built from unpacked views) and
+        # parsing after another IPC hop must agree with the original.
+        mbufs = self._mbufs()
+        hop1 = pickle.loads(pickle.dumps(PackedBatch.pack(mbufs, 1)))
+        hop2 = pickle.loads(pickle.dumps(
+            PackedBatch.pack(hop1.unpack(), 1)))
+        for orig, new in zip(mbufs, hop2.unpack()):
+            assert bytes(new.data) == bytes(orig.data)
+            want = parse_stack(Mbuf(bytes(orig.data)))
+            got = parse_stack(new)
+            assert (got.tcp is None) == (want.tcp is None)
+            assert (got.udp is None) == (want.udp is None)
+            if want.ipv4 is not None:
+                assert got.ipv4.src_addr_bytes() == \
+                    want.ipv4.src_addr_bytes()
+            assert got.l4_payload() == want.l4_payload()
+
+    def test_uniform_ports_collapse_on_the_wire(self):
+        batch = PackedBatch.pack(
+            [Mbuf(b"x" * 10, float(i), 3) for i in range(4)])
+        _lengths, code, ports = batch._wire_fields()
+        assert code == "H"
+        assert ports == 3
+        restored = pickle.loads(pickle.dumps(batch))
+        assert list(restored.ports) == [3, 3, 3, 3]
+
+    def test_mixed_ports_survive(self):
+        batch = pickle.loads(pickle.dumps(PackedBatch.pack(
+            [Mbuf(b"x", 0.0, 0), Mbuf(b"y", 0.5, 2)])))
+        assert [m.port for m in batch.unpack()] == [0, 2]
+
+    def test_oversize_frame_uses_wide_lengths(self):
+        batch = PackedBatch.pack([Mbuf(b"z" * 70000, 0.0, 0)])
+        assert batch._wire_fields()[1] == "I"
+        restored = pickle.loads(pickle.dumps(batch))
+        assert len(restored.unpack()[0].data) == 70000
+
+    def test_empty_batch(self):
+        batch = pickle.loads(pickle.dumps(PackedBatch.pack([])))
+        assert len(batch) == 0
+        assert batch.unpack() == []
+
+    def test_nbytes_tracks_wire_payload(self):
+        mbufs = [Mbuf(b"x" * 100, 0.0, 0) for _ in range(8)]
+        batch = PackedBatch.pack(mbufs)
+        # frames + u16 length + f64 timestamp per packet, scalar port
+        assert batch.nbytes == 8 * (100 + 2 + 8)
+        assert len(pickle.dumps(batch)) < batch.nbytes + 120
+
+
+class TestBatchedTraffic:
+    def test_pack_stream_and_iter_mbufs_flatten(self):
+        mbufs = [Mbuf(tcp_frame(), float(i), 0) for i in range(10)]
+        batches = list(pack_stream(mbufs, batch_size=4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        flat = list(iter_mbufs(batches))
+        assert [m.timestamp for m in flat] == \
+            [m.timestamp for m in mbufs]
+        assert [bytes(m.data) for m in flat] == \
+            [m.data for m in mbufs]
+
+    def test_iter_mbufs_list_fast_path_is_identity(self):
+        mbufs = [Mbuf(tcp_frame(), 0.0, 0)]
+        assert iter_mbufs(mbufs) is mbufs
+
+    def test_iter_mbufs_mixed_stream(self):
+        a = Mbuf(tcp_frame(), 0.0, 0)
+        b = Mbuf(tcp_frame(dst_port=80), 1.0, 0)
+        packed = PackedBatch.pack([b])
+        flat = list(iter_mbufs([a, packed]))
+        assert flat[0] is a
+        assert bytes(flat[1].data) == b.data
+
+    def test_generator_packed_batches_match_packets(self):
+        gen_a = CampusTrafficGenerator(seed=7)
+        gen_b = CampusTrafficGenerator(seed=7)
+        plain = gen_a.packets(duration=0.05, gbps=0.05)
+        packed = list(gen_b.packed_batches(duration=0.05, gbps=0.05,
+                                           batch_size=64))
+        flat = list(iter_mbufs(packed))
+        assert len(flat) == len(plain)
+        assert all(bytes(f.data) == p.data and
+                   f.timestamp == p.timestamp and f.port == p.port
+                   for f, p in zip(flat, plain))
+
+    def test_runtime_accepts_packed_traffic(self):
+        plain = CampusTrafficGenerator(seed=11).packets(
+            duration=0.05, gbps=0.05)
+        packed = list(CampusTrafficGenerator(seed=11).packed_batches(
+            duration=0.05, gbps=0.05, batch_size=32))
+
+        def run(traffic, parallel=False):
+            runtime = Runtime(
+                RuntimeConfig(cores=2, parallel=parallel),
+                filter_str="tcp", datatype="connection", callback=None)
+            return runtime.run(traffic).stats.to_dict()
+
+        want = run(iter(plain))
+        assert run(iter(packed)) == want
+        assert run(packed, parallel=True) == want
+
+
+class TestFilteredOutAllocationBudget:
+    def test_filtered_packets_do_not_copy_payloads(self):
+        """Regression guard: a packet rejected by the software packet
+        filter must not allocate a copy of its (large) payload — the
+        parse-once views borrow from the frame in place.
+
+        The budget covers the retained per-packet parse state (the
+        memoized PacketStack plus header views, a few hundred bytes)
+        with headroom for allocator noise; it is far below the ~1.5 KB
+        frames, so any per-packet payload copy on the reject path
+        trips it.
+        """
+        n = 400
+        frame = tcp_frame(payload=b"\xab" * 1400)
+        traffic = [Mbuf(frame, i * 1e-4, 0) for i in range(n)]
+        runtime = Runtime(RuntimeConfig(cores=1), filter_str="udp",
+                          datatype="packet", callback=None)
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            before, _ = tracemalloc.get_traced_memory()
+            report = runtime.run(iter(traffic))
+            _now, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert report.stats.pf_packets == 0  # everything filtered out
+        per_packet = (peak - before) / n
+        assert per_packet < 700, \
+            f"filtered-out path allocates {per_packet:.0f} B/packet"

@@ -180,9 +180,11 @@ class TestGeneratedCodeStructure:
         assert "def packet_filter(mbuf):" in source
         assert "def connection_filter(conn, pkt_term_node):" in source
         assert "def session_filter(session, conn_term_node):" in source
-        # The if-let ladder parses each layer at most once per branch.
-        assert source.count("_try(Ipv4.parse_from, eth)") == 1
-        assert source.count("_try(Ipv6.parse_from, eth)") == 1
+        # The if-let ladder reads each parse-once stack slot at most
+        # once per branch (no re-parsing of headers per filter layer).
+        assert source.count("ipv4 = stack.ipv4") == 1
+        assert source.count("ipv6 = stack.ipv6") == 1
+        assert "parse_from" not in source
         # The >= predicate expands to both port accessors.
         assert "tcp.src_port()" in source and "tcp.dst_port()" in source
         # Regexes are hoisted (lazy_static), not inline literals.
