@@ -76,6 +76,13 @@ def _rounds() -> int:
     return int(os.environ.get("BENCH_HOTPATH_ROUNDS", "3"))
 
 
+def _columnar() -> bool:
+    """``--columnar``/``--no-columnar`` (env ``BENCH_HOTPATH_COLUMNAR``,
+    default on). With columnar on, the scalar number is still measured
+    and recorded side by side."""
+    return os.environ.get("BENCH_HOTPATH_COLUMNAR", "1") != "0"
+
+
 def _make_traffic():
     return list(CampusTrafficGenerator(seed=42).packets(
         duration=_duration(), gbps=_gbps()))
@@ -205,20 +212,34 @@ def run_hotpath():
         "baseline_sequential_pps": BASELINE_SEQUENTIAL_PPS,
     }
 
-    # 1. sequential throughput, best of N rounds
-    elapsed = []
-    for _ in range(_rounds()):
-        _report, took = _run(traffic, cores=4, parallel=False)
-        elapsed.append(took)
-    best = min(elapsed)
-    pps = len(traffic) / best
-    results["sequential"] = {
-        "rounds": len(elapsed),
-        "elapsed_s": [round(e, 4) for e in elapsed],
-        "best_elapsed_s": best,
-        "pkts_per_sec": pps,
-        "speedup_vs_baseline": pps / BASELINE_SEQUENTIAL_PPS,
-    }
+    # 1. sequential throughput, best of N rounds — columnar and scalar
+    # side by side (the scalar run is the same code with the columnar
+    # hot path disabled, i.e. the pre-columnar data path).
+    use_columnar = _columnar()
+
+    def _time_sequential(columnar: bool) -> dict:
+        elapsed = []
+        for _ in range(_rounds()):
+            _report, took = _run(traffic, cores=4, parallel=False,
+                                 columnar=columnar)
+            elapsed.append(took)
+        best = min(elapsed)
+        pps = len(traffic) / best
+        return {
+            "columnar": columnar,
+            "rounds": len(elapsed),
+            "elapsed_s": [round(e, 4) for e in elapsed],
+            "best_elapsed_s": best,
+            "pkts_per_sec": pps,
+            "speedup_vs_baseline": pps / BASELINE_SEQUENTIAL_PPS,
+        }
+
+    results["sequential"] = _time_sequential(use_columnar)
+    if use_columnar:
+        results["sequential_scalar"] = _time_sequential(False)
+        results["sequential"]["speedup_vs_scalar"] = (
+            results["sequential"]["pkts_per_sec"]
+            / results["sequential_scalar"]["pkts_per_sec"])
 
     # 2. profiled hot path (one extra sequential run under cProfile)
     top_rows, profile_text = _profile_sequential(traffic)
@@ -229,17 +250,22 @@ def run_hotpath():
     # overload ladder is enabled so the run produces a loss ledger to
     # compare (it stays at rung 0 on this load; the ledger is still
     # merged and exported).
+    # The sequential side runs with columnar *disabled* while the
+    # parallel side uses the toggle, so with columnar on this check
+    # doubles as the columnar-vs-scalar end-to-end parity gate.
     determinism = {}
     for workers in WORKER_COUNTS:
         seq_report, _ = _run(traffic, cores=workers, parallel=False,
-                             overload_policy="ladder")
+                             overload_policy="ladder", columnar=False)
         par_report, _ = _run(traffic, cores=workers, parallel=True,
-                             overload_policy="ladder")
+                             overload_policy="ladder",
+                             columnar=use_columnar)
         seq_blob = _canonical(seq_report)
         par_blob = _canonical(par_report)
         determinism[f"{workers}w"] = {
             "stats_bytes": len(seq_blob),
             "byte_identical": seq_blob == par_blob,
+            "columnar_vs_scalar": use_columnar,
         }
     results["determinism"] = determinism
 
@@ -266,10 +292,19 @@ def report(results) -> None:
         f"filter={FILTER!r} datatype={DATATYPE!r}",
         f"machine: {results['cpu_count']} CPU(s) available",
         "",
-        f"sequential best-of-{seq['rounds']}: "
+        f"sequential best-of-{seq['rounds']} "
+        f"({'columnar' if seq['columnar'] else 'scalar'}): "
         f"{seq['pkts_per_sec']:,.0f} pkts/s "
         f"({seq['speedup_vs_baseline']:.2f}x the "
         f"{results['baseline_sequential_pps']:,.0f} pkts/s baseline)",
+    ]
+    scalar = results.get("sequential_scalar")
+    if scalar is not None:
+        lines.append(
+            f"sequential best-of-{scalar['rounds']} (scalar): "
+            f"{scalar['pkts_per_sec']:,.0f} pkts/s — columnar is "
+            f"{seq['speedup_vs_scalar']:.2f}x scalar")
+    lines += [
         "",
         f"IPC (batch={ipc['batch_size']}, frames "
         f"{ipc['frame_bytes_per_packet']:.1f} B/pkt): serialization "
@@ -322,4 +357,10 @@ def test_hotpath(benchmark):
 
 
 if __name__ == "__main__":
+    import sys
+
+    if "--no-columnar" in sys.argv:
+        os.environ["BENCH_HOTPATH_COLUMNAR"] = "0"
+    elif "--columnar" in sys.argv:
+        os.environ["BENCH_HOTPATH_COLUMNAR"] = "1"
     report(run_hotpath())

@@ -1,0 +1,49 @@
+"""CI perf gate for the sequential hot path.
+
+Compares a freshly measured ``BENCH_hotpath.json`` against the
+committed one and fails when the fresh sequential throughput regresses
+more than ``PERF_GATE_TOLERANCE`` (default 20%) below the recorded
+value. Usage::
+
+    python benchmarks/perf_gate.py COMMITTED.json FRESH.json
+
+The tolerance absorbs shared-runner jitter; a >20% drop on the same
+workload is a real regression (an accidentally disabled columnar path
+shows up as ~60%).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        committed = json.load(handle)
+    with open(argv[2]) as handle:
+        fresh = json.load(handle)
+    recorded = committed["sequential"]["pkts_per_sec"]
+    measured = fresh["sequential"]["pkts_per_sec"]
+    tolerance = float(os.environ.get("PERF_GATE_TOLERANCE", "0.2"))
+    floor = recorded * (1.0 - tolerance)
+    print(f"recorded sequential: {recorded:,.0f} pkts/s "
+          f"(columnar={committed['sequential'].get('columnar')})")
+    print(f"measured sequential: {measured:,.0f} pkts/s "
+          f"(columnar={fresh['sequential'].get('columnar')})")
+    print(f"gate floor ({tolerance:.0%} tolerance): {floor:,.0f} pkts/s")
+    if measured < floor:
+        print("PERF GATE FAILED: fresh sequential throughput regressed "
+              f"{1 - measured / recorded:.1%} below the recorded value",
+              file=sys.stderr)
+        return 1
+    print("perf gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

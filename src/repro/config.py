@@ -73,6 +73,14 @@ class RuntimeConfig:
     #: fixed traffic source both backends produce identical
     #: filter/connection/session/callback counts.
     parallel: bool = False
+    #: Columnar batch hot path: bulk-decode header columns per burst
+    #: and evaluate the packet filter as batch mask predicates
+    #: (:mod:`repro.packet.columnar`). Semantically invisible — filters
+    #: the columns cannot express, and frames the columnar decoder
+    #: cannot prove simple (VLAN/IPv6/options/fragments/truncation),
+    #: fall back to the scalar per-packet path automatically. Off
+    #: forces the scalar path everywhere (benchmark baseline).
+    columnar: bool = True
     #: Packets per dispatch batch. Batches amortize the per-message
     #: IPC + pickle cost in the parallel backend (DPDK-burst style)
     #: and per-packet dispatch overhead in the sequential backend.

@@ -72,6 +72,25 @@ class ConnTable:
     def lookup(self, five_tuple: FiveTuple) -> Optional[Connection]:
         return self._conns.get(five_tuple.canonical())
 
+    def lookup_key(self, key: Tuple) -> Optional[Connection]:
+        """Lookup by an already-canonical key (columnar hot path: the
+        key is assembled straight from decoded columns, no FiveTuple)."""
+        return self._conns.get(key)
+
+    def create_with_key(self, key: Tuple, five_tuple: FiveTuple,
+                        now: float) -> Connection:
+        """Insert a new connection whose canonical key is already known.
+
+        Mirrors the create arm of :meth:`get_or_create`; the caller has
+        already missed on :meth:`lookup_key` and pre-seeded
+        ``five_tuple``'s canonical cache with ``key``.
+        """
+        conn = Connection(five_tuple, now)
+        self._conns[key] = conn
+        self._timers.on_new_connection(key, now)
+        self.created += 1
+        return conn
+
     def get_or_create(
         self, five_tuple: FiveTuple, now: float
     ) -> Tuple[Connection, bool]:

@@ -45,6 +45,7 @@ from repro.core.datatypes import (
 )
 from repro.core.stats import CoreStats
 from repro.core.subscription import Subscription
+from repro.packet.columnar import decode_mbufs
 from repro.packet.ipv4 import PROTO_TCP, PROTO_UDP
 from repro.packet.mbuf import Mbuf
 from repro.packet.stack import parse_stack
@@ -57,6 +58,15 @@ from repro.stream.reassembly import LazyReassembler
 #: Sentinel for "filter already satisfied before the session layer":
 #: the session filter is skipped and sessions match unconditionally.
 FILTER_SATISFIED = -1
+
+# Enum members hoisted to module scope: the columnar stateful path runs
+# once per matched packet, and member access on an Enum class costs a
+# class-dict lookup (plus a descriptor for ``Stage.value`` inside
+# ``charge``) that adds up at 100k+ pkts/s.
+_CONN_TRACK = Stage.CONN_TRACK
+_TRACK = ConnState.TRACK
+_DELETE = ConnState.DELETE
+_PROBE_OR_PARSE = (ConnState.PROBE, ConnState.PARSE)
 
 class _ProbeContext:
     """Candidate parsers plus segments seen while still undecided."""
@@ -93,6 +103,15 @@ class CorePipeline:
         else:
             self._tracer = None
         self._filter = subscription.filter
+        #: Batch packet filter over decoded columns; None when disabled
+        #: by config or when the filter trie uses predicates the
+        #: columnar layer cannot express (process_batch then keeps the
+        #: scalar per-packet path).
+        self._pf_batch = (subscription.filter.packet_filter_batch
+                          if config.columnar else None)
+        #: Conn-track stage cost, hoisted for the unrolled columnar
+        #: charge (see :meth:`_stateful_columnar`).
+        self._ct_cost = self.stats.ledger.model.conn_track
         self._level = subscription.level
         if executor is None:
             from repro.core.executor import InlineExecutor
@@ -180,6 +199,8 @@ class CorePipeline:
         are bit-for-bit identical to packet-at-a-time processing — the
         parallel backend's determinism guarantee depends on that.
         """
+        if self._pf_batch is not None:
+            return self._process_batch_columnar(mbufs)
         stats = self.stats
         ledger = stats.ledger
         invocations = ledger.invocations
@@ -250,9 +271,314 @@ class CorePipeline:
             stats.sessf_packets += fast_packets
             stats.sessf_bytes += fast_bytes
 
+    def _process_batch_columnar(self, mbufs) -> None:
+        """Columnar variant of :meth:`process_batch`.
+
+        Headers are decoded for the whole burst in bulk
+        (:func:`~repro.packet.columnar.decode_mbufs`) and the packet
+        filter runs once per batch as mask predicates, yielding one
+        encoded verdict per row. Fast rows then flow through
+        :meth:`_stateful_columnar`, which keys conntrack straight off
+        the columns; rows the columnar decoder cannot express (VLAN,
+        fragments, IP options/extensions, truncation) take the exact
+        scalar path. Per-packet charge ordering, counters, and virtual-clock
+        movement are identical to the scalar loop — bit-exact stats are
+        the acceptance gate for this path.
+        """
+        if type(mbufs) is not list and type(mbufs) is not tuple:
+            mbufs = list(mbufs)
+        cols = decode_mbufs(mbufs)
+        verdicts = self._pf_batch(cols)
+        fast_rows = cols.fast
+        stats = self.stats
+        ledger = stats.ledger
+        invocations = ledger.invocations
+        cycles = ledger.cycles
+        model = ledger.model
+        capture_cost = model.capture
+        filter_cost = model.packet_filter
+        capture_stage = Stage.CAPTURE
+        filter_stage = Stage.PACKET_FILTER
+        packet_filter = self._filter.packet_filter
+        fast_path = not self.sub.needs_conntrack
+        deliver = self._deliver
+        stateful = self._stateful
+        stateful_columnar = self._stateful_columnar
+        now = self._now
+        ov_next = self._ov_next
+        packets = 0
+        wire_bytes = 0
+        pf_packets = 0
+        pf_bytes = 0
+        fast_packets = 0
+        fast_bytes = 0
+        wire_col = cols.wire
+        for i, mbuf in enumerate(mbufs):
+            ts = mbuf.timestamp
+            if ts > now:
+                now = ts
+                self._now = ts
+            if ts >= ov_next:
+                self._overload_tick(ts)
+                ov_next = self._ov_next
+            packets += 1
+            frame_bytes = wire_col[i]
+            wire_bytes += frame_bytes
+            invocations[capture_stage] += 1
+            cycles[capture_stage] += capture_cost
+            invocations[filter_stage] += 1
+            cycles[filter_stage] += filter_cost
+            if fast_rows[i]:
+                verdict = verdicts[i]
+                if verdict < 0:
+                    continue
+                pf_packets += 1
+                pf_bytes += frame_bytes
+                if fast_path:
+                    deliver(RawPacket(mbuf=mbuf))
+                    fast_packets += 1
+                    fast_bytes += frame_bytes
+                    continue
+                stateful_columnar(mbuf, cols, i, verdict >> 1,
+                                  bool(verdict & 1))
+                now = self._now
+                continue
+            result = packet_filter(mbuf)
+            if not result.matched:
+                continue
+            pf_packets += 1
+            pf_bytes += frame_bytes
+            if fast_path:
+                deliver(RawPacket(mbuf=mbuf))
+                fast_packets += 1
+                fast_bytes += frame_bytes
+                continue
+            stateful(mbuf, result)
+            now = self._now
+        stats.packets += packets
+        stats.bytes += wire_bytes
+        if self._overload is not None:
+            self._overload.ledger.packets_seen += packets
+        stats.pf_packets += pf_packets
+        stats.pf_bytes += pf_bytes
+        if fast_packets:
+            stats.connf_packets += fast_packets
+            stats.connf_bytes += fast_bytes
+            stats.sessf_packets += fast_packets
+            stats.sessf_bytes += fast_bytes
+
+    def process_batch_rows(self, row_mbufs, row_cols, row_idx,
+                           row_verdicts) -> None:
+        """Like :meth:`_process_batch_columnar`, but over pre-decoded
+        ingress rows (four parallel lists).
+
+        The sequential backend decodes each ingress burst and evaluates
+        the batch filter *once*, shares the columns with NIC dispatch,
+        and hands this pipeline parallel lists of (mbuf, column batch,
+        row index, verdict) — so the pipeline must not decode or
+        filter again. Verdicts are only meaningful for rows with
+        ``cols.fast[i]`` set; slow rows run the scalar filter here,
+        exactly as in the batch variant. Per-packet charge ordering,
+        counters, and clock movement match the scalar loop bit for bit.
+        """
+        stats = self.stats
+        ledger = stats.ledger
+        invocations = ledger.invocations
+        cycles = ledger.cycles
+        model = ledger.model
+        capture_cost = model.capture
+        filter_cost = model.packet_filter
+        capture_stage = Stage.CAPTURE
+        filter_stage = Stage.PACKET_FILTER
+        packet_filter = self._filter.packet_filter
+        fast_path = not self.sub.needs_conntrack
+        deliver = self._deliver
+        stateful = self._stateful
+        stateful_columnar = self._stateful_columnar
+        now = self._now
+        ov_next = self._ov_next
+        packets = 0
+        wire_bytes = 0
+        pf_packets = 0
+        pf_bytes = 0
+        fast_packets = 0
+        fast_bytes = 0
+        for mbuf, cols, i, verdict in zip(row_mbufs, row_cols,
+                                          row_idx, row_verdicts):
+            ts = mbuf.timestamp
+            if ts > now:
+                now = ts
+                self._now = ts
+            if ts >= ov_next:
+                self._overload_tick(ts)
+                ov_next = self._ov_next
+            packets += 1
+            frame_bytes = cols.wire[i]
+            wire_bytes += frame_bytes
+            invocations[capture_stage] += 1
+            cycles[capture_stage] += capture_cost
+            invocations[filter_stage] += 1
+            cycles[filter_stage] += filter_cost
+            if cols.fast[i]:
+                if verdict < 0:
+                    continue
+                pf_packets += 1
+                pf_bytes += frame_bytes
+                if fast_path:
+                    deliver(RawPacket(mbuf=mbuf))
+                    fast_packets += 1
+                    fast_bytes += frame_bytes
+                    continue
+                stateful_columnar(mbuf, cols, i, verdict >> 1,
+                                  bool(verdict & 1))
+                now = self._now
+                continue
+            result = packet_filter(mbuf)
+            if not result.matched:
+                continue
+            pf_packets += 1
+            pf_bytes += frame_bytes
+            if fast_path:
+                deliver(RawPacket(mbuf=mbuf))
+                fast_packets += 1
+                fast_bytes += frame_bytes
+                continue
+            stateful(mbuf, result)
+            now = self._now
+        stats.packets += packets
+        stats.bytes += wire_bytes
+        if self._overload is not None:
+            self._overload.ledger.packets_seen += packets
+        stats.pf_packets += pf_packets
+        stats.pf_bytes += pf_bytes
+        if fast_packets:
+            stats.connf_packets += fast_packets
+            stats.connf_bytes += fast_bytes
+            stats.sessf_packets += fast_packets
+            stats.sessf_bytes += fast_bytes
+
     # ------------------------------------------------------------------
     # stateful processing
     # ------------------------------------------------------------------
+    def _stateful_columnar(self, mbuf: Mbuf, cols, i: int,
+                           node: int, terminal: bool) -> None:
+        """Columnar variant of :meth:`_stateful` for fast rows.
+
+        The connection key is assembled straight from the decoded
+        columns — no :func:`parse_stack`, no header views, and a
+        :class:`FiveTuple` object only when a connection is actually
+        created (with its canonical cache pre-seeded, so
+        ``Connection.__init__`` reuses the same key tuple). The stack
+        is parsed lazily, only for connections that still probe, parse,
+        or stream payload bytes; pure TRACK-state flows never touch it.
+        """
+        stats = self.stats
+        ledger = stats.ledger
+        if ledger.hist is None:
+            # ``charge`` unrolled: two dict updates instead of a method
+            # call plus a ``Stage.value`` descriptor read — the single
+            # hottest line of the columnar path. Telemetry runs keep
+            # the real call so stage histograms stay identical.
+            ledger.invocations[_CONN_TRACK] += 1
+            ledger.cycles[_CONN_TRACK] += self._ct_cost
+        else:
+            ledger.charge(_CONN_TRACK)
+        now = self._now
+        wire = cols.wire[i]
+        sip = cols.src_ip[i]
+        dip = cols.dst_ip[i]
+        sp = cols.src_port[i]
+        dp = cols.dst_port[i]
+        proto = cols.proto[i]
+        if (sip, sp) <= (dip, dp):
+            key = (sip, sp, dip, dp, proto)
+        else:
+            key = (dip, dp, sip, sp, proto)
+        table = self.table
+        conn = table.lookup_key(key)
+        if conn is None:
+            block = self._ov_block
+            shed_map = self._ov_shed
+            if block or shed_map:
+                tag = shed_map.get(key)
+                if tag is None and block and (
+                        block == 2 or self._level is Level.PACKET):
+                    ctl = self._overload
+                    tag = (ctl.rung, "packet_filter" if block == 1
+                           else "connection_filter")
+                    shed_map[key] = tag
+                if tag is not None:
+                    stats.conns_shed += 1
+                    self._overload.ledger.record_shed(
+                        tag[0], tag[1], wire)
+                    self._maybe_expire()
+                    return
+            if self._shedding:
+                stats.conns_shed += 1
+                return
+            five_tuple = FiveTuple(sip, dip, sp, dp, proto)
+            object.__setattr__(five_tuple, "_canonical", key)
+            conn = table.create_with_key(key, five_tuple, now)
+            stats.conns_created += 1
+            if self._tracer is not None:
+                self._tracer.record(conn, now, "created")
+            self._init_connection(conn, node, terminal)
+            from_orig = True  # the creating packet defines orig
+        else:
+            conn_tuple = conn.five_tuple
+            from_orig = (conn_tuple.src_ip == sip
+                         and conn_tuple.src_port == sp)
+        payload_len = cols.payload_len[i]
+        if proto == 6:
+            flags = cols.tcp_flags[i]
+            seq = cols.tcp_seq[i]
+        else:
+            flags = None
+            seq = None
+        newly_established = conn.record_packet(
+            from_orig, wire, payload_len, now, flags, seq
+        )
+        table.touch(conn, now, newly_established)
+
+        state = conn.state
+        if state is _TRACK:
+            if self._level is Level.PACKET and conn.matched:
+                self._deliver(RawPacket(mbuf=mbuf,
+                                        five_tuple=conn.five_tuple))
+            elif self.sub.streams_bytes and conn.matched:
+                stack = parse_stack(mbuf)
+                five_tuple = FiveTuple.from_stack(stack)
+                segments = self._reassemble(conn, stack, five_tuple,
+                                            stack.l4_payload())
+                self._handle_stream_segments(conn, segments)
+        elif state in _PROBE_OR_PARSE:
+            if self.sub.buffers_packets and not conn.matched:
+                conn.buffer_packet(mbuf)
+            stack = parse_stack(mbuf)
+            five_tuple = FiveTuple.from_stack(stack)
+            segments = self._reassemble(conn, stack, five_tuple,
+                                        stack.l4_payload())
+            if self.sub.streams_bytes:
+                self._handle_stream_segments(conn, segments)
+            if segments:
+                if conn.state is ConnState.PROBE:
+                    self._probe(conn, segments)
+                elif conn.state is ConnState.PARSE:
+                    self._parse(conn, segments)
+        # DELETE (ignore tombstone): nothing to do.
+
+        if conn.state is not _DELETE and \
+                conn.conn_term_node is not None:
+            stats.connf_packets += 1
+            stats.connf_bytes += wire
+            if conn.matched:
+                stats.sessf_packets += 1
+                stats.sessf_bytes += wire
+
+        if conn.terminated and conn.state is not _DELETE:
+            self._finalize(conn, delivered_by="termination")
+        self._maybe_expire()
+
     def _stateful(self, mbuf: Mbuf, result) -> None:
         stats = self.stats
         ledger = stats.ledger
@@ -313,7 +639,7 @@ class CorePipeline:
             stats.conns_created += 1
             if self._tracer is not None:
                 self._tracer.record(conn, self._now, "created")
-            self._init_connection(conn, result)
+            self._init_connection(conn, result.node, result.terminal)
         from_orig = conn.five_tuple.same_direction(five_tuple)
         # Only the payload *length* is needed for accounting; the bytes
         # are sliced lazily below, and only for connections that still
@@ -370,10 +696,11 @@ class CorePipeline:
             self._finalize(conn, delivered_by="termination")
         self._maybe_expire()
 
-    def _init_connection(self, conn: Connection, result) -> None:
-        conn.pkt_term_node = result.node
+    def _init_connection(self, conn: Connection, node: int,
+                         terminal: bool) -> None:
+        conn.pkt_term_node = node
         needs_sessions = self._level is Level.SESSION
-        if result.terminal:
+        if terminal:
             conn.matched = True
             conn.conn_term_node = FILTER_SATISFIED
             if self._tracer is not None:

@@ -104,6 +104,11 @@ class CompiledFilter:
         self.mode = mode
         self.registry = registry
         self.packet_filter = backend.packet_filter
+        #: Batch packet filter over ColumnarBatch columns (verdict ints,
+        #: see repro.filter.batch), or None when the trie uses
+        #: predicates the columnar layer cannot express.
+        self.packet_filter_batch = getattr(
+            backend, "packet_filter_batch", None)
         self.connection_filter = backend.connection_filter
         self.session_filter = backend.session_filter
         self._backend = backend

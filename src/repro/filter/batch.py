@@ -1,0 +1,347 @@
+"""Batch (mask-based) filter support shared by both filter backends.
+
+The columnar decode layer (:mod:`repro.packet.columnar`) turns a burst
+of frames into field columns plus a ``fast`` eligibility mask. Both
+filter backends can then evaluate the packet sub-filter *per batch*
+instead of per packet: the generated backend emits list-comprehension
+mask predicates over the columns, the interpreted backend walks the
+trie once per batch narrowing an index list. This module holds what
+the two share — which predicates are expressible over the columns, the
+verdict encoding, per-predicate evaluator closures, and the compiled
+fast-admit check for the simulated NIC's hardware filter.
+
+Verdict encoding
+----------------
+A batch filter returns one int per row: ``NO_MATCH`` (−1) when no
+pattern matched, else ``(node_id << 1) | terminal`` — the same
+``(node, terminal)`` pair a scalar :class:`~repro.filter.result.FilterResult`
+carries, flattened so 256 verdicts fit in one plain list. Verdicts are
+only valid for rows with ``fast[i]`` set; slow rows must be re-run
+through the scalar ``packet_filter``.
+
+Anything not expressible over the columns (``ipv4.ttl``, string
+regexes, ``udp.length``, …) disables batching for the whole trie —
+``packet_filter_batch`` stays ``None`` and the pipeline keeps the
+scalar path, so supported-predicate coverage is a pure optimization
+knob, never a semantics question.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.filter.ast import Op, Predicate
+from repro.filter.fields import DEFAULT_REGISTRY, FieldRegistry, Layer
+from repro.filter.trie import PredicateTrie, TrieNode
+from repro.packet.columnar import ETHERTYPE_IPV4, ETHERTYPE_IPV6
+
+#: Batch verdict for "no pattern matched this row".
+NO_MATCH = -1
+
+
+def encode_verdict(node_id: int, terminal: bool) -> int:
+    """Flatten a match into one int: ``(node_id << 1) | terminal``."""
+    return (node_id << 1) | (1 if terminal else 0)
+
+
+#: (protocol, accessor) -> ColumnarBatch column holding that int field.
+#: Accessors absent here (ttl, window, udp.length, ...) are not decoded
+#: columnar-side and make the trie fall back to the scalar filter.
+_INT_COLS = {
+    ("eth", "next_protocol"): "ethertype",
+    ("ipv4", "protocol"): "proto",
+    ("ipv4", "total_length"): "ip_total_len",
+    ("tcp", "src_port"): "src_port",
+    ("tcp", "dst_port"): "dst_port",
+    ("tcp", "flags"): "tcp_flags",
+    ("tcp", "seq_no"): "tcp_seq",
+    ("udp", "src_port"): "src_port",
+    ("udp", "dst_port"): "dst_port",
+}
+
+#: (protocol, accessor) -> column holding raw address bytes (4 per row
+#: on IPv4 rows, 16 on IPv6 rows; the unary protocol gate above every
+#: address predicate keeps each predicate on its own rows).
+_ADDR_COLS = {
+    ("ipv4", "src_addr"): "src_ip",
+    ("ipv4", "dst_addr"): "dst_ip",
+    ("ipv6", "src_addr"): "src_ip",
+    ("ipv6", "dst_addr"): "dst_ip",
+}
+
+_ORDERED_INT_OPS = frozenset({Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE})
+
+#: Unary predicates on fast rows: always true (the eligibility gate
+#: guarantees a parsed Ethernet header), an EtherType test (fast rows
+#: are plain IPv4 or IPv6), an IP protocol-number test (TCP/UDP), or
+#: never true (fast rows carry no ICMP — subtrees under these are
+#: pruned from batch evaluation entirely).
+_UNARY_ALWAYS = frozenset({"eth"})
+_UNARY_NEVER = frozenset({"icmp"})
+_UNARY_ETH = {"ipv4": ETHERTYPE_IPV4, "ipv6": ETHERTYPE_IPV6}
+_UNARY_PROTO = {"tcp": 6, "udp": 17}
+
+
+def unary_kind(protocol: str
+               ) -> Optional[Union[str, Tuple[str, int]]]:
+    """Classify a unary predicate for fast rows.
+
+    Returns ``"always"``, ``"never"``, a ``(column, value)`` equality
+    test, or ``None`` when the protocol is unknown to the columnar
+    layer.
+    """
+    if protocol in _UNARY_ALWAYS:
+        return "always"
+    if protocol in _UNARY_NEVER:
+        return "never"
+    eth = _UNARY_ETH.get(protocol)
+    if eth is not None:
+        return ("ethertype", eth)
+    proto = _UNARY_PROTO.get(protocol)
+    if proto is not None:
+        return ("proto", proto)
+    return None
+
+
+def _accessor_support(pred: Predicate, accessor: str) -> Optional[str]:
+    """Column name if ``accessor`` of ``pred`` is batch-expressible."""
+    op, value = pred.op, pred.value
+    col = _INT_COLS.get((pred.protocol, accessor))
+    if col is not None:
+        if op in _ORDERED_INT_OPS and isinstance(value, int):
+            return col
+        if (op is Op.IN and isinstance(value, tuple) and len(value) == 2
+                and isinstance(value[0], int) and isinstance(value[1], int)):
+            return col
+        return None
+    col = _ADDR_COLS.get((pred.protocol, accessor))
+    if col is not None:
+        if op in (Op.EQ, Op.NE) and isinstance(
+                value, (ipaddress.IPv4Address, ipaddress.IPv6Address)):
+            return col
+        if op is Op.IN and isinstance(
+                value, (ipaddress.IPv4Network, ipaddress.IPv6Network)):
+            return col
+        return None
+    return None
+
+
+def _addr_family(protocol: str):
+    """The network class whose members this protocol's addresses can be."""
+    return ipaddress.IPv4Network if protocol == "ipv4" \
+        else ipaddress.IPv6Network
+
+
+def binary_supported(pred: Predicate,
+                     registry: FieldRegistry = DEFAULT_REGISTRY) -> bool:
+    """True if every accessor of the predicate maps onto a column."""
+    fdef = registry.field(pred.protocol, pred.field)
+    return all(
+        _accessor_support(pred, accessor) is not None
+        for accessor in fdef.accessors
+    )
+
+
+def _node_supported(node: TrieNode, registry: FieldRegistry) -> bool:
+    pred = node.pred
+    if pred.is_unary:
+        kind = unary_kind(pred.protocol)
+        if kind is None:
+            return False
+        if kind == "never":
+            return True  # subtree pruned, children never evaluated
+    elif not binary_supported(pred, registry):
+        return False
+    return all(
+        _node_supported(child, registry)
+        for child in node.children if child.layer is Layer.PACKET
+    )
+
+
+def trie_batch_supported(trie: PredicateTrie,
+                         registry: FieldRegistry = DEFAULT_REGISTRY
+                         ) -> bool:
+    """True if the packet sub-filter can run as batch mask predicates."""
+    root = trie.root
+    if root.terminal:
+        return True
+    return all(
+        _node_supported(child, registry)
+        for child in root.children if child.layer is Layer.PACKET
+    )
+
+
+# -- interpreted-backend evaluators -------------------------------------------
+
+def _one_accessor_eval(pred: Predicate, accessor: str) -> Callable:
+    """Closure evaluating one accessor comparison: ``f(cols, i) -> bool``."""
+    col = _accessor_support(pred, accessor)
+    assert col is not None, f"unsupported accessor {accessor} of {pred}"
+    op, value = pred.op, pred.value
+    if (pred.protocol, accessor) in _ADDR_COLS:
+        if op is Op.IN:
+            if not isinstance(value, _addr_family(pred.protocol)):
+                # Network of the other IP version: never holds this
+                # protocol's addresses (the scalar version check).
+                return lambda cols, i: False
+            netval = int(value.network_address)
+            mask = int(value.netmask)
+
+            def in_net(cols, i, _c=col, _m=mask, _v=netval):
+                return int.from_bytes(getattr(cols, _c)[i], "big") & _m == _v
+            return in_net
+        packed = value.packed
+        if op is Op.EQ:
+            return lambda cols, i, _c=col, _v=packed: \
+                getattr(cols, _c)[i] == _v
+        return lambda cols, i, _c=col, _v=packed: \
+            getattr(cols, _c)[i] != _v
+    if op is Op.IN:
+        lo, hi = value
+        return lambda cols, i, _c=col, _lo=lo, _hi=hi: \
+            _lo <= getattr(cols, _c)[i] <= _hi
+    if op is Op.EQ:
+        return lambda cols, i, _c=col, _v=value: getattr(cols, _c)[i] == _v
+    if op is Op.NE:
+        return lambda cols, i, _c=col, _v=value: getattr(cols, _c)[i] != _v
+    if op is Op.LT:
+        return lambda cols, i, _c=col, _v=value: getattr(cols, _c)[i] < _v
+    if op is Op.LE:
+        return lambda cols, i, _c=col, _v=value: getattr(cols, _c)[i] <= _v
+    if op is Op.GT:
+        return lambda cols, i, _c=col, _v=value: getattr(cols, _c)[i] > _v
+    if op is Op.GE:
+        return lambda cols, i, _c=col, _v=value: getattr(cols, _c)[i] >= _v
+    raise AssertionError(f"unhandled batch operator {op}")
+
+
+def make_pred_evaluator(pred: Predicate,
+                        registry: FieldRegistry = DEFAULT_REGISTRY
+                        ) -> Callable:
+    """Build ``f(cols, i) -> bool`` for a batch-supported binary predicate.
+
+    Synthetic fields with two accessors (``tcp.port``, ``ipv4.addr``)
+    OR the per-accessor tests, matching the scalar backends.
+    """
+    fdef = registry.field(pred.protocol, pred.field)
+    tests = [_one_accessor_eval(pred, a) for a in fdef.accessors]
+    if len(tests) == 1:
+        return tests[0]
+    t0, t1 = tests
+
+    def either(cols, i):
+        return t0(cols, i) or t1(cols, i)
+    return either
+
+
+# -- generated-backend expressions --------------------------------------------
+
+def _one_accessor_expr(pred: Predicate, accessor: str,
+                       used_cols: set) -> str:
+    """Source expression for one accessor comparison over column locals.
+
+    The generated batch function hoists each used column into a local
+    named ``c_<column>``; expressions index it with the loop variable
+    ``i``. Address constants embed as bytes literals, CIDR membership
+    as an int mask-and-compare — no constant pool needed.
+    """
+    col = _accessor_support(pred, accessor)
+    assert col is not None, f"unsupported accessor {accessor} of {pred}"
+    used_cols.add(col)
+    lhs = f"c_{col}[i]"
+    op, value = pred.op, pred.value
+    if (pred.protocol, accessor) in _ADDR_COLS:
+        if op is Op.IN:
+            if not isinstance(value, _addr_family(pred.protocol)):
+                return "False"  # network of the other IP version
+            netval = int(value.network_address)
+            mask = int(value.netmask)
+            return (f'(int.from_bytes({lhs}, "big") & {mask}) == {netval}')
+        python_op = "==" if op is Op.EQ else "!="
+        return f"{lhs} {python_op} {value.packed!r}"
+    if op is Op.IN:
+        return f"{value[0]} <= {lhs} <= {value[1]}"
+    python_op = {"=": "==", "!=": "!=", "<": "<", "<=": "<=",
+                 ">": ">", ">=": ">="}[op.value]
+    return f"{lhs} {python_op} {value!r}"
+
+
+def gen_batch_condition(pred: Predicate, used_cols: set,
+                        registry: FieldRegistry = DEFAULT_REGISTRY) -> str:
+    """Render a batch-supported binary predicate as a mask condition."""
+    fdef = registry.field(pred.protocol, pred.field)
+    clauses = [
+        _one_accessor_expr(pred, accessor, used_cols)
+        for accessor in fdef.accessors
+    ]
+    if len(clauses) == 1:
+        return clauses[0]
+    return " or ".join(f"({c})" for c in clauses)
+
+
+# -- hardware-filter fast admit -----------------------------------------------
+
+def compile_hw_admit(hw, registry: FieldRegistry = DEFAULT_REGISTRY
+                     ) -> Union[bool, Callable, None]:
+    """Compile a hardware filter's admit check for columnar fast rows.
+
+    Returns ``True`` when every fast row is admitted (no filter or
+    accept-all), a ``f(cols, i) -> bool`` closure when the rule set is
+    column-expressible, or ``None`` when it is not (the NIC must then
+    keep the scalar per-packet ingress path).
+    """
+    if hw is None or hw.accept_all:
+        return True
+    known = (_UNARY_ALWAYS | set(_UNARY_ETH) | set(_UNARY_PROTO))
+    compiled: List[
+        Tuple[Optional[int], Optional[int], List[Callable]]] = []
+    for rule in hw.rules:
+        protos = set(rule.protocols)
+        protos.update(p.protocol for p in rule.items)
+        if protos & _UNARY_NEVER:
+            continue  # rule requires icmp: never matches fast rows
+        if not protos <= known:
+            return None  # protocol the columnar layer cannot reason about
+        want_eth: Optional[int] = None
+        want_proto: Optional[int] = None
+        contradictory = False
+        for proto in protos:
+            eth = _UNARY_ETH.get(proto)
+            if eth is not None:
+                if want_eth is not None and want_eth != eth:
+                    contradictory = True  # ipv4 AND ipv6: never matches
+                    break
+                want_eth = eth
+                continue
+            need = _UNARY_PROTO.get(proto)
+            if need is None:
+                continue
+            if want_proto is not None and want_proto != need:
+                contradictory = True  # tcp AND udp: never matches
+                break
+            want_proto = need
+        if contradictory:
+            continue
+        tests = []
+        for pred in rule.items:
+            if not binary_supported(pred, registry):
+                return None
+            tests.append(make_pred_evaluator(pred, registry))
+        compiled.append((want_eth, want_proto, tests))
+
+    def admit(cols, i, _rules=compiled):
+        ethertype = cols.ethertype[i]
+        proto = cols.proto[i]
+        for want_eth, want_proto, tests in _rules:
+            if want_eth is not None and ethertype != want_eth:
+                continue
+            if want_proto is not None and proto != want_proto:
+                continue
+            for test in tests:
+                if not test(cols, i):
+                    break
+            else:
+                return True
+        return False
+    return admit

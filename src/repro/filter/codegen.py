@@ -29,6 +29,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import PacketParseError
 from repro.filter.ast import Op, Predicate
+from repro.filter.batch import (
+    encode_verdict,
+    gen_batch_condition,
+    trie_batch_supported,
+    unary_kind,
+)
 from repro.filter.fields import DEFAULT_REGISTRY, FieldRegistry, Layer
 from repro.filter.result import FilterResult
 from repro.filter.trie import PredicateTrie, TrieNode
@@ -161,9 +167,14 @@ class GeneratedFilter:
         self.registry = registry
         pool = _ConstPool()
         packet_src = self._gen_packet_filter(pool)
+        batch_src = self._gen_packet_filter_batch()
         conn_src = self._gen_connection_filter(pool)
         session_src = self._gen_session_filter(pool)
-        self.source = packet_src + "\n" + conn_src + "\n" + session_src
+        pieces = [packet_src]
+        if batch_src is not None:
+            pieces.append(batch_src)
+        pieces.extend([conn_src, session_src])
+        self.source = "\n".join(pieces)
         namespace: Dict[str, Any] = {
             "_try": _try_parse,
             "_try_eth": _try_eth,
@@ -178,6 +189,9 @@ class GeneratedFilter:
         code = compile(self.source, "<retina-filter>", "exec")
         exec(code, namespace)  # noqa: S102 - this is the codegen backend
         self.packet_filter = namespace["packet_filter"]
+        #: Batch variant over ColumnarBatch columns, or None when the
+        #: trie uses predicates the columnar layer cannot express.
+        self.packet_filter_batch = namespace.get("packet_filter_batch")
         self.connection_filter = namespace["connection_filter"]
         self.session_filter = namespace["session_filter"]
 
@@ -257,6 +271,79 @@ class GeneratedFilter:
                 self._emit_packet_node(writer, child, indent, env, pool)
         if _is_report(node):
             writer.emit(indent, _result_stmt(node))
+
+    # -- batch packet filter -------------------------------------------------
+    def _gen_packet_filter_batch(self) -> Optional[str]:
+        """Emit ``packet_filter_batch(cols)``: mask predicates over columns.
+
+        Instead of one generated function call per packet, the batch
+        variant evaluates each trie node once per *burst* as a boolean
+        mask list-comprehension over the decoded columns, then writes
+        encoded verdicts with first-write-wins precedence loops in the
+        same depth-first order as the scalar ladder's ``return``
+        statements — so per-row results are identical by construction.
+        Verdicts are only meaningful for rows with ``cols.fast[i]``
+        set; every mask descends from ``cols.fast``, so other rows
+        stay at ``-1``. Returns ``None`` (no batch function) when the
+        trie contains predicates the columns cannot express.
+        """
+        if not trie_batch_supported(self.trie, self.registry):
+            return None
+        writer = _SourceWriter()
+        writer.emit(0, "def packet_filter_batch(cols):")
+        root = self.trie.root
+        if root.terminal:
+            writer.emit(1, "return [1 if f else -1 for f in cols.fast]")
+            return writer.source()
+        body = _SourceWriter()
+        used_cols: set = set()
+        for child in root.children:
+            if child.layer is Layer.PACKET:
+                self._emit_batch_node(body, child, "m0", used_cols)
+        writer.emit(1, "n = cols.n")
+        writer.emit(1, "out = [-1] * n")
+        writer.emit(1, "m0 = cols.fast")
+        for col in sorted(used_cols):
+            writer.emit(1, f"c_{col} = cols.{col}")
+        writer.lines.extend(body.lines)
+        writer.emit(1, "return out")
+        return writer.source()
+
+    def _emit_batch_node(
+        self,
+        writer: _SourceWriter,
+        node: TrieNode,
+        parent_mask: str,
+        used_cols: set,
+    ) -> None:
+        pred = node.pred
+        assert pred is not None
+        mask = parent_mask
+        if pred.is_unary:
+            kind = unary_kind(pred.protocol)
+            if kind == "never":
+                # Fast rows are plain IP TCP/UDP; this subtree can
+                # only match on the scalar slow path.
+                return
+            if kind != "always":
+                col, val = kind
+                used_cols.add(col)
+                mask = f"m{node.id}"
+                writer.emit(1, f"{mask} = [{parent_mask}[i] and "
+                               f"c_{col}[i] == {val} for i in range(n)]")
+        else:
+            cond = gen_batch_condition(pred, used_cols, self.registry)
+            mask = f"m{node.id}"
+            writer.emit(1, f"{mask} = [{parent_mask}[i] and ({cond}) "
+                           f"for i in range(n)]")
+        for child in node.children:
+            if child.layer is Layer.PACKET:
+                self._emit_batch_node(writer, child, mask, used_cols)
+        if _is_report(node):
+            verdict = encode_verdict(node.id, node.terminal)
+            writer.emit(1, "for i in range(n):")
+            writer.emit(2, f"if {mask}[i] and out[i] < 0:")
+            writer.emit(3, f"out[i] = {verdict}")
 
     # -- connection filter -----------------------------------------------------
     def _gen_connection_filter(self, pool: _ConstPool) -> str:

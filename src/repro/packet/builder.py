@@ -20,11 +20,22 @@ _DEFAULT_SRC_MAC = bytes.fromhex("02aabbccdd01")
 _DEFAULT_DST_MAC = bytes.fromhex("02aabbccdd02")
 
 
+#: Per-word-count Struct cache for :func:`checksum16` — the traffic
+#: generators checksum every synthesized segment, and compiling
+#: ``!{n}H`` anew per call dominates the builder profile. The key space
+#: is the set of distinct frame sizes the generators emit (small).
+_CHECKSUM_STRUCTS: dict = {}
+
+
 def checksum16(data: bytes) -> int:
     """RFC 1071 ones'-complement 16-bit checksum."""
     if len(data) % 2:
         data += b"\x00"
-    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    words = len(data) // 2
+    unpacker = _CHECKSUM_STRUCTS.get(words)
+    if unpacker is None:
+        unpacker = _CHECKSUM_STRUCTS[words] = struct.Struct(f"!{words}H")
+    total = sum(unpacker.unpack(data))
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF

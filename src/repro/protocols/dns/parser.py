@@ -19,6 +19,12 @@ _TYPE_NAMES = {v: k for k, v in QTYPE.items()}
 _RCODE_NAMES = {0: "NOERROR", 1: "FORMERR", 2: "SERVFAIL", 3: "NXDOMAIN",
                 4: "NOTIMP", 5: "REFUSED"}
 
+# Wire formats compiled once at import (a parser runs per segment, and
+# inline format strings recompile per call).
+_U16 = struct.Struct("!H")
+_DNS_HEADER = struct.Struct("!HHHH")
+_RR_FIXED = struct.Struct("!HHIH")
+
 
 @dataclass
 class DnsAnswer:
@@ -81,7 +87,7 @@ def parse_name(message: bytes, offset: int) -> Tuple[str, int]:
         if length & 0xC0 == 0xC0:
             if offset + 2 > len(message):
                 raise ValueError("truncated compression pointer")
-            pointer = struct.unpack_from("!H", message, offset)[0] & 0x3FFF
+            pointer = _U16.unpack_from(message, offset)[0] & 0x3FFF
             if end is None:
                 end = offset + 2
             offset = pointer
@@ -128,15 +134,15 @@ class DnsParser(ConnParser):
         """Strip the TCP length prefix if the payload carries one."""
         payload = segment.payload
         if len(payload) >= 14:
-            (prefix,) = struct.unpack_from("!H", payload)
+            (prefix,) = _U16.unpack_from(payload)
             if prefix == len(payload) - 2:
                 return payload[2:]
         return payload
 
     def _parse_message(self, message: bytes, segment: StreamSegment,
                        commit: bool) -> bool:
-        txn_id, flags, qdcount, ancount = struct.unpack_from(
-            "!HHHH", message)
+        txn_id, flags, qdcount, ancount = _DNS_HEADER.unpack_from(
+            message)
         is_response = bool(flags & 0x8000)
         rcode = flags & 0x000F
         opcode = (flags >> 11) & 0x0F
@@ -152,7 +158,7 @@ class DnsParser(ConnParser):
             qname, offset = parse_name(message, offset)
             if offset + 4 > len(message):
                 raise ValueError("truncated question")
-            qtype = struct.unpack_from("!H", message, offset)[0]
+            qtype = _U16.unpack_from(message, offset)[0]
             qtype_name = _TYPE_NAMES.get(qtype, str(qtype))
             offset += 4
             # Additional questions (rare) are skipped.
@@ -195,8 +201,8 @@ class DnsParser(ConnParser):
                 name, offset = parse_name(message, offset)
                 if offset + 10 > len(message):
                     break
-                rtype, _rclass, ttl, rdlength = struct.unpack_from(
-                    "!HHIH", message, offset)
+                rtype, _rclass, ttl, rdlength = _RR_FIXED.unpack_from(
+                    message, offset)
                 offset += 10
                 rdata = message[offset:offset + rdlength]
                 offset += rdlength

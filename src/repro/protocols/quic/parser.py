@@ -25,6 +25,9 @@ _KNOWN_VERSIONS = frozenset(_VERSION_NAMES) | frozenset(
     0xFF000000 | d for d in range(17, 35)  # drafts 17-34
 )
 
+# Compiled once at import; long-header parse runs per datagram.
+_U32 = struct.Struct("!I")
+
 
 @dataclass
 class QuicHandshakeData:
@@ -70,7 +73,7 @@ def parse_long_header(datagram: bytes) -> Optional[_LongHeader]:
     if len(datagram) < 7 or not datagram[0] & 0x80:
         return None
     try:
-        version = struct.unpack_from("!I", datagram, 1)[0]
+        version = _U32.unpack_from(datagram, 1)[0]
         offset = 5
         dcid_len = datagram[offset]
         offset += 1

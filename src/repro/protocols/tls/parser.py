@@ -43,6 +43,10 @@ _VALID_RECORD_TYPES = frozenset({
     RECORD_APPLICATION_DATA,
 })
 _VALID_VERSIONS = frozenset({0x0300, 0x0301, 0x0302, 0x0303, 0x0304})
+# Wire formats compiled once at import; probe/parse run per record.
+_U16 = struct.Struct("!H")
+_U16_PAIR = struct.Struct("!HH")
+_RECORD_HEADER = struct.Struct("!BHH")
 
 
 class _DirectionBuffer:
@@ -75,7 +79,7 @@ class TlsParser(ConnParser):
         payload = segment.payload
         if len(payload) < _RECORD_HEADER_LEN:
             return ProbeResult.UNSURE
-        record_type, version, length = struct.unpack_from("!BHH", payload)
+        record_type, version, length = _RECORD_HEADER.unpack_from(payload)
         if (
             record_type == RECORD_HANDSHAKE
             and version in _VALID_VERSIONS
@@ -108,8 +112,8 @@ class TlsParser(ConnParser):
         self, buffer: _DirectionBuffer, segment: StreamSegment
     ) -> ParseResult:
         while len(buffer.raw) >= _RECORD_HEADER_LEN:
-            record_type, version, length = struct.unpack_from(
-                "!BHH", buffer.raw)
+            record_type, version, length = _RECORD_HEADER.unpack_from(
+                buffer.raw)
             if record_type not in _VALID_RECORD_TYPES or \
                     version not in _VALID_VERSIONS:
                 return ParseResult.ERROR
@@ -205,8 +209,8 @@ class TlsParser(ConnParser):
     def _parse_client_hello(self, body: bytes) -> bool:
         try:
             offset = 0
-            self._data.client_version_id = struct.unpack_from(
-                "!H", body, offset)[0]
+            self._data.client_version_id = _U16.unpack_from(
+                body, offset)[0]
             offset += 2
             self._data.client_random = body[offset:offset + 32]
             offset += 32
@@ -214,10 +218,10 @@ class TlsParser(ConnParser):
             offset += 1
             self._data.session_id = body[offset:offset + sid_len]
             offset += sid_len
-            ciphers_len = struct.unpack_from("!H", body, offset)[0]
+            ciphers_len = _U16.unpack_from(body, offset)[0]
             offset += 2
             self._data.offered_ciphers = [
-                struct.unpack_from("!H", body, offset + i)[0]
+                _U16.unpack_from(body, offset + i)[0]
                 for i in range(0, ciphers_len, 2)
             ]
             offset += ciphers_len
@@ -232,15 +236,15 @@ class TlsParser(ConnParser):
     def _parse_server_hello(self, body: bytes) -> bool:
         try:
             offset = 0
-            self._data.server_version_id = struct.unpack_from(
-                "!H", body, offset)[0]
+            self._data.server_version_id = _U16.unpack_from(
+                body, offset)[0]
             offset += 2
             self._data.server_random = body[offset:offset + 32]
             offset += 32
             sid_len = body[offset]
             offset += 1 + sid_len
-            self._data.chosen_cipher = struct.unpack_from(
-                "!H", body, offset)[0]
+            self._data.chosen_cipher = _U16.unpack_from(
+                body, offset)[0]
             offset += 2
             offset += 1  # compression method
             if self._data.negotiated_version_id is None:
@@ -254,11 +258,11 @@ class TlsParser(ConnParser):
 
     def _parse_extensions(self, body: bytes, offset: int,
                           client: bool) -> None:
-        ext_total = struct.unpack_from("!H", body, offset)[0]
+        ext_total = _U16.unpack_from(body, offset)[0]
         offset += 2
         end = min(offset + ext_total, len(body))
         while offset + 4 <= end:
-            ext_type, ext_len = struct.unpack_from("!HH", body, offset)
+            ext_type, ext_len = _U16_PAIR.unpack_from(body, offset)
             offset += 4
             ext_body = body[offset:offset + ext_len]
             offset += ext_len
@@ -266,9 +270,9 @@ class TlsParser(ConnParser):
                 self._data.client_extensions.append(ext_type)
             if ext_type == EXT_SUPPORTED_GROUPS and client and \
                     len(ext_body) >= 2:
-                count = struct.unpack_from("!H", ext_body)[0] // 2
+                count = _U16.unpack_from(ext_body)[0] // 2
                 self._data.supported_groups = [
-                    struct.unpack_from("!H", ext_body, 2 + 2 * i)[0]
+                    _U16.unpack_from(ext_body, 2 + 2 * i)[0]
                     for i in range(count)
                     if 2 + 2 * i + 2 <= len(ext_body)
                 ]
@@ -278,7 +282,7 @@ class TlsParser(ConnParser):
                 self._data.ec_point_formats = list(
                     ext_body[1:1 + count])
             elif ext_type == EXT_SERVER_NAME and client and len(ext_body) >= 5:
-                name_len = struct.unpack_from("!H", ext_body, 3)[0]
+                name_len = _U16.unpack_from(ext_body, 3)[0]
                 name = ext_body[5:5 + name_len]
                 try:
                     self._data.sni_value = name.decode("ascii")
@@ -286,8 +290,8 @@ class TlsParser(ConnParser):
                     self._data.sni_value = name.decode("latin-1")
             elif ext_type == EXT_SUPPORTED_VERSIONS and not client \
                     and len(ext_body) >= 2:
-                self._data.negotiated_version_id = struct.unpack_from(
-                    "!H", ext_body)[0]
+                self._data.negotiated_version_id = _U16.unpack_from(
+                    ext_body)[0]
             elif ext_type == EXT_ALPN and client and len(ext_body) >= 2:
                 self._parse_alpn(ext_body)
 

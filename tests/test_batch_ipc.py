@@ -138,6 +138,33 @@ class TestPackedBatch:
         assert all(isinstance(m.data, memoryview) for m in views)
         assert views[0].data.obj is batch.blob
 
+    def test_jumbo_frame_promotes_length_array(self):
+        # A frame longer than 0xFFFF bytes cannot ship its length as
+        # u16; the wire encoding must promote the whole length array to
+        # u32 and still round-trip byte-exactly (a silent u16 wrap
+        # would corrupt every offset after the jumbo frame).
+        # Built by appending raw bytes: the builder's checksum pseudo
+        # header is u16-limited, but the wire can carry super-jumbo
+        # frames and PackedBatch must not care what is in them.
+        jumbo = tcp_frame(payload=b"") + b"J" * 70000
+        assert len(jumbo) > 0xFFFF
+        mbufs = [
+            Mbuf(tcp_frame(payload=b"before"), 1.0, 0),
+            Mbuf(jumbo, 2.0, 1),
+            Mbuf(tcp_frame(payload=b"after"), 3.0, 0),
+        ]
+        packed = PackedBatch.pack(mbufs, 2)
+        lengths, code, _ports = packed._wire_fields()
+        assert code == "I"
+        assert list(lengths) == [len(m.data) for m in mbufs]
+        batch = pickle.loads(pickle.dumps(packed))
+        out = batch.unpack()
+        assert len(out) == 3
+        for orig, new in zip(mbufs, out):
+            assert bytes(new.data) == bytes(orig.data)
+            assert new.timestamp == orig.timestamp
+            assert new.port == orig.port
+
     def test_memoryview_mbufs_roundtrip_through_ipc(self):
         # Worker-side mbufs are memoryview-backed; re-packing them
         # (e.g. a redo-log replay built from unpacked views) and
@@ -254,11 +281,26 @@ class TestFilteredOutAllocationBudget:
         frames, so any per-packet payload copy on the reject path
         trips it.
         """
+        per_packet = self._reject_path_bytes_per_packet(columnar=False)
+        assert per_packet < 700, \
+            f"filtered-out path allocates {per_packet:.0f} B/packet"
+
+    def test_columnar_reject_path_stays_below_payload_copy(self):
+        """Columnar mode keeps per-burst column state alive while a
+        batch is pending, so its budget is higher than the scalar
+        path's — but it must stay well below frame size: a payload
+        copy per rejected packet would add >= 1400 B/packet."""
+        per_packet = self._reject_path_bytes_per_packet(columnar=True)
+        assert per_packet < 1100, \
+            f"columnar reject path allocates {per_packet:.0f} B/packet"
+
+    def _reject_path_bytes_per_packet(self, columnar: bool) -> float:
         n = 400
         frame = tcp_frame(payload=b"\xab" * 1400)
         traffic = [Mbuf(frame, i * 1e-4, 0) for i in range(n)]
-        runtime = Runtime(RuntimeConfig(cores=1), filter_str="udp",
-                          datatype="packet", callback=None)
+        runtime = Runtime(RuntimeConfig(cores=1, columnar=columnar),
+                          filter_str="udp", datatype="packet",
+                          callback=None)
         tracemalloc.start()
         try:
             tracemalloc.reset_peak()
@@ -268,6 +310,4 @@ class TestFilteredOutAllocationBudget:
         finally:
             tracemalloc.stop()
         assert report.stats.pf_packets == 0  # everything filtered out
-        per_packet = (peak - before) / n
-        assert per_packet < 700, \
-            f"filtered-out path allocates {per_packet:.0f} B/packet"
+        return (peak - before) / n
