@@ -241,6 +241,32 @@ def run_hotpath():
             results["sequential"]["pkts_per_sec"]
             / results["sequential_scalar"]["pkts_per_sec"])
 
+    # 1b. span-tracing overhead: the same sequential run with the burst
+    # span recorder, flight ring, and profiler fully on (every burst
+    # sampled). The headline number the perf gate checks is the
+    # *spans-disabled* throughput above — span recording must be a
+    # no-op when off — and the enabled overhead is recorded here so
+    # regressions in the recorder itself are visible in the JSON.
+    spans_elapsed = []
+    for _ in range(_rounds()):
+        _report, took = _run(traffic, cores=4, parallel=False,
+                             columnar=use_columnar, span_sample=1,
+                             flight_recorder_depth=8)
+        spans_elapsed.append(took)
+    spans_best = min(spans_elapsed)
+    spans_pps = len(traffic) / spans_best
+    results["sequential_spans"] = {
+        "columnar": use_columnar,
+        "span_sample": 1,
+        "flight_recorder_depth": 8,
+        "rounds": len(spans_elapsed),
+        "elapsed_s": [round(e, 4) for e in spans_elapsed],
+        "best_elapsed_s": spans_best,
+        "pkts_per_sec": spans_pps,
+        "overhead_vs_disabled":
+            results["sequential"]["pkts_per_sec"] / spans_pps,
+    }
+
     # 2. profiled hot path (one extra sequential run under cProfile)
     top_rows, profile_text = _profile_sequential(traffic)
     results["profile_top"] = top_rows
@@ -304,6 +330,12 @@ def report(results) -> None:
             f"sequential best-of-{scalar['rounds']} (scalar): "
             f"{scalar['pkts_per_sec']:,.0f} pkts/s — columnar is "
             f"{seq['speedup_vs_scalar']:.2f}x scalar")
+    spans = results.get("sequential_spans")
+    if spans is not None:
+        lines.append(
+            f"sequential best-of-{spans['rounds']} (spans on, K=1, "
+            f"ring=8): {spans['pkts_per_sec']:,.0f} pkts/s — "
+            f"{spans['overhead_vs_disabled']:.2f}x the disabled cost")
     lines += [
         "",
         f"IPC (batch={ipc['batch_size']}, frames "

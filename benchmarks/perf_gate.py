@@ -41,6 +41,15 @@ def main(argv) -> int:
               f"{1 - measured / recorded:.1%} below the recorded value",
               file=sys.stderr)
         return 1
+    spans = fresh.get("sequential_spans")
+    if spans is not None:
+        # Informational only: the gate above guards the spans-disabled
+        # path; the enabled overhead is recorded so drift is visible in
+        # CI logs without flaking the build on tracing-cost jitter.
+        print(f"spans-enabled sequential: {spans['pkts_per_sec']:,.0f} "
+              f"pkts/s ({spans['overhead_vs_disabled']:.2f}x the "
+              f"disabled cost, K={spans['span_sample']}, "
+              f"ring={spans['flight_recorder_depth']})")
     print("perf gate OK")
     return 0
 

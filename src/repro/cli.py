@@ -78,10 +78,32 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-out", metavar="PATH",
                         help="write sampled connection-lifecycle traces "
                              "as NDJSON")
-    parser.add_argument("--trace-sample", type=float, default=0.01,
+    parser.add_argument("--trace-sample", type=float, default=None,
                         metavar="F",
                         help="fraction of connections traced when "
                              "--trace-out is set (default: 0.01)")
+    spans = parser.add_argument_group(
+        "spans", "burst span tracing, flight recorder and hot-path "
+        "profiler (see docs/OBSERVABILITY.md)")
+    spans.add_argument("--spans-out", metavar="PATH",
+                       help="write sampled burst span trees as Chrome "
+                            "trace-event JSON (load in Perfetto)")
+    spans.add_argument("--spans-ndjson", metavar="PATH",
+                       help="write burst spans, trigger events and the "
+                            "profile summary as NDJSON")
+    spans.add_argument("--flight-out", metavar="PATH",
+                       help="write the flight-recorder dump (last N "
+                            "bursts per core around each trigger) as "
+                            "JSON")
+    spans.add_argument("--span-sample", type=int, default=None,
+                       metavar="K",
+                       help="profile every Kth burst per core "
+                            "(default: 1 when a span output is set)")
+    spans.add_argument("--flight-recorder-depth", type=int, default=None,
+                       metavar="N",
+                       help="bursts retained per core in the flight "
+                            "ring (default: 8 when --flight-out is "
+                            "set)")
     resilience = parser.add_argument_group(
         "resilience", "fault injection, supervision and degradation "
         "(see docs/RESILIENCE.md)")
@@ -195,6 +217,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --burst-intensity must be >= 1.0 (it multiplies "
               "the baseline arrival rate)", file=sys.stderr)
         return 2
+    if args.trace_sample is not None and not args.trace_out:
+        print("error: --trace-sample has no effect without --trace-out: "
+              "connection tracing is off; add --trace-out PATH or drop "
+              "--trace-sample", file=sys.stderr)
+        return 2
+    span_output = bool(args.spans_out or args.spans_ndjson
+                       or args.flight_out)
+    if args.span_sample is not None and args.span_sample <= 0:
+        print("error: --span-sample must be >= 1 (profile every Kth "
+              "burst per core; use --span-sample 1 to profile every "
+              "burst)", file=sys.stderr)
+        return 2
+    if args.span_sample is not None and not span_output:
+        print("error: --span-sample has no effect without a span "
+              "output: add --spans-out, --spans-ndjson or --flight-out, "
+              "or drop --span-sample", file=sys.stderr)
+        return 2
+    if args.flight_recorder_depth is not None and \
+            args.flight_recorder_depth <= 0:
+        print("error: --flight-recorder-depth must be >= 1 (bursts "
+              "retained per core in the flight ring)", file=sys.stderr)
+        return 2
+    if args.flight_recorder_depth is not None and not args.flight_out:
+        print("error: --flight-recorder-depth has no effect without "
+              "--flight-out: the ring is only dumped there; add "
+              "--flight-out PATH or drop --flight-recorder-depth",
+              file=sys.stderr)
+        return 2
 
     if args.pcap:
         from repro.traffic.pcap import iter_pcap
@@ -236,7 +286,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             columnar=not args.no_columnar,
             sink_fraction=args.sink_fraction,
             telemetry=bool(args.metrics_out or args.trace_out),
-            trace_sample=args.trace_sample if args.trace_out else 0.0,
+            trace_sample=(args.trace_sample if args.trace_sample
+                          is not None else 0.01)
+            if args.trace_out else 0.0,
+            span_sample=(args.span_sample if args.span_sample is not None
+                         else 1) if (args.spans_out or args.spans_ndjson)
+            else (args.span_sample or 0),
+            flight_recorder_depth=(
+                args.flight_recorder_depth
+                if args.flight_recorder_depth is not None
+                else 8) if args.flight_out else 0,
             fault_plan=fault_plan,
             callback_error_policy=args.callback_errors,
             callback_error_budget=args.callback_error_budget,
@@ -294,6 +353,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.telemetry import export
         events = export.write_trace(args.trace_out, report.stats)
         print(f"({events} trace events written to {args.trace_out})")
+    if span_output:
+        from repro.telemetry import export
+        if report.spans is None:
+            print("(no span data recorded)", file=sys.stderr)
+        else:
+            if args.spans_out:
+                n = export.write_chrome_trace(args.spans_out,
+                                              report.spans)
+                print(f"({n} span events written to {args.spans_out})")
+            if args.spans_ndjson:
+                n = export.write_spans(args.spans_ndjson, report.spans)
+                print(f"({n} span records written to "
+                      f"{args.spans_ndjson})")
+            if args.flight_out:
+                n = export.write_flight(args.flight_out, report.spans)
+                print(f"({n} flight dumps written to {args.flight_out})")
     if args.overload_out and report.overload is not None:
         from repro.telemetry import export
         records = export.write_overload(args.overload_out,

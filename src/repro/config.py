@@ -101,6 +101,20 @@ class RuntimeConfig:
     #: five-tuple, so the sampled set — and the exported trace — is
     #: identical across backends and worker counts. 0.0 disables.
     trace_sample: float = 0.0
+    #: Burst span tracing / continuous profiler (repro.telemetry.spans):
+    #: 0 disables the recorder entirely (the batch loops keep a single
+    #: ``is None`` check per burst); K >= 1 records every burst's span
+    #: tree boundaries and profiles (and keeps the full tree of) every
+    #: Kth burst per core. Sampling keys on the per-core burst ordinal,
+    #: so the sampled set is identical across backends and worker
+    #: counts.
+    span_sample: int = 0
+    #: Flight recorder: keep the last N burst span-trees per core in a
+    #: bounded ring, dumped with the triggering event on overload rung
+    #: escalation, callback quarantine, parser faults, and worker
+    #: crash/restart. 0 disables the ring. Either this or
+    #: ``span_sample`` being nonzero enables the span recorder.
+    flight_recorder_depth: int = 0
     # -- resilience (repro.resilience) ---------------------------------
     #: Deterministic fault plan to inject into the run; None disables
     #: every injection hook (the hot path carries no fault checks).
@@ -193,6 +207,12 @@ class RuntimeConfig:
             raise ConfigError("parallel_queue_depth must be >= 1")
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ConfigError("trace_sample must be in [0, 1]")
+        if self.span_sample < 0:
+            raise ConfigError("span_sample must be >= 0 "
+                              "(0 disables, K profiles every Kth burst)")
+        if self.flight_recorder_depth < 0:
+            raise ConfigError("flight_recorder_depth must be >= 0 "
+                              "(0 disables the ring)")
         if self.callback_error_policy not in ("raise", "isolate"):
             raise ConfigError(
                 f"unknown callback_error_policy "

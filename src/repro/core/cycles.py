@@ -132,6 +132,40 @@ class CycleLedger:
             self.hist[stage][_hist_index(cycles / invocations)] += \
                 invocations
 
+    def observe_batched(self, stage: Stage, invocations: int) -> None:
+        """Record histogram observations for a *batched* stage.
+
+        The batch loops (scalar, columnar, and rows mode) charge
+        capture and the packet filter with direct dict updates and
+        settle the histogram here, once per burst: the stages have
+        constant per-invocation cost, so ``invocations`` observations
+        all land in the model-cost bucket. Keeps histogram totals in
+        parity with the ledger on every path (see
+        :meth:`check_hist_parity`).
+        """
+        if self.hist is not None and invocations:
+            cost = self.model.cost_of(stage)
+            self.hist[stage][_hist_index(cost)] += invocations
+
+    def check_hist_parity(self) -> None:
+        """Assert per-stage histogram totals match the ledger.
+
+        Every invocation charged while ``record_hist`` was on must
+        appear in exactly one histogram bucket — on the scalar, the
+        columnar, and the rows-mode paths alike. Raises
+        ``AssertionError`` naming the stages that disagree.
+        """
+        if self.hist is None:
+            return
+        bad = []
+        for stage in Stage:
+            total = sum(self.hist[stage])
+            if total != self.invocations[stage]:
+                bad.append("%s: hist=%d ledger=%d" %
+                           (stage.value, total, self.invocations[stage]))
+        assert not bad, \
+            "cycle-histogram/ledger parity broken: " + "; ".join(bad)
+
     @property
     def total_cycles(self) -> float:
         return sum(self.cycles.values())

@@ -213,6 +213,11 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                 if type(batch) is PackedBatch:
                     # Flat-buffer IPC: one blob + offset arrays crossed
                     # the queue; rebuild zero-copy mbuf views here.
+                    if batch.trace_ctx is not None:
+                        # Span context stamped by the feeder: the burst
+                        # tree this batch produces records it, stitching
+                        # worker spans into the parent's trace.
+                        pipeline.set_span_ctx(batch.trace_ctx)
                     batch = batch.unpack()
                 pipeline.process_batch(batch)
                 if seq is not None:
@@ -785,17 +790,34 @@ def run_parallel(
 
     send = pool.send
     pack = PackedBatch.pack
+    # Span context stamping: when burst span tracing is on, every packed
+    # batch carries (queue, seq) so the worker's burst trees stitch into
+    # the parent's trace. Supervised dispatch reuses the supervisor's
+    # sequence numbers; unsupervised dispatch counts its own.
+    spans_on = config.span_sample > 0 or config.flight_recorder_depth > 0
     if supervisor is None:
-        def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
-            send(queue_id, (_BATCH, pack(batch, queue_id)))
+        if spans_on:
+            span_seq = [0] * cores
+
+            def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
+                packed = pack(batch, queue_id)
+                packed.trace_ctx = (queue_id, span_seq[queue_id])
+                span_seq[queue_id] += 1
+                send(queue_id, (_BATCH, packed))
+        else:
+            def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
+                send(queue_id, (_BATCH, pack(batch, queue_id)))
     else:
         def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
             if supervisor.is_lost(queue_id):
                 return  # dead RX queue: its share of traffic is lost
             # The redo log stores the *packed* batch, so a replay after
-            # a crash re-sends the identical flat buffer.
+            # a crash re-sends the identical flat buffer (same span
+            # context too: a replayed burst keeps its original seq).
             packed = pack(batch, queue_id)
             seq, fault = supervisor.on_dispatch(queue_id, packed)
+            if spans_on:
+                packed.trace_ctx = (queue_id, seq)
             send(queue_id, (_BATCH_SEQ, seq, packed))
             if fault is not None:
                 # Planned fault: pause this core's dispatch until the
@@ -985,7 +1007,19 @@ def run_parallel(
     faults = build_fault_report(
         config, core_stats, packet_injector,
         supervisor.summary() if supervisor is not None else None)
+    spans = None
+    if spans_on:
+        from repro.telemetry.spans import build_span_report
+
+        # Parent-side supervisor events (worker crash/restart) join the
+        # workers' own trigger events; each synthesizes a flight dump
+        # from that core's surviving ring.
+        spans = build_span_report(
+            [core_stats[c] for c in sorted(core_stats)],
+            supervisor.failure_events if supervisor is not None else None,
+            config.cost_model.cpu_hz,
+            nic=[n.stats.to_dict() for n in runtime.nics])
     return RuntimeReport(stats=stats, oom_at=oom_at,
                          backend_health=pool.backend_health(),
                          faults=faults, core_stats=core_stats,
-                         overload=overload)
+                         overload=overload, spans=spans)

@@ -112,6 +112,18 @@ class CorePipeline:
         #: Conn-track stage cost, hoisted for the unrolled columnar
         #: charge (see :meth:`_stateful_columnar`).
         self._ct_cost = self.stats.ledger.model.conn_track
+        # -- burst span recorder (repro.telemetry.spans) ----------------
+        # None when disabled: the batch loops then pay one ``is None``
+        # check per burst and the per-packet loops stay untouched (the
+        # "no-op recorder" path). Enabled recorders snapshot the ledger
+        # and funnel counters at burst boundaries only.
+        if config.span_sample > 0 or config.flight_recorder_depth > 0:
+            from repro.telemetry.spans import SpanRecorder
+            self._spans = SpanRecorder(
+                core_id, sample_every=config.span_sample,
+                flight_depth=config.flight_recorder_depth)
+        else:
+            self._spans = None
         self._level = subscription.level
         if executor is None:
             from repro.core.executor import InlineExecutor
@@ -216,6 +228,13 @@ class CorePipeline:
         stateful = self._stateful
         now = self._now
         ov_next = self._ov_next
+        spans = self._spans
+        if spans is not None:
+            span_tok = spans.start(stats)
+            span_nodes = {} if span_tok[0] else None
+        else:
+            span_tok = None
+            span_nodes = None
         packets = 0
         wire_bytes = 0
         # Funnel survivor counters, accumulated in locals and folded
@@ -249,6 +268,9 @@ class CorePipeline:
                 continue
             pf_packets += 1
             pf_bytes += frame_bytes
+            if span_nodes is not None:
+                node = result.node
+                span_nodes[node] = span_nodes.get(node, 0) + 1
             if fast_path:
                 # Packet subscription with a packet-only filter:
                 # Section 5.1 fast path, the callback runs right after
@@ -270,6 +292,13 @@ class CorePipeline:
             stats.connf_bytes += fast_bytes
             stats.sessf_packets += fast_packets
             stats.sessf_bytes += fast_bytes
+        # Settle the constant-cost stage histograms once per burst
+        # (capture and the packet filter bypass ``charge`` above), then
+        # close the burst span.
+        ledger.observe_batched(capture_stage, packets)
+        ledger.observe_batched(filter_stage, packets)
+        if span_tok is not None:
+            spans.finish(stats, self._now, span_tok, span_nodes)
 
     def _process_batch_columnar(self, mbufs) -> None:
         """Columnar variant of :meth:`process_batch`.
@@ -306,6 +335,13 @@ class CorePipeline:
         stateful_columnar = self._stateful_columnar
         now = self._now
         ov_next = self._ov_next
+        spans = self._spans
+        if spans is not None:
+            span_tok = spans.start(stats)
+            span_nodes = {} if span_tok[0] else None
+        else:
+            span_tok = None
+            span_nodes = None
         packets = 0
         wire_bytes = 0
         pf_packets = 0
@@ -334,6 +370,9 @@ class CorePipeline:
                     continue
                 pf_packets += 1
                 pf_bytes += frame_bytes
+                if span_nodes is not None:
+                    node = verdict >> 1
+                    span_nodes[node] = span_nodes.get(node, 0) + 1
                 if fast_path:
                     deliver(RawPacket(mbuf=mbuf))
                     fast_packets += 1
@@ -348,6 +387,9 @@ class CorePipeline:
                 continue
             pf_packets += 1
             pf_bytes += frame_bytes
+            if span_nodes is not None:
+                node = result.node
+                span_nodes[node] = span_nodes.get(node, 0) + 1
             if fast_path:
                 deliver(RawPacket(mbuf=mbuf))
                 fast_packets += 1
@@ -366,6 +408,10 @@ class CorePipeline:
             stats.connf_bytes += fast_bytes
             stats.sessf_packets += fast_packets
             stats.sessf_bytes += fast_bytes
+        ledger.observe_batched(capture_stage, packets)
+        ledger.observe_batched(filter_stage, packets)
+        if span_tok is not None:
+            spans.finish(stats, self._now, span_tok, span_nodes)
 
     def process_batch_rows(self, row_mbufs, row_cols, row_idx,
                            row_verdicts) -> None:
@@ -397,6 +443,13 @@ class CorePipeline:
         stateful_columnar = self._stateful_columnar
         now = self._now
         ov_next = self._ov_next
+        spans = self._spans
+        if spans is not None:
+            span_tok = spans.start(stats)
+            span_nodes = {} if span_tok[0] else None
+        else:
+            span_tok = None
+            span_nodes = None
         packets = 0
         wire_bytes = 0
         pf_packets = 0
@@ -424,6 +477,9 @@ class CorePipeline:
                     continue
                 pf_packets += 1
                 pf_bytes += frame_bytes
+                if span_nodes is not None:
+                    node = verdict >> 1
+                    span_nodes[node] = span_nodes.get(node, 0) + 1
                 if fast_path:
                     deliver(RawPacket(mbuf=mbuf))
                     fast_packets += 1
@@ -438,6 +494,9 @@ class CorePipeline:
                 continue
             pf_packets += 1
             pf_bytes += frame_bytes
+            if span_nodes is not None:
+                node = result.node
+                span_nodes[node] = span_nodes.get(node, 0) + 1
             if fast_path:
                 deliver(RawPacket(mbuf=mbuf))
                 fast_packets += 1
@@ -456,6 +515,10 @@ class CorePipeline:
             stats.connf_bytes += fast_bytes
             stats.sessf_packets += fast_packets
             stats.sessf_bytes += fast_bytes
+        ledger.observe_batched(capture_stage, packets)
+        ledger.observe_batched(filter_stage, packets)
+        if span_tok is not None:
+            spans.finish(stats, self._now, span_tok, span_nodes)
 
     # ------------------------------------------------------------------
     # stateful processing
@@ -817,6 +880,9 @@ class CorePipeline:
             except ProtocolError:
                 self.stats.parser_exceptions += 1
                 failed = True
+                if self._spans is not None:
+                    self._spans.trigger("parser_error", "probe",
+                                        self._now)
             if failed:
                 self._on_service_resolved(conn, None)
                 return
@@ -907,6 +973,9 @@ class CorePipeline:
                 sessions = conn.parser.drain_sessions()
             except ProtocolError:
                 self.stats.parser_exceptions += 1
+                if self._spans is not None:
+                    self._spans.trigger("parser_error", "parse",
+                                        self._now)
                 self._on_parse_error(conn)
                 break
             for session in sessions:
@@ -1118,6 +1187,11 @@ class CorePipeline:
                 not self._quarantined:
             self._quarantined = True
             stats.callback_quarantined = 1
+            if self._spans is not None:
+                self._spans.trigger(
+                    "callback_quarantine",
+                    "quarantined after %d errors" % stats.callback_errors,
+                    self._now)
 
     # -- monitoring ---------------------------------------------------------------
     @property
@@ -1180,11 +1254,16 @@ class CorePipeline:
         """One controller evaluation at virtual time ``now`` (reached
         via the per-packet ``ts >= ov_next`` compare)."""
         ctl = self._overload
+        rung_before = ctl.rung
         tripped = ctl.evaluate(now, self.stats.ledger.busy_seconds,
                                self.table.memory_bytes,
                                self._ov_mem_share)
         self._ov_next = now + ctl.interval
         self._ov_block = ctl.admission_block
+        if self._spans is not None and ctl.rung > rung_before:
+            self._spans.trigger(
+                "overload_rung",
+                "rung %d->%d" % (rung_before, ctl.rung), now)
         if ctl.downgrading and not tripped:
             self._overload_downgrade(now)
         if tripped and self.overload_failfast_at is None:
@@ -1223,6 +1302,14 @@ class CorePipeline:
         return (self._overload.ledger.packets_shed
                 if self._overload is not None else 0)
 
+    def set_span_ctx(self, ctx) -> None:
+        """Stamp the IPC span context for the next burst (the parallel
+        worker loop calls this with the ``(queue, seq)`` that rode the
+        :class:`~repro.packet.batch.PackedBatch`), stitching worker
+        spans into the parent's trace."""
+        if self._spans is not None:
+            self._spans.ctx = ctx
+
     def fold_fault_counters(self) -> None:
         """Merge the injector's injection counts into the stats
         snapshot (idempotent; called before stats leave the core)."""
@@ -1232,3 +1319,8 @@ class CorePipeline:
                 stats.fault_counters[kind] = \
                     stats.fault_counters.get(kind, 0) + count
             self._injector.counters.clear()
+        if self._spans is not None:
+            # Re-snapshot each time (idempotent): the recorder's state
+            # is complete at every fold point, and the snapshot ships
+            # home with the pickled CoreStats.
+            self.stats.spans = self._spans.snapshot()

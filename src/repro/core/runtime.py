@@ -51,6 +51,14 @@ class RuntimeReport:
     #: filter-funnel layer, so degraded output always carries a precise
     #: statement of what was *not* analyzed.
     overload: Optional[object] = None
+    #: Merged burst-span report (:class:`repro.telemetry.spans
+    #: .SpanReport`) when span tracing / the flight recorder / the
+    #: continuous profiler were enabled; None otherwise. Carries the
+    #: sampled span trees, per-stage self-time histograms, the
+    #: hottest stage×filter-node table, and flight-recorder dumps.
+    #: Span data lives here — never on ``stats`` — so
+    #: ``AggregateStats`` stays byte-identical with spans on or off.
+    spans: Optional[object] = None
 
     @property
     def out_of_memory(self) -> bool:
@@ -419,9 +427,17 @@ class Runtime:
             from repro.overload import merge_ledgers
             overload = merge_ledgers(
                 p.stats.overload for p in pipelines)
+        spans = None
+        if self.config.span_sample > 0 or \
+                self.config.flight_recorder_depth > 0:
+            from repro.telemetry.spans import build_span_report
+            spans = build_span_report(
+                [p.stats for p in pipelines], None,
+                self.config.cost_model.cpu_hz,
+                nic=[n.stats.to_dict() for n in self.nics])
         return RuntimeReport(stats=self.aggregate(), oom_at=oom_at,
                              faults=faults, core_stats=core_stats,
-                             overload=overload)
+                             overload=overload, spans=spans)
 
     def _flush_pending(self, pending: List[List[Mbuf]]) -> None:
         """Run every queued batch through its pipeline (sample points

@@ -83,6 +83,14 @@ class CoreStats:
         )
         self.reasm_occ_sum = 0
         self.reasm_peak_bytes = 0
+        #: Span-recorder snapshot (repro.telemetry.spans), attached by
+        #: the pipeline at fold time when spans are enabled. Travels
+        #: with the pickled snapshot like every other field but is
+        #: deliberately *excluded* from :meth:`to_dict` and from
+        #: ``AggregateStats`` — span data lands on
+        #: ``RuntimeReport.spans`` so aggregate stats stay
+        #: byte-identical with spans on or off.
+        self.spans: Optional[Dict] = None
 
     def observe_reasm_occupancy(self, occupancy_bytes: int) -> None:
         if occupancy_bytes > self.reasm_peak_bytes:

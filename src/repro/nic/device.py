@@ -44,6 +44,24 @@ class NicPortStats:
         self.dispatched_packets[queue] = \
             self.dispatched_packets.get(queue, 0) + 1
 
+    def to_dict(self) -> Dict:
+        """Deterministic JSON-able snapshot. The span subsystem
+        (:mod:`repro.telemetry.spans`) attaches this ingress context to
+        flight-recorder dumps so a dump states what the NIC saw, not
+        just what the cores ran."""
+        return {
+            "received_packets": self.received_packets,
+            "received_bytes": self.received_bytes,
+            "hw_dropped_packets": self.hw_dropped_packets,
+            "hw_dropped_bytes": self.hw_dropped_bytes,
+            "sink_dropped_packets": self.sink_dropped_packets,
+            "sink_dropped_bytes": self.sink_dropped_bytes,
+            "dispatched_packets": {
+                str(q): n
+                for q, n in sorted(self.dispatched_packets.items())
+            },
+        }
+
 
 class SimNic:
     """A multi-queue NIC with a flow-rule table and symmetric RSS."""

@@ -32,13 +32,15 @@ DEFAULT_BATCH_SIZE = 256
 
 def _rebuild(blob: bytes, lengths: bytes, length_code: str,
              timestamps: bytes, ports: Union[int, bytes],
-             queue: Optional[int]) -> "PackedBatch":
+             queue: Optional[int],
+             trace_ctx: Optional[tuple] = None) -> "PackedBatch":
     """Unpickle helper: reconstruct the arrays from the wire fields.
 
     The wire carries per-frame *lengths* (u16 unless a frame exceeds
     64 KiB) and either a scalar port (uniform batch, the common case)
     or the raw port array; offsets and the in-memory port array are
-    rebuilt here.
+    rebuilt here. ``trace_ctx`` defaults to None so pre-span pickles
+    still rebuild.
     """
     lens = array(length_code)
     lens.frombytes(lengths)
@@ -55,7 +57,9 @@ def _rebuild(blob: bytes, lengths: bytes, length_code: str,
     else:
         pt = array("H")
         pt.frombytes(ports)
-    return PackedBatch(blob, offsets, ts, pt, queue)
+    batch = PackedBatch(blob, offsets, ts, pt, queue)
+    batch.trace_ctx = trace_ctx
+    return batch
 
 
 class PackedBatch:
@@ -70,17 +74,25 @@ class PackedBatch:
         queue: RSS receive queue shared by the whole batch (set when the
             feeder packs an already-sharded per-queue burst), or ``None``
             for pre-dispatch batches from a traffic generator.
+        trace_ctx: Optional span context — ``(queue, seq)`` stamped by
+            the parallel feeder when burst span tracing is on, so the
+            worker's burst spans stitch into the parent's trace
+            (:mod:`repro.telemetry.spans`). ``None`` when spans are off;
+            costs nothing on the wire then (pickled as a None slot).
     """
 
-    __slots__ = ("blob", "offsets", "timestamps", "ports", "queue")
+    __slots__ = ("blob", "offsets", "timestamps", "ports", "queue",
+                 "trace_ctx")
 
     def __init__(self, blob: bytes, offsets: array, timestamps: array,
-                 ports: array, queue: Optional[int] = None) -> None:
+                 ports: array, queue: Optional[int] = None,
+                 trace_ctx: Optional[tuple] = None) -> None:
         self.blob = blob
         self.offsets = offsets
         self.timestamps = timestamps
         self.ports = ports
         self.queue = queue
+        self.trace_ctx = trace_ctx
 
     @classmethod
     def pack(cls, mbufs: Sequence[Mbuf],
@@ -171,8 +183,13 @@ class PackedBatch:
         # Flat buffers only; unpickling rebuilds the arrays with
         # frombytes. No per-packet object graph ever hits the pickler.
         lengths, code, ports = self._wire_fields()
+        if self.trace_ctx is None:
+            return (_rebuild, (self.blob, lengths.tobytes(), code,
+                               self.timestamps.tobytes(), ports,
+                               self.queue))
         return (_rebuild, (self.blob, lengths.tobytes(), code,
-                           self.timestamps.tobytes(), ports, self.queue))
+                           self.timestamps.tobytes(), ports, self.queue,
+                           self.trace_ctx))
 
     def __repr__(self) -> str:
         return (f"PackedBatch(n={len(self)}, bytes={len(self.blob)}, "

@@ -116,6 +116,11 @@ class WorkerSupervisor:
         self.replayed_batches = 0
         self.unreplayable_batches = 0
         self.backoffs: List[float] = []
+        #: Per-failure event records for the span/flight-recorder layer
+        #: (:mod:`repro.telemetry.spans`): ``{"event": "worker_restart"
+        #: | "worker_lost", "core": id, "detail": ...}``, in failure
+        #: order. Deterministic for planned faults (no wall clock).
+        self.failure_events: List[Dict] = []
 
     # -- dispatch ------------------------------------------------------
     def on_dispatch(self, core: int, batch
@@ -176,6 +181,12 @@ class WorkerSupervisor:
         self.unreplayable_batches += state.redo.unreplayable
         if state.restarts >= self.max_restarts:
             state.lost = True
+            self.failure_events.append({
+                "event": "worker_lost", "core": core,
+                "detail": "restart budget exhausted after %d restarts"
+                          % state.restarts,
+                "ts": -1.0,
+            })
             return None
         backoff = restart_backoff(state.restarts)
         state.restarts += 1
@@ -184,6 +195,12 @@ class WorkerSupervisor:
         replay = state.redo.pending()
         self.replayed_batches += len(replay)
         state.last_heard = time.monotonic()
+        self.failure_events.append({
+            "event": "worker_restart", "core": core,
+            "detail": "restart %d, replaying %d batches"
+                      % (state.restarts, len(replay)),
+            "ts": -1.0,
+        })
         return backoff, replay, state.suppressed
 
     # -- queries -------------------------------------------------------

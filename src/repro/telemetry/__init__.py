@@ -14,6 +14,9 @@ that telemetry first-class:
   software packet filter, connection filter, session filter);
 * :mod:`repro.telemetry.trace` — a sampled connection-lifecycle tracer
   whose output is deterministic across backends and worker counts;
+* :mod:`repro.telemetry.spans` — burst span trees, the flight
+  recorder, and the continuous hot-path profiler (see
+  docs/OBSERVABILITY.md);
 * :mod:`repro.telemetry.export` — Prometheus-text and NDJSON exporters
   (imported lazily; ``from repro.telemetry import export``).
 
@@ -32,6 +35,16 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NullRecorder,
     NULL_RECORDER,
+)
+from repro.telemetry.spans import (
+    NULL_SPAN_RECORDER,
+    NullSpanRecorder,
+    SPAN_HIST_BOUNDS,
+    SpanRecorder,
+    SpanReport,
+    build_span_report,
+    chrome_trace_events,
+    tree_public,
 )
 from repro.telemetry.trace import (
     TRACE_EVENTS,
@@ -55,4 +68,12 @@ __all__ = [
     "TRACE_EVENTS",
     "sort_trace_events",
     "stable_sample_hash",
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "NULL_SPAN_RECORDER",
+    "SPAN_HIST_BOUNDS",
+    "SpanReport",
+    "build_span_report",
+    "chrome_trace_events",
+    "tree_public",
 ]

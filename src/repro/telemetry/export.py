@@ -373,3 +373,69 @@ def write_overload(sink: Union[str, Path, IO[str]], ledger,
         for line in lines:
             writer.write_line(line)
     return len(lines)
+
+
+def check_cycle_hist(stats: AggregateStats) -> None:
+    """Assert histogram/ledger parity on an aggregate (the cross-core
+    analogue of :meth:`repro.core.cycles.CycleLedger.check_hist_parity`).
+
+    Every stage's histogram totals must equal its ledger invocation
+    count — the batched hot paths settle their buckets through
+    ``observe_batched`` — except HARDWARE_FILTER, whose zero-cost
+    admits are charged but some seeds never populate (total ≤
+    invocations there).
+    """
+    if stats.stage_cycle_hist is None:
+        return
+    bad = []
+    for stage in Stage:
+        total = sum(stats.stage_cycle_hist[stage])
+        want = stats.stage_invocations[stage]
+        if stage is Stage.HARDWARE_FILTER:
+            if total > want:
+                bad.append("%s: hist=%d > ledger=%d"
+                           % (stage.value, total, want))
+        elif total != want:
+            bad.append("%s: hist=%d ledger=%d"
+                       % (stage.value, total, want))
+    assert not bad, \
+        "cycle-histogram/ledger parity broken: " + "; ".join(bad)
+
+
+# -- span exports (repro.telemetry.spans) ----------------------------------
+def write_spans(sink: Union[str, Path, IO[str]], report,
+                batch_size: int = 256) -> int:
+    """Write a :class:`~repro.telemetry.spans.SpanReport` as an NDJSON
+    stream (``--spans-ndjson``). Returns the number of records."""
+    from repro.analysis.logwriter import BufferedLineWriter
+    count = 0
+    with BufferedLineWriter(sink, batch_size=batch_size) as writer:
+        for line in report.ndjson_lines():
+            writer.write_line(line)
+            count += 1
+    return count
+
+
+def write_chrome_trace(sink: Union[str, Path, IO[str]], report) -> int:
+    """Write a span report as Chrome trace-event JSON
+    (``--spans-out``; load in Perfetto or chrome://tracing). Returns
+    the number of trace events."""
+    trace = report.chrome_trace()
+    text = json.dumps(trace, separators=(",", ":"), sort_keys=True)
+    if hasattr(sink, "write"):
+        sink.write(text)
+    else:
+        Path(sink).write_text(text)
+    return len(trace["traceEvents"])
+
+
+def write_flight(sink: Union[str, Path, IO[str]], report) -> int:
+    """Write the flight-recorder dump (``--flight-out``) as
+    deterministic JSON. Returns the number of triggered dumps."""
+    dump = report.flight_dump()
+    text = json.dumps(dump, indent=1, sort_keys=True)
+    if hasattr(sink, "write"):
+        sink.write(text)
+    else:
+        Path(sink).write_text(text)
+    return len(dump["dumps"])

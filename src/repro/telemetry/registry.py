@@ -22,6 +22,20 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value for the Prometheus text exposition format:
+    backslash, double quote, and newline must be escaped inside the
+    quoted value or the line (and every line after it) is unparsable."""
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape ``# HELP`` text: backslash and newline only (quotes are
+    legal in help text, which is not quoted)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def format_value(value) -> str:
     """Prometheus-text number formatting (ints without a trailing .0)."""
     if isinstance(value, float) and value.is_integer() and \
@@ -64,7 +78,7 @@ class Metric:
     def labeled(self, key: Tuple[str, ...]) -> str:
         if not key:
             return self.name
-        pairs = ",".join(f'{n}="{v}"'
+        pairs = ",".join(f'{n}="{escape_label_value(v)}"'
                          for n, v in zip(self.label_names, key))
         return f"{self.name}{{{pairs}}}"
 
@@ -159,14 +173,15 @@ class Histogram(Metric):
             yield self._suffixed(key, "_count"), cumulative
 
     def _bucket_name(self, key: Tuple[str, ...], le: str) -> str:
-        pairs = [f'{n}="{v}"' for n, v in zip(self.label_names, key)]
+        pairs = [f'{n}="{escape_label_value(v)}"'
+                 for n, v in zip(self.label_names, key)]
         pairs.append(f'le="{le}"')
         return f"{self.name}_bucket{{{','.join(pairs)}}}"
 
     def _suffixed(self, key: Tuple[str, ...], suffix: str) -> str:
         if not key:
             return self.name + suffix
-        pairs = ",".join(f'{n}="{v}"'
+        pairs = ",".join(f'{n}="{escape_label_value(v)}"'
                          for n, v in zip(self.label_names, key))
         return f"{self.name}{suffix}{{{pairs}}}"
 
@@ -241,7 +256,8 @@ class MetricsRegistry:
         lines: List[str] = []
         for metric in self.collect(include_volatile):
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} {escape_help(metric.help)}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for labeled, value in metric.samples():
                 lines.append(f"{labeled} {format_value(value)}")

@@ -174,6 +174,56 @@ class TestFlagValidation:
         assert code == 2
         assert "--burst-intensity" in capsys.readouterr().err
 
+    def test_trace_sample_without_trace_out(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--trace-sample", "0.5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--trace-sample" in err
+        assert "--trace-out" in err  # the remediation
+
+    def test_nonpositive_span_sample(self, tmp_path, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--spans-out", str(tmp_path / "s.json"),
+                     "--span-sample", "0"])
+        assert code == 2
+        assert "--span-sample must be >= 1" in capsys.readouterr().err
+
+    def test_span_sample_without_span_output(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--span-sample", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--span-sample" in err
+        assert "--spans-out" in err  # the remediation
+
+    def test_nonpositive_flight_depth(self, tmp_path, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--flight-out", str(tmp_path / "f.json"),
+                     "--flight-recorder-depth", "-1"])
+        assert code == 2
+        assert "--flight-recorder-depth must be >= 1" in \
+            capsys.readouterr().err
+
+    def test_flight_depth_without_flight_out(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--flight-recorder-depth", "4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--flight-recorder-depth" in err
+        assert "--flight-out" in err  # the remediation
+
+    def test_span_flags_compatible_combo(self, tmp_path, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--gbps", "0.02", "--print-limit", "0",
+                     "--spans-out", str(tmp_path / "s.json"),
+                     "--flight-out", str(tmp_path / "f.json"),
+                     "--span-sample", "2",
+                     "--flight-recorder-depth", "4"])
+        assert code == 0
+        assert (tmp_path / "s.json").exists()
+        assert (tmp_path / "f.json").exists()
+
 
 class TestOverloadCli:
     def test_burst_ladder_run(self, tmp_path, capsys):

@@ -116,6 +116,46 @@ class TestRegistry:
         assert text.index("a_total") < text.index("b_total")
         assert text.endswith("\n")
 
+    def test_label_values_escaped(self):
+        """Backslashes, quotes and newlines in label values render in
+        the escaped exposition form (unescaped they corrupt the line
+        and every line after it)."""
+        reg = MetricsRegistry()
+        c = reg.counter("weird_total", "weird labels",
+                        label_names=("path",))
+        c.inc(1, labels=('C:\\tmp\\"x"\nboom',))
+        text = reg.render_prometheus()
+        assert 'path="C:\\\\tmp\\\\\\"x\\"\\nboom"' in text
+        assert "\nboom" not in text  # no raw newline leaked
+
+    def test_histogram_label_values_escaped(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "", buckets=(1.0,),
+                          label_names=("node",))
+        h.observe(0.5, labels=('a"b\\c',))
+        samples = [name for name, _ in h.samples()]
+        assert all('node="a\\"b\\\\c"' in name for name in samples)
+        # Every rendered sample stays on one physical line.
+        text = reg.render_prometheus()
+        assert all(line.count('"') % 2 == 0 or "\\" in line
+                   for line in text.splitlines())
+
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "first line\nsecond \\ line").inc(1)
+        text = reg.render_prometheus()
+        assert "# HELP x_total first line\\nsecond \\\\ line" in text
+        # One HELP, one TYPE, one sample: nothing split across lines.
+        assert len(text.strip().splitlines()) == 3
+
+    def test_plain_labels_unchanged_by_escaping(self):
+        """The escaping is a no-op for ordinary label values, so
+        existing exports stay byte-identical."""
+        reg = MetricsRegistry()
+        reg.counter("pkts_total", "packets",
+                    label_names=("stage",)).inc(3, labels=("parsing",))
+        assert 'pkts_total{stage="parsing"} 3' in reg.render_prometheus()
+
     def test_null_recorder_is_inert(self):
         NULL_RECORDER.inc(5, labels=("x",))
         NULL_RECORDER.observe(1.0)
