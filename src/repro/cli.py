@@ -148,6 +148,71 @@ def _build_parser() -> argparse.ArgumentParser:
                                "ladder (default: 0.05)")
     overload.add_argument("--overload-out", metavar="PATH",
                           help="write the loss ledger as NDJSON")
+    netem = parser.add_argument_group(
+        "netem", "seeded link impairment and degraded-link mitigation "
+        "(see docs/SCENARIOS.md)")
+    netem.add_argument("--impair-loss", type=float, default=0.0,
+                       metavar="F",
+                       help="independent per-packet loss probability")
+    netem.add_argument("--impair-burst", metavar="P,R[,LB[,LG]]",
+                       help="Gilbert-Elliott burst loss: good->bad "
+                            "prob P, bad->good prob R, optional "
+                            "loss-while-bad (default 1.0) and "
+                            "loss-while-good (default 0.0)")
+    netem.add_argument("--impair-corrupt", type=float, default=0.0,
+                       metavar="F",
+                       help="per-packet frame-corruption probability "
+                            "(1-8 payload bit flips)")
+    netem.add_argument("--impair-corrupt-silent", action="store_true",
+                       help="recompute checksums after corrupting "
+                            "(silent corruption: undetectable by "
+                            "checksum quarantine)")
+    netem.add_argument("--impair-reorder", type=float, default=0.0,
+                       metavar="F",
+                       help="per-packet bounded-reordering probability")
+    netem.add_argument("--impair-reorder-depth", type=int, default=None,
+                       metavar="N",
+                       help="max positions a reordered packet is "
+                            "displaced (default: 8)")
+    netem.add_argument("--impair-dup", type=float, default=0.0,
+                       metavar="F",
+                       help="per-packet duplication probability")
+    netem.add_argument("--impair-jitter", type=float, default=0.0,
+                       metavar="S",
+                       help="max extra per-packet latency (virtual s)")
+    netem.add_argument("--impair-seed", type=int, default=None,
+                       metavar="N",
+                       help="impairment RNG seed (default: --seed)")
+    netem.add_argument("--impair-trace", metavar="PATH",
+                       help="replay per-packet impairment decisions "
+                            "from a recorded trace file")
+    netem.add_argument("--impair-record", metavar="PATH",
+                       help="record every sampled impairment decision "
+                            "to a replayable trace file")
+    netem.add_argument("--impair-quarantine", action="store_true",
+                       help="verify IPv4/TCP/UDP checksums at ingress "
+                            "and drop (quarantine) frames that fail, "
+                            "attributed per link")
+    netem.add_argument("--impair-disable-threshold", type=int,
+                       default=0, metavar="N",
+                       help="disable an ingress link after N detected-"
+                            "bad frames within the sliding window "
+                            "(0: policy off)")
+    netem.add_argument("--impair-disable-window", type=int,
+                       default=None, metavar="N",
+                       help="sliding window (frames) for the disable "
+                            "decision (default: 256)")
+    netem.add_argument("--impair-repair-time", type=float, default=None,
+                       metavar="S",
+                       help="virtual seconds a disabled link stays "
+                            "down (default: 0.5)")
+    netem.add_argument("--impair-adaptive-reassembly",
+                       action="store_true",
+                       help="let the reassembler widen/narrow its "
+                            "out-of-order window with observed reorder "
+                            "depth")
+    netem.add_argument("--impair-out", metavar="PATH",
+                       help="write the impairment ledger as NDJSON")
     parser.add_argument("--describe-filter", metavar="FILTER",
                         help="print a filter's decomposition and exit")
     return parser
@@ -245,6 +310,68 @@ def main(argv: Optional[List[str]] = None) -> int:
               "--flight-out PATH or drop --flight-recorder-depth",
               file=sys.stderr)
         return 2
+    impair_models = bool(args.impair_loss or args.impair_burst
+                         or args.impair_corrupt or args.impair_reorder
+                         or args.impair_dup or args.impair_jitter)
+    impair_any = (impair_models or args.impair_trace
+                  or args.impair_record or args.impair_quarantine
+                  or args.impair_disable_threshold > 0)
+    if args.impair_trace and impair_models:
+        print("error: --impair-trace conflicts with the impairment "
+              "model flags (--impair-loss/--impair-burst/"
+              "--impair-corrupt/--impair-reorder/--impair-dup/"
+              "--impair-jitter): a replay trace already fixes every "
+              "per-packet decision; drop the model flags or the trace",
+              file=sys.stderr)
+        return 2
+    if args.impair_record and args.impair_trace:
+        print("error: --impair-record with --impair-trace would "
+              "re-record the replayed trace verbatim; drop one of them",
+              file=sys.stderr)
+        return 2
+    if args.impair_corrupt_silent and not (args.impair_corrupt
+                                           or args.impair_trace):
+        print("error: --impair-corrupt-silent has no effect without "
+              "--impair-corrupt (corrupt_silent only changes how "
+              "flipped bits are checksummed); add --impair-corrupt F "
+              "or drop --impair-corrupt-silent", file=sys.stderr)
+        return 2
+    if args.impair_reorder_depth is not None and not args.impair_reorder:
+        print("error: --impair-reorder-depth has no effect without "
+              "--impair-reorder: no packets are displaced; add "
+              "--impair-reorder F or drop --impair-reorder-depth",
+              file=sys.stderr)
+        return 2
+    if (args.impair_disable_window is not None
+            or args.impair_repair_time is not None) and \
+            args.impair_disable_threshold <= 0:
+        print("error: --impair-disable-window/--impair-repair-time "
+              "have no effect without --impair-disable-threshold: the "
+              "disable-and-repair policy is off; add "
+              "--impair-disable-threshold N or drop them",
+              file=sys.stderr)
+        return 2
+    if args.impair_out and not impair_any:
+        print("error: --impair-out has no effect without an impairment "
+              "or mitigation flag: no ledger is kept; add an "
+              "--impair-* flag (e.g. --impair-loss) or drop "
+              "--impair-out", file=sys.stderr)
+        return 2
+    if impair_any and args.fault_plan:
+        try:
+            plan_probe = _load_fault_plan(args.fault_plan)
+        except RetinaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if plan_probe is not None and plan_probe.has_packet_faults:
+            print("error: --impair-* flags conflict with --fault-plan "
+                  "packet-corruption entries (corrupt_packet/"
+                  "truncate_packet): two uncoordinated layers mutating "
+                  "the same frames make loss attribution ambiguous; "
+                  "move the corruption into the impairment layer "
+                  "(--impair-corrupt) or strip packet faults from the "
+                  "plan", file=sys.stderr)
+            return 2
 
     if args.pcap:
         from repro.traffic.pcap import iter_pcap
@@ -277,6 +404,34 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         fault_plan = _load_fault_plan(args.fault_plan)
+        impairment = None
+        if impair_any:
+            from repro.netem import GilbertElliott, ImpairmentConfig
+            impairment = ImpairmentConfig(
+                seed=(args.impair_seed if args.impair_seed is not None
+                      else args.seed),
+                loss_rate=args.impair_loss,
+                burst=(GilbertElliott.parse(args.impair_burst)
+                       if args.impair_burst else None),
+                corrupt_rate=args.impair_corrupt,
+                corrupt_silent=args.impair_corrupt_silent,
+                reorder_rate=args.impair_reorder,
+                reorder_depth=(args.impair_reorder_depth
+                               if args.impair_reorder_depth is not None
+                               else 8),
+                duplicate_rate=args.impair_dup,
+                jitter_s=args.impair_jitter,
+                trace_path=args.impair_trace,
+                record_path=args.impair_record,
+                quarantine=args.impair_quarantine,
+                disable_threshold=args.impair_disable_threshold,
+                disable_window=(args.impair_disable_window
+                                if args.impair_disable_window is not None
+                                else 256),
+                repair_time=(args.impair_repair_time
+                             if args.impair_repair_time is not None
+                             else 0.5),
+            )
         config = RuntimeConfig(
             cores=args.parallel if args.parallel > 0 else args.cores,
             parallel=args.parallel > 0,
@@ -304,6 +459,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             supervise=args.supervise,
             overload_policy=args.overload_policy,
             overload_target_lag=args.overload_target_lag,
+            impairment=impairment,
+            ooo_adaptive=args.impair_adaptive_reassembly,
         )
         runtime = Runtime(config, filter_str=args.filter_str,
                           datatype=args.datatype, callback=callback)
@@ -319,6 +476,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     print()
     print(report.stats.describe())
+    if report.impairment is not None:
+        print(report.impairment.describe())
     if report.overload is not None:
         print(report.overload.describe())
     if report.faults is not None:
@@ -347,7 +506,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         export.write_metrics(args.metrics_out, report.stats,
                              backend_health=report.backend_health,
                              faults=report.faults,
-                             overload=report.overload)
+                             overload=report.overload,
+                             impairment=report.impairment)
         print(f"(metrics written to {args.metrics_out})")
     if args.trace_out:
         from repro.telemetry import export
@@ -375,6 +535,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                                         report.overload)
         print(f"({records} overload records written to "
               f"{args.overload_out})")
+    if args.impair_out and report.impairment is not None:
+        from repro.telemetry import export
+        records = export.write_impairment(args.impair_out,
+                                          report.impairment)
+        print(f"({records} impairment records written to "
+              f"{args.impair_out})")
+    if args.impair_record and report.impairment is not None:
+        print(f"(impairment trace recorded to {args.impair_record})")
     if report.failed_fast:
         print(f"aborted: overload failfast at "
               f"{report.overload.failfast_at:.3f}s", file=sys.stderr)

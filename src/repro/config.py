@@ -9,6 +9,7 @@ from repro.conntrack.table import TimeoutConfig
 from repro.core.cycles import CostModel
 from repro.errors import ConfigError
 from repro.filter.hardware import NicCapabilities, connectx5_capabilities
+from repro.netem.model import ImpairmentConfig
 from repro.resilience.faults import FaultPlan
 from repro.stream.reassembly import DEFAULT_OOO_CAPACITY
 
@@ -28,6 +29,15 @@ class RuntimeConfig:
     timeouts: TimeoutConfig = field(default_factory=TimeoutConfig)
     #: Out-of-order ring capacity per flow direction.
     ooo_capacity: int = DEFAULT_OOO_CAPACITY
+    #: Adaptive out-of-order window (repro.stream.reassembly): the
+    #: per-direction ring grows (×2, up to ``ooo_max_capacity``)
+    #: instead of dropping when observed reorder depth exceeds it, and
+    #: shrinks (÷2, down to ``ooo_min_capacity``) after a long fully
+    #: in-order streak. Off by default — the fixed ring is the paper's
+    #: design; the adaptive window is the degraded-link mitigation.
+    ooo_adaptive: bool = False
+    ooo_min_capacity: int = 64
+    ooo_max_capacity: int = 4096
     #: NIC capability profile used to validate hardware rules.
     nic: NicCapabilities = field(default_factory=connectx5_capabilities)
     #: Install the hardware filter (Section 6.1 disables it).
@@ -184,6 +194,14 @@ class RuntimeConfig:
     #: state (reassembly buffers + packet buffers) get their lazy
     #: reassembly and session parsing disabled.
     overload_heavy_bytes: int = 65536
+    # -- link impairment (repro.netem) ----------------------------------
+    #: Seeded link-impairment layer wrapping the traffic source (burst
+    #: loss, corruption, duplication, jitter, bounded reordering) plus
+    #: receiver mitigations (checksum quarantine, per-link
+    #: disable-and-repair). None disables the layer entirely: the
+    #: traffic source is not even wrapped, so the clean path is
+    #: byte-identical with or without this feature built.
+    impairment: Optional[ImpairmentConfig] = None
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -194,6 +212,19 @@ class RuntimeConfig:
             raise ConfigError(f"unknown filter_mode {self.filter_mode!r}")
         if self.ooo_capacity < 0:
             raise ConfigError("ooo_capacity must be >= 0")
+        if self.ooo_min_capacity < 1:
+            raise ConfigError("ooo_min_capacity must be >= 1")
+        if self.ooo_max_capacity < self.ooo_min_capacity:
+            raise ConfigError(
+                "ooo_max_capacity must be >= ooo_min_capacity")
+        if self.ooo_adaptive and not (
+                self.ooo_min_capacity <= self.ooo_capacity
+                <= self.ooo_max_capacity):
+            raise ConfigError(
+                f"with ooo_adaptive, ooo_capacity "
+                f"({self.ooo_capacity}) must start inside "
+                f"[ooo_min_capacity, ooo_max_capacity] = "
+                f"[{self.ooo_min_capacity}, {self.ooo_max_capacity}]")
         if self.reassembler not in ("lazy", "buffered"):
             raise ConfigError(f"unknown reassembler {self.reassembler!r}")
         if self.callback_execution not in ("inline", "queued"):
@@ -253,6 +284,15 @@ class RuntimeConfig:
                 f"memory pressure (it senses table occupancy against "
                 f"memory_limit_bytes itself); use memory_policy="
                 f"'record' or overload_policy='off'")
+        if self.impairment is not None and self.fault_plan is not None \
+                and self.fault_plan.has_packet_faults:
+            raise ConfigError(
+                "impairment conflicts with fault-plan packet-corruption "
+                "entries (corrupt_packet/truncate_packet): both mutate "
+                "frames before RSS dispatch from independent seeded "
+                "streams, making ledger attribution ambiguous; move "
+                "the corruption into the impairment layer "
+                "(corrupt_rate) or strip packet faults from the plan")
         if self.parallel and self.callback_execution != "inline":
             raise ConfigError(
                 "the parallel backend supports inline callback execution "

@@ -803,7 +803,16 @@ class CorePipeline:
         if self.config.reassembler == "buffered":
             conn.reassembler = BufferedReassembler()
         else:
-            conn.reassembler = LazyReassembler(self.config.ooo_capacity)
+            # The stats sink mirrors the reorderer's rare-path discard
+            # counters (dup/overlap/stale/overflow) onto the per-core
+            # funnel telemetry; the adaptive window knobs come from
+            # config (off by default — the fixed ring is the paper's).
+            conn.reassembler = LazyReassembler(
+                self.config.ooo_capacity,
+                adaptive=self.config.ooo_adaptive,
+                min_capacity=self.config.ooo_min_capacity,
+                max_capacity=self.config.ooo_max_capacity,
+                stats=self.stats)
 
     # -- reassembly ----------------------------------------------------------
     def _reassemble(self, conn: Connection, stack, five_tuple,

@@ -51,6 +51,14 @@ class RuntimeReport:
     #: filter-funnel layer, so degraded output always carries a precise
     #: statement of what was *not* analyzed.
     overload: Optional[object] = None
+    #: Link-impairment ledger (:class:`repro.netem.ImpairmentLedger`)
+    #: when ``config.impairment`` was enabled; None otherwise. Every
+    #: packet the impaired link dropped, corrupted, duplicated or
+    #: displaced is attributed here by cause and ingress link, so
+    #: ``offered + duplicated == delivered + lost + quarantined +
+    #: link_shed`` holds exactly and chains with the overload ledger's
+    #: ``seen == analyzed + shed``.
+    impairment: Optional[object] = None
     #: Merged burst-span report (:class:`repro.telemetry.spans
     #: .SpanReport`) when span tracing / the flight recorder / the
     #: continuous profiler were enabled; None otherwise. Carries the
@@ -170,6 +178,17 @@ class Runtime:
         # PackedBatch chunks (a generator's flat-buffer output) instead
         # of — or mixed with — individual mbufs. Plain mbuf lists pass
         # through untouched, keeping the hot loop generator-free.
+        # The impaired link wraps the source first — the physical link
+        # precedes everything — and in this (parent) process, so the
+        # impaired stream is identical across backends and worker
+        # counts. Batched sources keep their shape: the link performs
+        # PackedBatch surgery rather than flattening.
+        impairment = self.config.impairment
+        link = None
+        if impairment is not None and impairment.enabled:
+            from repro.netem import ImpairedLink
+            link = ImpairedLink(impairment)
+            traffic = link.wrap(traffic)
         from repro.packet.batch import iter_mbufs
         traffic = iter_mbufs(traffic)
         # Packet faults are injected here — in the feeding process,
@@ -182,13 +201,19 @@ class Runtime:
             traffic = injector.wrap(traffic)
         if self.config.parallel:
             from repro.core.parallel import run_parallel
-            return run_parallel(self, traffic, drain=drain,
-                                memory_sample_interval=memory_sample_interval,
-                                monitor=monitor,
-                                packet_injector=injector)
-        return self._run_sequential(traffic, drain,
-                                    memory_sample_interval, monitor,
-                                    packet_injector=injector)
+            report = run_parallel(
+                self, traffic, drain=drain,
+                memory_sample_interval=memory_sample_interval,
+                monitor=monitor, packet_injector=injector)
+        else:
+            report = self._run_sequential(traffic, drain,
+                                          memory_sample_interval,
+                                          monitor,
+                                          packet_injector=injector)
+        if link is not None:
+            link.close()  # flush a recorded trace even on an abort
+            report.impairment = link.ledger
+        return report
 
     def _run_sequential(
         self,
@@ -497,6 +522,8 @@ class Runtime:
         callback_errors = callbacks_suppressed = quarantined_cores = 0
         parser_exceptions = conns_evicted = conns_shed = 0
         reasm_truncations = reasm_truncated_bytes = 0
+        reasm_dup = reasm_overlap = reasm_stale = reasm_overflow = 0
+        reasm_grows = reasm_shrinks = 0
         fault_counters: Dict[str, int] = {}
         reasm_peak = reasm_occ_sum = 0
         memory_samples = []
@@ -532,6 +559,12 @@ class Runtime:
             conns_shed += stats.conns_shed
             reasm_truncations += stats.reasm_truncations
             reasm_truncated_bytes += stats.reasm_truncated_bytes
+            reasm_dup += stats.reasm_dup_segments
+            reasm_overlap += stats.reasm_overlap_segments
+            reasm_stale += stats.reasm_stale_retransmits
+            reasm_overflow += stats.reasm_overflow_drops
+            reasm_grows += stats.reasm_window_grows
+            reasm_shrinks += stats.reasm_window_shrinks
             for kind, count in stats.fault_counters.items():
                 fault_counters[kind] = fault_counters.get(kind, 0) + count
             if stats.reasm_peak_bytes > reasm_peak:
@@ -590,6 +623,12 @@ class Runtime:
             conns_shed=conns_shed,
             reasm_truncations=reasm_truncations,
             reasm_truncated_bytes=reasm_truncated_bytes,
+            reasm_dup_segments=reasm_dup,
+            reasm_overlap_segments=reasm_overlap,
+            reasm_stale_retransmits=reasm_stale,
+            reasm_overflow_drops=reasm_overflow,
+            reasm_window_grows=reasm_grows,
+            reasm_window_shrinks=reasm_shrinks,
             fault_counters=fault_counters,
             stage_cycle_hist=stage_cycle_hist,
             reasm_hist=reasm_hist,

@@ -67,6 +67,19 @@ class CoreStats:
         #: reassembler, which never copies into a bounded buffer.
         self.reasm_truncations = 0
         self.reasm_truncated_bytes = 0
+        #: Lazy-reassembler discard accounting (repro.stream.reassembly
+        #: mirrors its rare-path counters here so impairment runs can
+        #: distinguish link loss from dup-discard): fresh full
+        #: retransmits of delivered data, partial overlaps (trimmed),
+        #: held segments wholly superseded before their flush slot, and
+        #: out-of-order ring overflows.
+        self.reasm_dup_segments = 0
+        self.reasm_overlap_segments = 0
+        self.reasm_stale_retransmits = 0
+        self.reasm_overflow_drops = 0
+        #: Adaptive out-of-order window resizes (config.ooo_adaptive).
+        self.reasm_window_grows = 0
+        self.reasm_window_shrinks = 0
         #: The core's overload loss ledger (repro.overload), attached
         #: by the pipeline when an overload policy is active; None
         #: otherwise. Travels with the snapshot like every counter.
@@ -144,6 +157,12 @@ class CoreStats:
             "fault_counters": dict(sorted(self.fault_counters.items())),
             "reasm_truncations": self.reasm_truncations,
             "reasm_truncated_bytes": self.reasm_truncated_bytes,
+            "reasm_dup_segments": self.reasm_dup_segments,
+            "reasm_overlap_segments": self.reasm_overlap_segments,
+            "reasm_stale_retransmits": self.reasm_stale_retransmits,
+            "reasm_overflow_drops": self.reasm_overflow_drops,
+            "reasm_window_grows": self.reasm_window_grows,
+            "reasm_window_shrinks": self.reasm_window_shrinks,
             "overload": (self.overload.to_dict()
                          if self.overload is not None else None),
             "memory_samples": list(self.memory_samples),
@@ -186,6 +205,12 @@ class CoreStats:
                 self.fault_counters.get(kind, 0) + count
         self.reasm_truncations += other.reasm_truncations
         self.reasm_truncated_bytes += other.reasm_truncated_bytes
+        self.reasm_dup_segments += other.reasm_dup_segments
+        self.reasm_overlap_segments += other.reasm_overlap_segments
+        self.reasm_stale_retransmits += other.reasm_stale_retransmits
+        self.reasm_overflow_drops += other.reasm_overflow_drops
+        self.reasm_window_grows += other.reasm_window_grows
+        self.reasm_window_shrinks += other.reasm_window_shrinks
         if other.overload is not None:
             if self.overload is None:
                 from repro.overload.ledger import LossLedger
@@ -247,6 +272,13 @@ class AggregateStats:
     # -- overload / stream truncation (repro.overload) -------------------
     reasm_truncations: int = 0
     reasm_truncated_bytes: int = 0
+    # -- reassembly discard/window accounting (repro.stream) --------------
+    reasm_dup_segments: int = 0
+    reasm_overlap_segments: int = 0
+    reasm_stale_retransmits: int = 0
+    reasm_overflow_drops: int = 0
+    reasm_window_grows: int = 0
+    reasm_window_shrinks: int = 0
     #: Merged per-stage cycle histograms (None unless telemetry ran).
     stage_cycle_hist: Optional[Dict[Stage, List[int]]] = None
     #: Merged reassembly occupancy histogram (None unless telemetry ran).
@@ -399,6 +431,12 @@ class AggregateStats:
             "fault_counters": dict(sorted(self.fault_counters.items())),
             "reasm_truncations": self.reasm_truncations,
             "reasm_truncated_bytes": self.reasm_truncated_bytes,
+            "reasm_dup_segments": self.reasm_dup_segments,
+            "reasm_overlap_segments": self.reasm_overlap_segments,
+            "reasm_stale_retransmits": self.reasm_stale_retransmits,
+            "reasm_overflow_drops": self.reasm_overflow_drops,
+            "reasm_window_grows": self.reasm_window_grows,
+            "reasm_window_shrinks": self.reasm_window_shrinks,
             "filter_funnel": [layer.to_dict()
                               for layer in self.filter_funnel()],
         }

@@ -1,0 +1,179 @@
+"""The impairment ledger: every impaired packet, attributed.
+
+The PR-4 loss ledger's discipline — degraded output must carry a
+precise statement of what was *not* analyzed — extends to the link
+layer here. Every packet the impairment layer touches is counted by
+cause and by ingress link, and the conservation invariant
+
+    offered + duplicated == delivered + lost + quarantined + link_shed
+
+holds exactly. Combined with the NIC's ``ingress == delivered`` and
+the overload ledger's ``seen == analyzed + shed``, a degraded run's
+books balance end to end: ``seen == analyzed + shed + impaired``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Drop causes, in reporting order.
+DROP_CAUSES = ("loss", "quarantine", "link_disabled")
+
+
+class ImpairmentLedger:
+    """Counters for one impaired link layer (parent-side, one per run)."""
+
+    def __init__(self, config_dict: Optional[Dict] = None) -> None:
+        #: The configuration that produced this ledger (for exports).
+        self.config = config_dict or {}
+        self.offered = 0
+        self.offered_bytes = 0
+        self.delivered = 0
+        self.delivered_bytes = 0
+        #: Extra copies emitted by the duplication model.
+        self.duplicated = 0
+        #: Frames mutated by the corruption model (and the subset whose
+        #: checksums were recomputed, making the damage silent).
+        self.corrupted = 0
+        self.corrupted_silent = 0
+        #: Frames displaced later than their arrival position.
+        self.reordered = 0
+        #: Frames given extra latency by the jitter model.
+        self.delayed = 0
+        #: Drops by cause: the loss model, checksum quarantine, and the
+        #: disable-and-repair policy shedding a disabled link.
+        self.dropped: Dict[str, int] = {c: 0 for c in DROP_CAUSES}
+        self.dropped_bytes: Dict[str, int] = {c: 0 for c in DROP_CAUSES}
+        #: Per-link (ingress port) attribution.
+        self.per_link: Dict[int, Dict[str, int]] = {}
+        #: Disable/repair transitions: (virtual ts, link, event, detail).
+        self.link_events: List[Tuple[float, int, str, str]] = []
+
+    # -- recording -----------------------------------------------------
+    def _link(self, port: int) -> Dict[str, int]:
+        link = self.per_link.get(port)
+        if link is None:
+            link = {"offered": 0, "delivered": 0, "loss": 0,
+                    "corrupted": 0, "quarantine": 0, "link_disabled": 0,
+                    "disables": 0}
+            self.per_link[port] = link
+        return link
+
+    def record_offered(self, port: int, wire_bytes: int) -> None:
+        self.offered += 1
+        self.offered_bytes += wire_bytes
+        self._link(port)["offered"] += 1
+
+    def record_delivered(self, port: int, wire_bytes: int) -> None:
+        self.delivered += 1
+        self.delivered_bytes += wire_bytes
+        self._link(port)["delivered"] += 1
+
+    def record_drop(self, port: int, wire_bytes: int, cause: str) -> None:
+        self.dropped[cause] += 1
+        self.dropped_bytes[cause] += wire_bytes
+        self._link(port)[cause] += 1
+
+    def record_corrupted(self, port: int, silent: bool) -> None:
+        self.corrupted += 1
+        if silent:
+            self.corrupted_silent += 1
+        self._link(port)["corrupted"] += 1
+
+    def record_link_event(self, ts: float, port: int, event: str,
+                          detail: str) -> None:
+        self.link_events.append((ts, port, event, detail))
+        if event == "disable":
+            self._link(port)["disables"] += 1
+
+    # -- reading -------------------------------------------------------
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.dropped.values())
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Delivered wire bytes over offered wire bytes."""
+        if not self.offered_bytes:
+            return 1.0
+        return self.delivered_bytes / self.offered_bytes
+
+    def check(self) -> None:
+        """Assert the link-layer conservation invariant."""
+        wire = self.offered + self.duplicated
+        accounted = self.delivered + self.dropped_total
+        if wire != accounted:
+            raise AssertionError(
+                f"impairment ledger out of balance: offered "
+                f"{self.offered} + duplicated {self.duplicated} = "
+                f"{wire} on the wire, but delivered {self.delivered} + "
+                f"dropped {self.dropped_total} = {accounted}")
+
+    def to_dict(self) -> Dict:
+        """Deterministic JSON-friendly snapshot."""
+        return {
+            "offered": self.offered,
+            "offered_bytes": self.offered_bytes,
+            "delivered": self.delivered,
+            "delivered_bytes": self.delivered_bytes,
+            "duplicated": self.duplicated,
+            "corrupted": self.corrupted,
+            "corrupted_silent": self.corrupted_silent,
+            "reordered": self.reordered,
+            "delayed": self.delayed,
+            "dropped": dict(self.dropped),
+            "dropped_bytes": dict(self.dropped_bytes),
+            "per_link": {str(port): dict(link) for port, link
+                         in sorted(self.per_link.items())},
+            "link_events": [list(event) for event in self.link_events],
+            "config": self.config,
+        }
+
+    def describe(self) -> str:
+        parts = [
+            f"impairment: offered={self.offered} "
+            f"delivered={self.delivered} "
+            f"(goodput {self.goodput_fraction * 100:.1f}%)",
+            f"  lost={self.dropped['loss']} "
+            f"quarantined={self.dropped['quarantine']} "
+            f"link_shed={self.dropped['link_disabled']} "
+            f"duplicated={self.duplicated}",
+            f"  corrupted={self.corrupted} "
+            f"(silent {self.corrupted_silent}) "
+            f"reordered={self.reordered} delayed={self.delayed}",
+        ]
+        disables = [e for e in self.link_events if e[2] == "disable"]
+        if disables:
+            links = sorted({e[1] for e in disables})
+            parts.append(f"  link disables: {len(disables)} "
+                         f"on links {links}")
+        return "\n".join(parts)
+
+
+def check_impairment_accounting(report) -> None:
+    """Assert the end-to-end conservation chain for one run.
+
+    ``offered + duplicated`` packets hit the wire; the impairment
+    ledger accounts each as delivered or dropped-with-cause; every
+    delivered packet is an ingress packet at the NIC; and — when an
+    overload policy ran — the loss ledger accounts each seen packet as
+    analyzed or shed. Raises AssertionError on any leak.
+    """
+    ledger = report.impairment
+    if ledger is None:
+        raise AssertionError("run has no impairment ledger")
+    ledger.check()
+    ingress = report.stats.ingress_packets
+    if ledger.delivered != ingress:
+        raise AssertionError(
+            f"delivered {ledger.delivered} != NIC ingress {ingress}: "
+            f"packets leaked between the link and the NIC")
+    if report.overload is not None:
+        overload = report.overload
+        seen = overload.packets_seen
+        analyzed = overload.packets_analyzed
+        shed = overload.packets_shed
+        if seen != analyzed + shed:
+            raise AssertionError(
+                f"loss ledger out of balance: seen {seen} != analyzed "
+                f"{analyzed} + shed {shed}")

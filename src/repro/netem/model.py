@@ -1,0 +1,225 @@
+"""Link-impairment models and configuration.
+
+The impairment layer treats the tap as a physical link that can
+misbehave: packets are lost (independently or in bursts), corrupted,
+duplicated, delayed, or displaced. Every decision is drawn from seeded
+RNG streams keyed on the configuration seed and the global packet
+index, so a scenario is exactly reproducible — and replayable from a
+recorded trace file (:mod:`repro.netem.trace`).
+
+Burst loss uses the classic Gilbert-Elliott two-state Markov chain:
+the link alternates between a GOOD state (low loss) and a BAD state
+(high loss); the state dwell times are geometric with parameters
+``p`` (good→bad) and ``r`` (bad→good). ``p << r`` yields short, dense
+loss bursts separated by long clean stretches — the shape LinkGuardian
+measures on real corrupting links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state Markov burst-loss model parameters.
+
+    Attributes:
+        p: Transition probability GOOD → BAD per packet.
+        r: Transition probability BAD → GOOD per packet.
+        loss_good: Per-packet loss probability while GOOD.
+        loss_bad: Per-packet loss probability while BAD.
+    """
+
+    p: float
+    r: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p", "r", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"Gilbert-Elliott {name} must be in [0, 1], "
+                    f"got {value!r}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "GilbertElliott":
+        """Parse the CLI form ``P,R[,LOSS_BAD[,LOSS_GOOD]]``."""
+        parts = [part.strip() for part in spec.split(",")]
+        if not 2 <= len(parts) <= 4:
+            raise ConfigError(
+                f"bad Gilbert-Elliott spec {spec!r}: want "
+                f"'P,R[,LOSS_BAD[,LOSS_GOOD]]' (e.g. '0.01,0.25')")
+        try:
+            values = [float(part) for part in parts]
+        except ValueError:
+            raise ConfigError(
+                f"bad Gilbert-Elliott spec {spec!r}: non-numeric field")
+        p, r = values[0], values[1]
+        loss_bad = values[2] if len(values) > 2 else 1.0
+        loss_good = values[3] if len(values) > 3 else 0.0
+        return cls(p=p, r=r, loss_good=loss_good, loss_bad=loss_bad)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"p": self.p, "r": self.r, "loss_good": self.loss_good,
+                "loss_bad": self.loss_bad}
+
+
+class GilbertElliottChain:
+    """The stepped chain: one :meth:`step` per offered packet."""
+
+    __slots__ = ("params", "bad", "_rng")
+
+    def __init__(self, params: GilbertElliott, rng: Random) -> None:
+        self.params = params
+        self.bad = False  # links start healthy
+        self._rng = rng
+
+    def step(self) -> bool:
+        """Advance one packet; return True if that packet is lost."""
+        params = self.params
+        rng = self._rng
+        loss = params.loss_bad if self.bad else params.loss_good
+        lost = loss > 0.0 and rng.random() < loss
+        if self.bad:
+            if rng.random() < params.r:
+                self.bad = False
+        elif rng.random() < params.p:
+            self.bad = True
+        return lost
+
+
+@dataclass(frozen=True)
+class ImpairmentConfig:
+    """Everything the link-impairment layer configures.
+
+    The model fields describe the physical link (applied in the parent
+    process, before RSS dispatch, exactly like
+    :class:`~repro.resilience.faults.PacketFaultInjector` — so the
+    impaired stream is identical across backends and worker counts).
+    The mitigation fields describe the receiving NIC/driver: checksum
+    quarantine and the per-link disable-and-repair policy.
+
+    All decisions derive from ``seed``; two runs with the same seed and
+    the same traffic produce byte-identical impaired streams.
+    """
+
+    #: Seed for every impairment RNG stream.
+    seed: int = 0
+    #: Independent (Bernoulli) per-packet loss probability.
+    loss_rate: float = 0.0
+    #: Gilbert-Elliott burst-loss parameters; None disables the chain.
+    burst: Optional[GilbertElliott] = None
+    #: Per-packet frame-corruption probability (1-8 payload bit flips).
+    corrupt_rate: float = 0.0
+    #: Recompute IPv4/TCP/UDP checksums after flipping bits, making the
+    #: corruption *silent* (undetectable by checksum verification) —
+    #: the nastier failure mode LinkGuardian's "corropt" handling
+    #: distinguishes from ordinary FCS-detected corruption.
+    corrupt_silent: bool = False
+    #: Per-packet probability of bounded displacement (reordering).
+    reorder_rate: float = 0.0
+    #: Maximum positions a reordered packet may be displaced (later).
+    reorder_depth: int = 8
+    #: Per-packet duplication probability (one extra copy).
+    duplicate_rate: float = 0.0
+    #: Maximum extra latency per packet (uniform in [0, jitter_s)).
+    jitter_s: float = 0.0
+    #: Replay decisions from a recorded trace file instead of sampling
+    #: the model (mutually exclusive with the model fields above).
+    trace_path: Optional[str] = None
+    #: Record every sampled decision to this trace file.
+    record_path: Optional[str] = None
+    # -- mitigation (the receiving side) -------------------------------
+    #: Verify IPv4/TCP/UDP checksums at ingress and quarantine frames
+    #: that fail, attributed per link (feeds the same "refuse damaged
+    #: input" machinery as the PR-3 callback quarantine).
+    quarantine: bool = False
+    #: Detected-bad frames within :attr:`disable_window` before a link
+    #: is administratively disabled (0 disables the policy).
+    disable_threshold: int = 0
+    #: Sliding window (frames, per link) for the disable decision.
+    disable_window: int = 256
+    #: Virtual seconds a disabled link stays down before re-enabling.
+    repair_time: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "corrupt_rate", "reorder_rate",
+                     "duplicate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(
+                    f"impairment {name} must be in [0, 1], got {value!r}")
+        if self.reorder_depth < 1:
+            raise ConfigError("impairment reorder_depth must be >= 1")
+        if self.jitter_s < 0:
+            raise ConfigError("impairment jitter_s must be >= 0")
+        if self.disable_threshold < 0:
+            raise ConfigError("impairment disable_threshold must be >= 0")
+        if self.disable_window < 1:
+            raise ConfigError("impairment disable_window must be >= 1")
+        if self.repair_time <= 0:
+            raise ConfigError("impairment repair_time must be > 0")
+        if self.corrupt_silent and self.corrupt_rate == 0.0 \
+                and self.trace_path is None:
+            raise ConfigError(
+                "impairment corrupt_silent has no effect without "
+                "corrupt_rate > 0 (or a replay trace)")
+        if self.trace_path is not None and self.models_link:
+            raise ConfigError(
+                "impairment trace_path conflicts with model parameters: "
+                "a replay trace already fixes every per-packet decision; "
+                "drop the loss/corrupt/reorder/duplicate/jitter fields "
+                "or the trace")
+        if self.record_path is not None and self.trace_path is not None:
+            raise ConfigError(
+                "impairment record_path with trace_path would re-record "
+                "the replayed trace verbatim; drop one of them")
+
+    @property
+    def models_link(self) -> bool:
+        """True when any sampled impairment model is active."""
+        return (self.loss_rate > 0.0 or self.burst is not None
+                or self.corrupt_rate > 0.0 or self.reorder_rate > 0.0
+                or self.duplicate_rate > 0.0 or self.jitter_s > 0.0)
+
+    @property
+    def impairs(self) -> bool:
+        """True when the link can mutate the stream (model or trace)."""
+        return self.models_link or self.trace_path is not None
+
+    @property
+    def mitigates(self) -> bool:
+        """True when a receiving-side mitigation policy is active."""
+        return self.quarantine or self.disable_threshold > 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when wrapping the traffic source does anything at all."""
+        return self.impairs or self.mitigates or \
+            self.record_path is not None
+
+    def to_dict(self) -> Dict:
+        """Deterministic JSON-friendly form (ledger/NDJSON headers)."""
+        return {
+            "seed": self.seed,
+            "loss_rate": self.loss_rate,
+            "burst": self.burst.to_dict() if self.burst else None,
+            "corrupt_rate": self.corrupt_rate,
+            "corrupt_silent": self.corrupt_silent,
+            "reorder_rate": self.reorder_rate,
+            "reorder_depth": self.reorder_depth,
+            "duplicate_rate": self.duplicate_rate,
+            "jitter_s": self.jitter_s,
+            "trace_path": self.trace_path,
+            "quarantine": self.quarantine,
+            "disable_threshold": self.disable_threshold,
+            "disable_window": self.disable_window,
+            "repair_time": self.repair_time,
+        }

@@ -1,0 +1,193 @@
+"""Loss-trace record/replay: an impairment scenario as an artifact.
+
+A trace file pins every per-packet impairment decision of a run, so a
+scenario found once (a nasty burst, a pathological reorder pattern) can
+be committed to the repository and replayed byte-identically forever —
+LinkGuardian ships its measured link loss traces the same way.
+
+Format (plain text, diff-friendly)::
+
+    #repro-impair-trace v1 seed=42
+    17 drop
+    23 corrupt flips=3 silent=0
+    40 dup
+    51 delay 0.000130
+    64 reorder 3
+
+One line per *event*; the leading integer is the global packet index
+(0-based, counted over the whole traffic source before RSS dispatch).
+A packet may carry several events (``corrupt`` + ``dup`` + ``delay`` +
+``reorder``); ``drop`` excludes the rest. Unlisted packets pass clean.
+The header ``seed`` reseeds the corruption-content RNG, so the flipped
+bits — not just the flip decision — replay exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, IO, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+
+_HEADER_PREFIX = "#repro-impair-trace"
+_VERSION = 1
+
+
+class Decision:
+    """The impairment decision for one offered packet."""
+
+    __slots__ = ("drop", "corrupt_flips", "corrupt_silent", "dup",
+                 "delay", "displace")
+
+    def __init__(self, drop: bool = False, corrupt_flips: int = 0,
+                 corrupt_silent: bool = False, dup: bool = False,
+                 delay: float = 0.0, displace: int = 0) -> None:
+        self.drop = drop
+        self.corrupt_flips = corrupt_flips
+        self.corrupt_silent = corrupt_silent
+        self.dup = dup
+        self.delay = delay
+        self.displace = displace
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop or self.corrupt_flips or self.dup
+                    or self.delay or self.displace)
+
+    def __repr__(self) -> str:  # debugging aid only
+        return (f"Decision(drop={self.drop}, flips={self.corrupt_flips},"
+                f" silent={self.corrupt_silent}, dup={self.dup}, "
+                f"delay={self.delay}, displace={self.displace})")
+
+
+#: Shared immutable no-op decision (the overwhelmingly common case).
+CLEAN = Decision()
+
+
+class ImpairmentTrace:
+    """A recorded (or loaded) per-packet decision schedule."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.events: Dict[int, Decision] = {}
+
+    # -- recording -----------------------------------------------------
+    def record(self, index: int, decision: Decision) -> None:
+        if not decision.clean:
+            self.events[index] = decision
+
+    # -- replay --------------------------------------------------------
+    def decision_for(self, index: int) -> Decision:
+        return self.events.get(index, CLEAN)
+
+    @property
+    def max_index(self) -> int:
+        return max(self.events) if self.events else -1
+
+    # -- serialization -------------------------------------------------
+    def to_lines(self) -> List[str]:
+        lines = [f"{_HEADER_PREFIX} v{_VERSION} seed={self.seed}"]
+        for index in sorted(self.events):
+            d = self.events[index]
+            if d.drop:
+                lines.append(f"{index} drop")
+                continue
+            if d.corrupt_flips:
+                lines.append(f"{index} corrupt flips={d.corrupt_flips} "
+                             f"silent={1 if d.corrupt_silent else 0}")
+            if d.dup:
+                lines.append(f"{index} dup")
+            if d.delay:
+                lines.append(f"{index} delay {d.delay!r}")
+            if d.displace:
+                lines.append(f"{index} reorder {d.displace}")
+        return lines
+
+    def save(self, path_or_file: Union[str, IO[str]]) -> None:
+        text = "\n".join(self.to_lines()) + "\n"
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(text)
+        else:
+            with open(path_or_file, "w") as handle:
+                handle.write(text)
+
+    @classmethod
+    def from_lines(cls, lines) -> "ImpairmentTrace":
+        it: Iterator[str] = iter(lines)
+        header = next(it, None)
+        if header is None or not header.startswith(_HEADER_PREFIX):
+            raise ConfigError(
+                f"not an impairment trace (missing "
+                f"'{_HEADER_PREFIX}' header)")
+        seed = 0
+        for token in header.split():
+            if token.startswith("seed="):
+                try:
+                    seed = int(token[5:])
+                except ValueError:
+                    raise ConfigError(
+                        f"bad trace header seed in {header!r}")
+        trace = cls(seed=seed)
+        for raw in it:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            index, verb, args = _parse_event(line)
+            decision = trace.events.get(index)
+            if decision is None or decision is CLEAN:
+                decision = Decision()
+                trace.events[index] = decision
+            _apply_event(decision, verb, args, line)
+        return trace
+
+    @classmethod
+    def load(cls, path: str) -> "ImpairmentTrace":
+        with open(path) as handle:
+            return cls.from_lines(handle)
+
+
+def _parse_event(line: str) -> Tuple[int, str, List[str]]:
+    parts = line.split()
+    if len(parts) < 2:
+        raise ConfigError(f"bad trace line {line!r}")
+    try:
+        index = int(parts[0])
+    except ValueError:
+        raise ConfigError(f"bad trace packet index in {line!r}")
+    if index < 0:
+        raise ConfigError(f"negative trace packet index in {line!r}")
+    return index, parts[1], parts[2:]
+
+
+def _apply_event(decision: Decision, verb: str, args: List[str],
+                 line: str) -> None:
+    if verb == "drop":
+        decision.drop = True
+    elif verb == "corrupt":
+        flips, silent = 1, False
+        for arg in args:
+            if arg.startswith("flips="):
+                flips = int(arg[6:])
+            elif arg.startswith("silent="):
+                silent = arg[7:] not in ("0", "false")
+        if flips < 1:
+            raise ConfigError(f"bad corrupt flips in {line!r}")
+        decision.corrupt_flips = flips
+        decision.corrupt_silent = silent
+    elif verb == "dup":
+        decision.dup = True
+    elif verb == "delay":
+        if not args:
+            raise ConfigError(f"missing delay value in {line!r}")
+        delay = float(args[0])
+        if delay < 0:
+            raise ConfigError(f"negative delay in {line!r}")
+        decision.delay = delay
+    elif verb == "reorder":
+        if not args:
+            raise ConfigError(f"missing reorder displacement in {line!r}")
+        displace = int(args[0])
+        if displace < 1:
+            raise ConfigError(f"bad reorder displacement in {line!r}")
+        decision.displace = displace
+    else:
+        raise ConfigError(f"unknown trace event {verb!r} in {line!r}")

@@ -125,6 +125,45 @@ class PackedBatch:
             queue,
         )
 
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple],
+                  queue: Optional[int] = None) -> "PackedBatch":
+        """Assemble a batch from ``(frame_bytes, timestamp, port)`` rows.
+
+        The surgery constructor: drop/duplicate/reorder a batch by
+        building a row list of blob slices (``memoryview`` slices of a
+        source batch pass straight through) and joining them — no
+        per-packet :class:`Mbuf` graph, no pickling, O(bytes) copying
+        into the one new blob. The impairment layer
+        (:mod:`repro.netem.impair`) rewrites packed streams this way.
+        """
+        offsets = array("I", (0,))
+        append_offset = offsets.append
+        parts: List[bytes] = []
+        timestamps = array("d")
+        ports = array("H")
+        total = 0
+        for data, ts, port in rows:
+            if type(data) is not bytes:
+                data = bytes(data)
+            parts.append(data)
+            total += len(data)
+            append_offset(total)
+            timestamps.append(ts)
+            ports.append(port)
+        return cls(b"".join(parts), offsets, timestamps, ports, queue)
+
+    def frames(self) -> Iterator[tuple]:
+        """Iterate ``(frame_view, timestamp, port)`` rows zero-copy —
+        the read side of :meth:`from_rows` surgery."""
+        view = memoryview(self.blob)
+        offsets = self.offsets
+        start = offsets[0]
+        for i, ts in enumerate(self.timestamps):
+            end = offsets[i + 1]
+            yield view[start:end], ts, self.ports[i]
+            start = end
+
     def unpack(self) -> List[Mbuf]:
         """Rebuild the burst as memoryview-backed :class:`Mbuf` views.
 

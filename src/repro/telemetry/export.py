@@ -29,6 +29,7 @@ def build_registry(stats: AggregateStats,
                    backend_health: Optional[dict] = None,
                    faults: Optional[object] = None,
                    overload: Optional[object] = None,
+                   impairment: Optional[object] = None,
                    ) -> MetricsRegistry:
     """Populate a metrics registry from one run's aggregate stats.
 
@@ -46,6 +47,10 @@ def build_registry(stats: AggregateStats,
     (or None). Like the resilience families, overload families render
     only when the ladder was armed, and truncation families only when a
     reassembly buffer actually overflowed.
+
+    ``impairment`` is the run's :class:`repro.netem.ImpairmentLedger`
+    (or None). Impairment families render only when the link was
+    impaired, so clean runs keep byte-identical output.
     """
     reg = MetricsRegistry()
 
@@ -240,6 +245,71 @@ def build_registry(stats: AggregateStats,
                   "1 when the run aborted via the failfast rung") \
             .set(0 if overload.failfast_at is None else 1)
 
+    # -- link impairment (repro.netem) -------------------------------------
+    if impairment is not None:
+        offered = reg.counter(
+            "repro_impair_offered_packets_total",
+            "Packets the impaired link was offered, by outcome",
+            label_names=("outcome",))
+        offered.inc(impairment.offered, labels=("offered",))
+        offered.inc(impairment.delivered, labels=("delivered",))
+        offered.inc(impairment.duplicated, labels=("duplicated",))
+        ibytes = reg.counter(
+            "repro_impair_bytes_total",
+            "Wire bytes through the impaired link, by outcome",
+            label_names=("outcome",))
+        ibytes.inc(impairment.offered_bytes, labels=("offered",))
+        ibytes.inc(impairment.delivered_bytes, labels=("delivered",))
+        drop = reg.counter(
+            "repro_impair_dropped_packets_total",
+            "Packets lost on the impaired link, by cause",
+            label_names=("cause",))
+        drop_b = reg.counter(
+            "repro_impair_dropped_bytes_total",
+            "Wire bytes lost on the impaired link, by cause",
+            label_names=("cause",))
+        for cause in sorted(impairment.dropped):
+            if impairment.dropped[cause]:
+                drop.inc(impairment.dropped[cause], labels=(cause,))
+                drop_b.inc(impairment.dropped_bytes[cause],
+                           labels=(cause,))
+        mangled = reg.counter(
+            "repro_impair_corrupted_packets_total",
+            "Frames with flipped bits, by detectability",
+            label_names=("mode",))
+        if impairment.corrupted:
+            mangled.inc(impairment.corrupted - impairment.corrupted_silent,
+                        labels=("detectable",))
+            mangled.inc(impairment.corrupted_silent, labels=("silent",))
+        if impairment.reordered:
+            reg.counter("repro_impair_reordered_packets_total",
+                        "Frames delivered out of their offered order") \
+                .inc(impairment.reordered)
+        if impairment.delayed:
+            reg.counter("repro_impair_delayed_packets_total",
+                        "Frames whose timestamp absorbed link jitter") \
+                .inc(impairment.delayed)
+        link_off = reg.counter(
+            "repro_impair_link_packets_total",
+            "Per-ingress-link packet attribution",
+            label_names=("link", "outcome"))
+        disables = reg.counter(
+            "repro_impair_link_disables_total",
+            "Disable-and-repair cycles triggered per ingress link",
+            label_names=("link",))
+        for port in sorted(impairment.per_link):
+            row = impairment.per_link[port]
+            link = str(port)
+            for outcome in ("offered", "delivered", "loss",
+                            "corrupted", "quarantine", "link_disabled"):
+                if row.get(outcome):
+                    link_off.inc(row[outcome], labels=(link, outcome))
+            if row.get("disables"):
+                disables.inc(row["disables"], labels=(link,))
+        reg.gauge("repro_impair_goodput_fraction",
+                  "Delivered / offered wire bytes on the impaired link") \
+            .set(round(impairment.goodput_fraction, 9))
+
     if stats.reasm_truncations:
         reg.counter("repro_reassembly_truncations_total",
                     "Stream segments dropped on reassembly-buffer "
@@ -248,6 +318,35 @@ def build_registry(stats: AggregateStats,
         reg.counter("repro_reassembly_truncated_bytes_total",
                     "Payload bytes lost to reassembly truncation") \
             .inc(stats.reasm_truncated_bytes)
+
+    # -- reassembly discard accounting (satellite: previously silent) ------
+    reasm_discards = (stats.reasm_dup_segments + stats.reasm_overlap_segments
+                      + stats.reasm_stale_retransmits
+                      + stats.reasm_overflow_drops)
+    if reasm_discards:
+        disc = reg.counter(
+            "repro_reassembly_discarded_segments_total",
+            "Segments (or segment fragments) the lazy reassembler "
+            "discarded, by kind: duplicate retransmits, partial "
+            "overlaps (tail forwarded), held copies superseded by a "
+            "racing retransmit, and out-of-order window overflows",
+            label_names=("kind",))
+        for kind, value in (
+                ("duplicate", stats.reasm_dup_segments),
+                ("overlap", stats.reasm_overlap_segments),
+                ("stale_retransmit", stats.reasm_stale_retransmits),
+                ("window_overflow", stats.reasm_overflow_drops)):
+            if value:
+                disc.inc(value, labels=(kind,))
+    if stats.reasm_window_grows or stats.reasm_window_shrinks:
+        adapt = reg.counter(
+            "repro_reassembly_window_resizes_total",
+            "Adaptive out-of-order window resizes, by direction",
+            label_names=("direction",))
+        if stats.reasm_window_grows:
+            adapt.inc(stats.reasm_window_grows, labels=("grow",))
+        if stats.reasm_window_shrinks:
+            adapt.inc(stats.reasm_window_shrinks, labels=("shrink",))
 
     # -- parallel backend health (volatile: wall-clock/schedule noise) -----
     if backend_health is not None:
@@ -286,10 +385,11 @@ def render_metrics(stats: AggregateStats,
                    backend_health: Optional[dict] = None,
                    include_volatile: bool = False,
                    faults: Optional[object] = None,
-                   overload: Optional[object] = None) -> str:
+                   overload: Optional[object] = None,
+                   impairment: Optional[object] = None) -> str:
     """The run's metrics in the Prometheus text exposition format."""
     return build_registry(stats, backend_health, faults=faults,
-                          overload=overload) \
+                          overload=overload, impairment=impairment) \
         .render_prometheus(include_volatile=include_volatile)
 
 
@@ -297,10 +397,12 @@ def write_metrics(path: Union[str, Path], stats: AggregateStats,
                   backend_health: Optional[dict] = None,
                   include_volatile: bool = False,
                   faults: Optional[object] = None,
-                  overload: Optional[object] = None) -> None:
+                  overload: Optional[object] = None,
+                  impairment: Optional[object] = None) -> None:
     Path(path).write_text(
         render_metrics(stats, backend_health, include_volatile,
-                       faults=faults, overload=overload))
+                       faults=faults, overload=overload,
+                       impairment=impairment))
 
 
 def trace_lines(stats: AggregateStats) -> List[str]:
@@ -369,6 +471,62 @@ def write_overload(sink: Union[str, Path, IO[str]], ledger,
     """
     from repro.analysis.logwriter import BufferedLineWriter
     lines = overload_lines(ledger)
+    with BufferedLineWriter(sink, batch_size=batch_size) as writer:
+        for line in lines:
+            writer.write_line(line)
+    return len(lines)
+
+
+def impairment_lines(ledger) -> List[str]:
+    """An :class:`repro.netem.ImpairmentLedger` as NDJSON lines.
+
+    Deterministic order: one totals line, per-cause drop lines,
+    per-link attribution lines (sorted by link id), every link
+    lifecycle event in virtual-time order, then one summary line
+    restating the conservation invariant.
+    """
+    records: List[dict] = []
+    records.append({"event": "totals",
+                    "offered": ledger.offered,
+                    "offered_bytes": ledger.offered_bytes,
+                    "delivered": ledger.delivered,
+                    "delivered_bytes": ledger.delivered_bytes,
+                    "duplicated": ledger.duplicated,
+                    "corrupted": ledger.corrupted,
+                    "corrupted_silent": ledger.corrupted_silent,
+                    "reordered": ledger.reordered,
+                    "delayed": ledger.delayed})
+    for cause in sorted(ledger.dropped):
+        if ledger.dropped[cause]:
+            records.append({"event": "drop", "cause": cause,
+                            "packets": ledger.dropped[cause],
+                            "bytes": ledger.dropped_bytes[cause]})
+    for port in sorted(ledger.per_link):
+        row = dict(ledger.per_link[port])
+        row["event"] = "link"
+        row["link"] = port
+        records.append(row)
+    for ts, port, event, detail in ledger.link_events:
+        records.append({"event": "link_event", "ts": round(ts, 9),
+                        "link": port, "kind": event, "detail": detail})
+    records.append({"event": "summary",
+                    "config": ledger.config,
+                    "dropped_total": ledger.dropped_total,
+                    "goodput_fraction": round(ledger.goodput_fraction, 9),
+                    "balanced": ledger.offered + ledger.duplicated ==
+                    ledger.delivered + ledger.dropped_total})
+    return [json.dumps(record, separators=(",", ":"), sort_keys=True)
+            for record in records]
+
+
+def write_impairment(sink: Union[str, Path, IO[str]], ledger,
+                     batch_size: int = 256) -> int:
+    """Write the impairment ledger as an NDJSON stream (``--impair-out``).
+
+    Returns the number of records written.
+    """
+    from repro.analysis.logwriter import BufferedLineWriter
+    lines = impairment_lines(ledger)
     with BufferedLineWriter(sink, batch_size=batch_size) as writer:
         for line in lines:
             writer.write_line(line)

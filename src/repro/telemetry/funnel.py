@@ -118,4 +118,16 @@ def funnel_table(stats) -> str:
             f"{layer.layer:<{width}}  {layer.packets_in:>10}  "
             f"{layer.packets_out:>10}  {layer.dropped_packets:>10}  "
             f"{layer.drop_fraction * 100:>5.1f}%")
+    discards = (stats.reasm_dup_segments + stats.reasm_overlap_segments
+                + stats.reasm_stale_retransmits
+                + stats.reasm_overflow_drops)
+    if discards:
+        # Reassembly discards happen past the funnel (inside accepted
+        # connections) but belong in the same loss-accounting story:
+        # these segments were admitted, then not delivered to callbacks.
+        lines.append(
+            f"reassembly discards: dup={stats.reasm_dup_segments} "
+            f"overlap={stats.reasm_overlap_segments} "
+            f"stale_retransmit={stats.reasm_stale_retransmits} "
+            f"window_overflow={stats.reasm_overflow_drops}")
     return "\n".join(lines)

@@ -254,6 +254,145 @@ class TestOverloadCli:
         assert "overload:" not in capsys.readouterr().out
 
 
+class TestImpairFlagValidation:
+    """--impair-* combinations fail fast with exit 2 and a remediation
+    (the span-flag validation pattern)."""
+
+    BASE = ["--synthetic", "campus", "--duration", "0.1",
+            "--gbps", "0.02", "--print-limit", "0"]
+
+    def test_impair_conflicts_with_packet_faults(self, tmp_path,
+                                                 capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"kind": "corrupt_packet", "at_packet": 5}]}')
+        code = main(self.BASE + ["--impair-loss", "0.1",
+                                 "--fault-plan", str(plan)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--impair-" in err
+        assert "--fault-plan" in err
+        assert "--impair-corrupt" in err  # the remediation
+
+    def test_impair_with_non_packet_fault_plan_ok(self, tmp_path,
+                                                  capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"kind": "callback_error", "at_ordinal": 5}]}')
+        code = main(self.BASE + ["--impair-loss", "0.1",
+                                 "--fault-plan", str(plan)])
+        assert code == 0
+
+    def test_trace_conflicts_with_model_flags(self, capsys):
+        code = main(self.BASE + ["--impair-trace", "x.trace",
+                                 "--impair-loss", "0.1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--impair-trace" in err
+        assert "drop the model flags" in err
+
+    def test_record_conflicts_with_trace(self, capsys):
+        code = main(self.BASE + ["--impair-trace", "x.trace",
+                                 "--impair-record", "y.trace"])
+        assert code == 2
+        assert "--impair-record" in capsys.readouterr().err
+
+    def test_reorder_depth_without_reorder(self, capsys):
+        code = main(self.BASE + ["--impair-reorder-depth", "4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--impair-reorder-depth" in err
+        assert "--impair-reorder" in err  # the remediation
+
+    def test_repair_flags_without_threshold(self, capsys):
+        code = main(self.BASE + ["--impair-repair-time", "0.1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--impair-disable-threshold" in err
+
+    def test_impair_out_without_impairment(self, tmp_path, capsys):
+        code = main(self.BASE + ["--impair-out",
+                                 str(tmp_path / "i.ndjson")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--impair-out" in err
+        assert "--impair-loss" in err  # the remediation
+
+    def test_bad_rate_rejected(self, capsys):
+        code = main(self.BASE + ["--impair-loss", "1.5"])
+        assert code == 2
+        assert "loss_rate" in capsys.readouterr().err
+
+    def test_bad_burst_spec_rejected(self, capsys):
+        code = main(self.BASE + ["--impair-burst", "0.1"])
+        assert code == 2
+        assert "Gilbert-Elliott" in capsys.readouterr().err
+
+    def test_corrupt_silent_without_corrupt(self, capsys):
+        code = main(self.BASE + ["--impair-corrupt-silent"])
+        assert code == 2
+        assert "corrupt_silent" in capsys.readouterr().err
+
+
+class TestImpairCli:
+    def test_degraded_link_run_end_to_end(self, tmp_path, capsys):
+        """A seeded Gilbert-Elliott scenario with quarantine and
+        disable-and-repair: ledger summary printed, NDJSON and metrics
+        artifacts written and balanced."""
+        import json
+        impair_out = tmp_path / "impair.ndjson"
+        metrics_out = tmp_path / "metrics.prom"
+        code = main(["--synthetic", "campus", "--duration", "0.15",
+                     "--gbps", "0.05", "--seed", "3",
+                     "--print-limit", "0", "--datatype", "connection",
+                     "--impair-burst", "0.02,0.3",
+                     "--impair-corrupt", "0.05",
+                     "--impair-quarantine",
+                     "--impair-disable-threshold", "3",
+                     "--impair-disable-window", "64",
+                     "--impair-repair-time", "0.02",
+                     "--impair-adaptive-reassembly",
+                     "--impair-out", str(impair_out),
+                     "--metrics-out", str(metrics_out)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "impairment:" in out
+        assert "impairment records written" in out
+        lines = [json.loads(l) for l in
+                 impair_out.read_text().splitlines() if l]
+        assert lines[0]["event"] == "totals"
+        summary = lines[-1]
+        assert summary["event"] == "summary"
+        assert summary["balanced"] is True
+        assert "repro_impair_offered_packets_total" in \
+            metrics_out.read_text()
+
+    def test_record_and_replay_round_trip(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "link.trace"
+        stats_a = tmp_path / "a.json"
+        stats_b = tmp_path / "b.json"
+        base = ["--synthetic", "campus", "--duration", "0.1",
+                "--gbps", "0.05", "--print-limit", "0",
+                "--datatype", "connection"]
+        assert main(base + ["--impair-loss", "0.1",
+                            "--impair-corrupt", "0.05",
+                            "--impair-record", str(trace),
+                            "--json-stats", str(stats_a)]) == 0
+        assert trace.read_text().startswith("#repro-impair-trace")
+        assert main(base + ["--impair-trace", str(trace),
+                            "--impair-seed", "999",
+                            "--json-stats", str(stats_b)]) == 0
+        assert json.loads(stats_a.read_text()) == \
+            json.loads(stats_b.read_text())
+
+    def test_clean_run_prints_no_impairment(self, capsys):
+        code = main(["--synthetic", "campus", "--duration", "0.1",
+                     "--gbps", "0.02", "--print-limit", "0"])
+        assert code == 0
+        assert "impairment:" not in capsys.readouterr().out
+
+
 class TestJsonStats:
     def test_json_stats_written(self, tmp_path, capsys):
         import json
