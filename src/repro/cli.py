@@ -11,6 +11,10 @@ Examples::
 
     python -m repro --describe-filter "(ipv4 and tcp.port >= 100 and \\
         tls.sni ~ 'netflix') or http"
+
+    python -m repro --subscriptions tenants.json \\
+        --reconfigure-at 0.5:drop:dns --reconfigure-at 0.5:add:late \\
+        --synthetic campus --duration 1.0 --tenants-out tenants-stats.json
 """
 
 from __future__ import annotations
@@ -104,6 +108,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="bursts retained per core in the flight "
                             "ring (default: 8 when --flight-out is "
                             "set)")
+    tenancy = parser.add_argument_group(
+        "tenancy", "multi-tenant subscriptions and live "
+        "reconfiguration (see docs/MULTITENANT.md)")
+    tenancy.add_argument("--subscriptions", metavar="PATH",
+                         help="JSON tenant subscriptions file: run all "
+                              "tenants over one shared filter table "
+                              "(conflicts with --filter)")
+    tenancy.add_argument("--reconfigure-at", metavar="T:ACTION:NAME",
+                         action="append", default=[],
+                         help="schedule a live reconfiguration at "
+                              "virtual time T: <vt>:<add|drop>:<name> "
+                              "(repeatable; requires --subscriptions)")
+    tenancy.add_argument("--tenants-out", metavar="PATH",
+                         help="write per-tenant aggregate stats and "
+                              "shed ledgers as JSON")
     resilience = parser.add_argument_group(
         "resilience", "fault injection, supervision and degradation "
         "(see docs/RESILIENCE.md)")
@@ -268,6 +287,52 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"the default 'record') or use --overload-policy off",
               file=sys.stderr)
         return 2
+    if args.subscriptions and args.filter_str:
+        print("error: --subscriptions conflicts with --filter: tenant "
+              "filters live in the subscriptions file (one per "
+              "tenant); move the filter into a tenant entry or drop "
+              "--subscriptions", file=sys.stderr)
+        return 2
+    if args.reconfigure_at and not args.subscriptions:
+        print("error: --reconfigure-at has no effect without "
+              "--subscriptions: live reconfiguration swaps tenants in "
+              "a multi-tenant filter table; add --subscriptions PATH "
+              "or drop --reconfigure-at", file=sys.stderr)
+        return 2
+    if args.tenants_out and not args.subscriptions:
+        print("error: --tenants-out has no effect without "
+              "--subscriptions: per-tenant stats only exist on a "
+              "multi-tenant run; add --subscriptions PATH or drop "
+              "--tenants-out", file=sys.stderr)
+        return 2
+    if args.subscriptions and args.fault_plan:
+        try:
+            plan_probe = _load_fault_plan(args.fault_plan)
+        except RetinaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        from repro.resilience.faults import WORKER_FAULT_KINDS
+        if plan_probe is not None and any(
+                s.kind not in WORKER_FAULT_KINDS
+                for s in plan_probe.faults):
+            print("error: --subscriptions conflicts with non-worker "
+                  "--fault-plan entries: pipeline-level faults "
+                  "(callback_error/parser_error/corrupt_packet/...) "
+                  "cannot be attributed to one tenant from a run-level "
+                  "plan; keep only worker_crash/worker_hang entries",
+                  file=sys.stderr)
+            return 2
+    tenancy_specs = None
+    tenancy_events = []
+    if args.subscriptions:
+        from repro.tenancy import load_subscriptions, parse_reconfigure
+        try:
+            tenancy_specs = load_subscriptions(args.subscriptions)
+            tenancy_events = [parse_reconfigure(text)
+                              for text in args.reconfigure_at]
+        except RetinaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.supervise and args.parallel <= 0:
         print("error: --supervise requires --parallel N: supervision "
               "restarts worker *processes*, which only exist on the "
@@ -462,8 +527,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             impairment=impairment,
             ooo_adaptive=args.impair_adaptive_reassembly,
         )
-        runtime = Runtime(config, filter_str=args.filter_str,
-                          datatype=args.datatype, callback=callback)
+        if tenancy_specs is not None:
+            from repro.tenancy import TenantRuntime
+            runtime = TenantRuntime(config, tenancy_specs,
+                                    events=tenancy_events)
+        else:
+            runtime = Runtime(config, filter_str=args.filter_str,
+                              datatype=args.datatype, callback=callback)
     except RetinaError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -476,6 +546,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     print()
     print(report.stats.describe())
+    tenancy_payload = None
+    if tenancy_specs is not None:
+        tenants = runtime.aggregate_tenants(report)
+        ledgers = runtime.tenant_ledgers(report)
+        tenancy_payload = {"epoch": runtime.table.epoch,
+                           "active": list(runtime.table.active),
+                           "tenants": tenants, "shed": ledgers}
+        print(f"tenants: {len(tenants)} seen, epoch "
+              f"{runtime.table.epoch}, active "
+              f"{','.join(runtime.table.active) or '(none)'}")
+        for name in sorted(tenants):
+            stats = tenants[name]
+            line = (f"  {name}: processed={stats.processed_packets} "
+                    f"callbacks={stats.callbacks} "
+                    f"conns={stats.conns_delivered}")
+            shed = ledgers.get(name)
+            if shed is not None and shed.packets_shed:
+                line += f" shed={shed.packets_shed}"
+            print(line)
+        if args.tenants_out:
+            import json
+            payload = {
+                "epoch": runtime.table.epoch,
+                "active": list(runtime.table.active),
+                "tenants": {
+                    name: {
+                        "stats": stats.to_dict(),
+                        "shed": (ledgers[name].to_dict()
+                                 if name in ledgers else None),
+                    }
+                    for name, stats in tenants.items()
+                },
+            }
+            with open(args.tenants_out, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"(per-tenant stats written to {args.tenants_out})")
     if report.impairment is not None:
         print(report.impairment.describe())
     if report.overload is not None:
@@ -507,7 +613,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              backend_health=report.backend_health,
                              faults=report.faults,
                              overload=report.overload,
-                             impairment=report.impairment)
+                             impairment=report.impairment,
+                             tenancy=tenancy_payload)
         print(f"(metrics written to {args.metrics_out})")
     if args.trace_out:
         from repro.telemetry import export

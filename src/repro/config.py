@@ -194,6 +194,15 @@ class RuntimeConfig:
     #: state (reassembly buffers + packet buffers) get their lazy
     #: reassembly and session parsing disabled.
     overload_heavy_bytes: int = 65536
+    # -- multi-tenancy (repro.tenancy) ----------------------------------
+    #: Aggregate tenant-load budget in megabits per virtual second for
+    #: multi-tenant runs. When a virtual-second window's offered bytes
+    #: exceed each core's share of this budget, the *heaviest* tenants
+    #: (by offered bytes, ties by name) are shed for the next window
+    #: until the remainder fits — the tenant-granular analogue of the
+    #: overload ladder's rung-3 downgrade. None disables pressure
+    #: accounting entirely.
+    tenancy_pressure_mbps: Optional[float] = None
     # -- link impairment (repro.netem) ----------------------------------
     #: Seeded link-impairment layer wrapping the traffic source (burst
     #: loss, corruption, duplication, jitter, bounded reordering) plus
@@ -284,6 +293,10 @@ class RuntimeConfig:
                 f"memory pressure (it senses table occupancy against "
                 f"memory_limit_bytes itself); use memory_policy="
                 f"'record' or overload_policy='off'")
+        if self.tenancy_pressure_mbps is not None and \
+                self.tenancy_pressure_mbps <= 0:
+            raise ConfigError("tenancy_pressure_mbps must be > 0 "
+                              "(None disables pressure accounting)")
         if self.impairment is not None and self.fault_plan is not None \
                 and self.fault_plan.has_packet_faults:
             raise ConfigError(

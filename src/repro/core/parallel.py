@@ -154,6 +154,33 @@ class _WorkerSpec:
     #: last acknowledged a batch — set on restart so a crash
     #: mid-overload does not silently reopen the admission gate.
     initial_overload_rung: int = 0
+    #: Multi-tenant table state for the worker to rebuild, or None for
+    #: the ordinary single-subscription pipeline. A plain dict
+    #: (``{"specs": [wire dicts], "active": [names], "epoch": int}``)
+    #: so this spec stays picklable without importing repro.tenancy.
+    tenancy: Optional[dict] = None
+
+
+def _tenancy_state(base: dict, bumps, epoch: int) -> dict:
+    """The wire-dict table state at ``epoch``: the pool's base state
+    plus every published epoch bump numbered ``<= epoch``. Seeds a
+    restarted worker at the table its predecessor last acknowledged;
+    bumps past ``epoch`` re-apply through redo-log replay."""
+    specs = [dict(w) for w in base["specs"]]
+    active = list(base["active"])
+    applied = base["epoch"]
+    for epoch_no, actions in bumps:
+        if epoch_no <= applied or epoch_no > epoch:
+            continue
+        for kind, name, wire in actions:
+            if kind == "add":
+                specs = [w for w in specs if w["name"] != name]
+                specs.append(dict(wire))
+                active.append(name)
+            else:  # drop
+                active = [n for n in active if n != name]
+        applied = epoch_no
+    return {"specs": specs, "active": active, "epoch": applied}
 
 
 def _fire_worker_fault(spec: _WorkerSpec, out_queue, plan_index: int,
@@ -181,17 +208,33 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
     """Worker process entry point: one core's shared-nothing pipeline."""
     try:
         config = spec.config.with_(parallel=False)
-        subscription = Subscription(
-            spec.filter_str,
-            spec.datatype,
-            spec.callback,
-            filter_mode=config.filter_mode,
-            nic=config.nic,
-            identify_services=spec.identify_services,
-        )
-        pipeline = CorePipeline(
-            spec.core_id, subscription, config,
-            initial_overload_rung=spec.initial_overload_rung)
+        tenancy = spec.tenancy
+        if tenancy is not None:
+            # Multi-tenant shard: rebuild the tenant multiplexer from
+            # the wire-dict table state (lazy import keeps repro.tenancy
+            # out of single-tenant workers entirely).
+            from repro.tenancy.pipeline import TenantCorePipeline
+            from repro.tenancy.spec import TenantSpec
+
+            pipeline = TenantCorePipeline(
+                spec.core_id,
+                [TenantSpec.from_wire(w) for w in tenancy["specs"]],
+                list(tenancy["active"]),
+                config,
+                epoch=tenancy["epoch"],
+                initial_overload_rung=spec.initial_overload_rung)
+        else:
+            subscription = Subscription(
+                spec.filter_str,
+                spec.datatype,
+                spec.callback,
+                filter_mode=config.filter_mode,
+                nic=config.nic,
+                identify_services=spec.identify_services,
+            )
+            pipeline = CorePipeline(
+                spec.core_id, subscription, config,
+                initial_overload_rung=spec.initial_overload_rung)
         plan = spec.fault_plan
         progress_interval = spec.progress_interval
         next_progress: Optional[float] = None
@@ -218,13 +261,23 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
                         # tree this batch produces records it, stitching
                         # worker spans into the parent's trace.
                         pipeline.set_span_ctx(batch.trace_ctx)
+                    if batch.epoch is not None and tenancy is not None:
+                        # Epoch bump: swap the filter table before this
+                        # batch's packets (the feeder flushed everything
+                        # older first, so per-queue FIFO makes the swap
+                        # land on the exact burst boundary). Idempotent
+                        # on the epoch number — replays after a restart
+                        # are no-ops.
+                        pipeline.apply_epoch(*batch.epoch)
                     batch = batch.unpack()
                 pipeline.process_batch(batch)
                 if seq is not None:
-                    # The ack carries the ladder's current rung so the
-                    # supervisor can hand it to a restarted worker.
+                    # The ack carries the ladder's current rung and the
+                    # filter-table epoch so the supervisor can hand both
+                    # to a restarted worker.
                     out_queue.put((_ACK, spec.core_id, seq,
-                                   pipeline.overload_rung))
+                                   pipeline.overload_rung,
+                                   getattr(pipeline, "epoch", 0)))
                 now = pipeline.now
                 if progress_interval is not None and (
                         next_progress is None or now >= next_progress):
@@ -386,6 +439,14 @@ class _WorkerPool:
             if config.telemetry else None
         )
         self.feeder_block_seconds = 0.0
+        # Multi-tenant runtimes expose their filter table as a plain
+        # wire dict; every worker spec carries it, and the feeder
+        # appends each published epoch bump so restart() can rebuild a
+        # crashed worker at the table state it last acknowledged.
+        state_fn = getattr(runtime, "tenant_wire_state", None)
+        self._tenancy_base: Optional[dict] = \
+            state_fn() if state_fn is not None else None
+        self.tenancy_bumps: List[Tuple[int, tuple]] = []
         # Prefer fork where available: workers start fast and
         # subscriptions with closure callbacks are inherited rather
         # than pickled. spawn (macOS/Windows default) works too, but
@@ -409,6 +470,7 @@ class _WorkerPool:
                 identify_services=subscription.identify_services,
                 progress_interval=progress_interval,
                 fault_plan=config.fault_plan,
+                tenancy=self._tenancy_base,
             )
             self.specs.append(spec)
             process = self._ctx.Process(
@@ -543,10 +605,11 @@ class _WorkerPool:
                                        rung, shed, failfast_at)
             return None
         if tag == _ACK:
-            _, core_id, seq, rung = message
+            _, core_id, seq, rung, epoch = message
             if self.supervisor is not None:
                 self.supervisor.on_ack(core_id, seq)
                 self.supervisor.note_rung(core_id, rung)
+                self.supervisor.note_epoch(core_id, epoch)
             return None
         if tag == _CRASHED:
             _, core_id, plan_index = message
@@ -584,9 +647,18 @@ class _WorkerPool:
         # the admission gate.
         rung = self.supervisor.last_rung(core_id) \
             if self.supervisor is not None else 0
+        # Multi-tenant cores restart at the table state they last
+        # acknowledged; bumps past that epoch are still in the redo log
+        # and re-apply (idempotently) during replay.
+        tenancy = self.specs[core_id].tenancy
+        if tenancy is not None and self.supervisor is not None:
+            tenancy = _tenancy_state(
+                self._tenancy_base, self.tenancy_bumps,
+                self.supervisor.last_epoch(core_id))
         spec = dataclasses.replace(self.specs[core_id],
                                    suppressed_faults=tuple(suppressed),
-                                   initial_overload_rung=rung)
+                                   initial_overload_rung=rung,
+                                   tenancy=tenancy)
         self.specs[core_id] = spec
         in_queue = self._ctx.Queue(
             maxsize=spec.config.parallel_queue_depth)
@@ -832,6 +904,40 @@ def run_parallel(
     def skip_core(queue_id: int) -> bool:
         return supervisor is not None and supervisor.is_lost(queue_id)
 
+    # Multi-tenant live reconfiguration: the runtime exposes scheduled
+    # events; when virtual time reaches one, the feeder flushes every
+    # pending batch (so pre-event packets classify under the old table),
+    # applies the event to the parent's table, and broadcasts the new
+    # epoch on an empty stamped batch to every queue. Per-queue FIFO
+    # then guarantees each worker swaps on exactly that burst boundary.
+    publish_due = getattr(runtime, "publish_tenancy_events", None)
+    next_event_ts: Optional[float] = \
+        runtime.next_reconfigure_ts if publish_due is not None else None
+
+    def send_bump(epoch_no: int, actions: tuple) -> None:
+        pool.tenancy_bumps.append((epoch_no, actions))
+        for queue_id in range(cores):
+            if skip_core(queue_id):
+                continue
+            packed = pack([], queue_id)
+            packed.epoch = (epoch_no, actions)
+            if supervisor is None:
+                send(queue_id, (_BATCH, packed))
+                continue
+            # Bumps ride the supervised sequence space like any batch:
+            # redo-logged (a crash mid-swap replays the bump) and able
+            # to carry a planned worker fault at their own seq, which
+            # is how the crash-during-swap tests pin the fault to the
+            # swap window deterministically.
+            seq, fault = supervisor.on_dispatch(queue_id, packed)
+            send(queue_id, (_BATCH_SEQ, seq, packed))
+            if fault is not None:
+                plan_index, fspec = fault
+                _await_planned_fault(pool, supervisor, queue_id,
+                                     plan_index, fspec.kind)
+                _recover_core(pool, supervisor, queue_id, plan_index,
+                              hung=fspec.kind == "worker_hang")
+
     oom_at: Optional[float] = None
     failfast_at: Optional[float] = None
     with pool:
@@ -866,6 +972,15 @@ def run_parallel(
                         next_ff_ts = ts + config.overload_eval_interval
                 if ts > runtime._last_ts:
                     runtime._last_ts = ts
+                if next_event_ts is not None and ts >= next_event_ts:
+                    # Swap before this packet: flush, publish, bump.
+                    for qid, queued in enumerate(pending):
+                        if queued:
+                            dispatch(qid, queued)
+                            pending[qid] = []
+                    for epoch_no, actions in publish_due(ts):
+                        send_bump(epoch_no, actions)
+                    next_event_ts = runtime.next_reconfigure_ts
                 if queue is not None:
                     queued = pending[queue]
                     queued.append(mbuf)
@@ -911,6 +1026,15 @@ def run_parallel(
                     next_ff_ts = ts + config.overload_eval_interval
             if ts > runtime._last_ts:
                 runtime._last_ts = ts
+            if next_event_ts is not None and ts >= next_event_ts:
+                # Swap before this packet: flush, publish, bump.
+                for qid, queued in enumerate(pending):
+                    if queued:
+                        dispatch(qid, queued)
+                        pending[qid] = []
+                for epoch_no, actions in publish_due(ts):
+                    send_bump(epoch_no, actions)
+                next_event_ts = runtime.next_reconfigure_ts
             if frag is not None:
                 mbuf = frag.push(mbuf)
                 if mbuf is None:

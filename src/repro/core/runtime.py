@@ -491,13 +491,18 @@ class Runtime:
     def live_connections(self) -> int:
         return sum(len(p.table) for p in self.pipelines)
 
-    def aggregate(self, core_stats=None) -> AggregateStats:
+    def aggregate(self, core_stats=None, ingress=None) -> AggregateStats:
         """Merge per-core stats into the report structure.
 
         Args:
             core_stats: Per-core :class:`CoreStats` to merge instead of
                 this process's pipelines' — the parallel backend passes
                 the snapshots returned by its worker processes.
+            ingress: Optional ``(packets, bytes, hw_dropped,
+                sink_dropped)`` override of the NIC ingress totals — the
+                multi-tenant runtime aggregates one tenant's core stats
+                against the shared link's ingress, which the NIC cannot
+                attribute per tenant.
         """
         if core_stats is None:
             core_stats = [pipeline.stats for pipeline in self.pipelines]
@@ -505,10 +510,17 @@ class Runtime:
             if self._first_ts is not None else 0.0
         stage_invocations = {stage: 0 for stage in Stage}
         stage_cycles = {stage: 0.0 for stage in Stage}
-        ingress_packets = sum(n.stats.received_packets for n in self.nics)
-        ingress_bytes = sum(n.stats.received_bytes for n in self.nics)
-        hw_dropped = sum(n.stats.hw_dropped_packets for n in self.nics)
-        sink_dropped = sum(n.stats.sink_dropped_packets for n in self.nics)
+        if ingress is not None:
+            ingress_packets, ingress_bytes, hw_dropped, sink_dropped = \
+                ingress
+        else:
+            ingress_packets = sum(n.stats.received_packets
+                                  for n in self.nics)
+            ingress_bytes = sum(n.stats.received_bytes for n in self.nics)
+            hw_dropped = sum(n.stats.hw_dropped_packets
+                             for n in self.nics)
+            sink_dropped = sum(n.stats.sink_dropped_packets
+                               for n in self.nics)
         # Hardware filtering is charged zero CPU cycles but counts one
         # "invocation" per ingress packet (Figure 7's first bar).
         stage_invocations[Stage.HARDWARE_FILTER] = ingress_packets

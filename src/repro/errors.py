@@ -64,6 +64,14 @@ class SubscriptionError(RetinaError):
     cannot supply connection state."""
 
 
+class TenancyError(ConfigError):
+    """A multi-tenant subscription set is invalid: duplicate or
+    malformed tenant names, an unparseable subscriptions file, a
+    reconfiguration event referring to an unknown tenant, or a live
+    ``subscribe``/``unsubscribe`` that conflicts with the current
+    filter-table epoch."""
+
+
 class CallbackError(RetinaError):
     """A subscription callback raised.
 

@@ -33,14 +33,15 @@ DEFAULT_BATCH_SIZE = 256
 def _rebuild(blob: bytes, lengths: bytes, length_code: str,
              timestamps: bytes, ports: Union[int, bytes],
              queue: Optional[int],
-             trace_ctx: Optional[tuple] = None) -> "PackedBatch":
+             trace_ctx: Optional[tuple] = None,
+             epoch: Optional[tuple] = None) -> "PackedBatch":
     """Unpickle helper: reconstruct the arrays from the wire fields.
 
     The wire carries per-frame *lengths* (u16 unless a frame exceeds
     64 KiB) and either a scalar port (uniform batch, the common case)
     or the raw port array; offsets and the in-memory port array are
-    rebuilt here. ``trace_ctx`` defaults to None so pre-span pickles
-    still rebuild.
+    rebuilt here. ``trace_ctx`` and ``epoch`` default to None so older
+    pickles still rebuild.
     """
     lens = array(length_code)
     lens.frombytes(lengths)
@@ -59,6 +60,7 @@ def _rebuild(blob: bytes, lengths: bytes, length_code: str,
         pt.frombytes(ports)
     batch = PackedBatch(blob, offsets, ts, pt, queue)
     batch.trace_ctx = trace_ctx
+    batch.epoch = epoch
     return batch
 
 
@@ -79,20 +81,28 @@ class PackedBatch:
             worker's burst spans stitch into the parent's trace
             (:mod:`repro.telemetry.spans`). ``None`` when spans are off;
             costs nothing on the wire then (pickled as a None slot).
+        epoch: Optional filter-table epoch bump —
+            ``(epoch_number, actions_tuple)`` stamped by a multi-tenant
+            feeder on the (usually empty) batch that publishes a new
+            :class:`~repro.tenancy.table.FilterTable` epoch to every
+            worker (:mod:`repro.tenancy`). ``None`` on ordinary batches
+            and in single-tenant runs; costs nothing on the wire then.
     """
 
     __slots__ = ("blob", "offsets", "timestamps", "ports", "queue",
-                 "trace_ctx")
+                 "trace_ctx", "epoch")
 
     def __init__(self, blob: bytes, offsets: array, timestamps: array,
                  ports: array, queue: Optional[int] = None,
-                 trace_ctx: Optional[tuple] = None) -> None:
+                 trace_ctx: Optional[tuple] = None,
+                 epoch: Optional[tuple] = None) -> None:
         self.blob = blob
         self.offsets = offsets
         self.timestamps = timestamps
         self.ports = ports
         self.queue = queue
         self.trace_ctx = trace_ctx
+        self.epoch = epoch
 
     @classmethod
     def pack(cls, mbufs: Sequence[Mbuf],
@@ -222,13 +232,18 @@ class PackedBatch:
         # Flat buffers only; unpickling rebuilds the arrays with
         # frombytes. No per-packet object graph ever hits the pickler.
         lengths, code, ports = self._wire_fields()
-        if self.trace_ctx is None:
+        if self.trace_ctx is None and self.epoch is None:
             return (_rebuild, (self.blob, lengths.tobytes(), code,
                                self.timestamps.tobytes(), ports,
                                self.queue))
+        if self.epoch is None:
+            # Span-only batches keep the pre-tenancy 7-field tuple.
+            return (_rebuild, (self.blob, lengths.tobytes(), code,
+                               self.timestamps.tobytes(), ports,
+                               self.queue, self.trace_ctx))
         return (_rebuild, (self.blob, lengths.tobytes(), code,
                            self.timestamps.tobytes(), ports, self.queue,
-                           self.trace_ctx))
+                           self.trace_ctx, self.epoch))
 
     def __repr__(self) -> str:
         return (f"PackedBatch(n={len(self)}, bytes={len(self.blob)}, "

@@ -86,7 +86,7 @@ class RedoLog:
 
 class _CoreState:
     __slots__ = ("next_seq", "redo", "restarts", "suppressed", "lost",
-                 "last_heard", "last_rung")
+                 "last_heard", "last_rung", "last_epoch")
 
     def __init__(self, redo_capacity: int) -> None:
         self.next_seq = 0
@@ -99,6 +99,11 @@ class _CoreState:
         #: restarted worker is re-seeded at this rung so a crash cannot
         #: silently reopen the admission gate mid-overload.
         self.last_rung = 0
+        #: Filter-table epoch carried on the core's last ack (0 for
+        #: single-tenant pipelines). A restarted multi-tenant worker is
+        #: rebuilt at this table state; epoch bumps still in the redo
+        #: log re-apply idempotently during replay.
+        self.last_epoch = 0
 
 
 class WorkerSupervisor:
@@ -154,6 +159,14 @@ class WorkerSupervisor:
 
     def last_rung(self, core: int) -> int:
         return self._cores[core].last_rung
+
+    def note_epoch(self, core: int, epoch: int) -> None:
+        """Remember the filter-table epoch ``core`` reported on its
+        latest ack (the multi-tenant restart seed)."""
+        self._cores[core].last_epoch = epoch
+
+    def last_epoch(self, core: int) -> int:
+        return self._cores[core].last_epoch
 
     def heard_from(self, core: int) -> None:
         self._cores[core].last_heard = time.monotonic()

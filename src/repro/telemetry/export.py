@@ -30,6 +30,7 @@ def build_registry(stats: AggregateStats,
                    faults: Optional[object] = None,
                    overload: Optional[object] = None,
                    impairment: Optional[object] = None,
+                   tenancy: Optional[dict] = None,
                    ) -> MetricsRegistry:
     """Populate a metrics registry from one run's aggregate stats.
 
@@ -51,6 +52,13 @@ def build_registry(stats: AggregateStats,
     ``impairment`` is the run's :class:`repro.netem.ImpairmentLedger`
     (or None). Impairment families render only when the link was
     impaired, so clean runs keep byte-identical output.
+
+    ``tenancy`` carries a multi-tenant run's per-tenant breakdown:
+    ``{"epoch": int, "active": [names], "tenants": {name:
+    AggregateStats}, "shed": {name: LossLedger}}``. The
+    ``repro_tenant_*`` / ``repro_tenancy_*`` families render only when
+    it is given, so single-tenant runs — including a multi-tenant
+    binary run with the flag off — keep byte-identical output.
     """
     reg = MetricsRegistry()
 
@@ -378,6 +386,64 @@ def build_registry(stats: AggregateStats,
             qhw.set(row.get("queue_highwater", 0), labels=(worker,))
             batches.inc(row.get("batches", 0), labels=(worker,))
             occ.set(row.get("batch_occupancy_max", 0), labels=(worker,))
+
+    # -- multi-tenant breakdown (repro.tenancy) ----------------------------
+    if tenancy is not None:
+        reg.gauge("repro_tenancy_epoch",
+                  "Filter-table epoch at the end of the run") \
+            .set(tenancy.get("epoch", 0))
+        active = set(tenancy.get("active", ()))
+        tenants = tenancy.get("tenants", {})
+        shed_ledgers = tenancy.get("shed", {})
+        tactive = reg.gauge("repro_tenant_active",
+                            "1 when the tenant is subscribed at the "
+                            "final epoch", label_names=("tenant",))
+        tfun = reg.counter("repro_tenant_funnel_packets_total",
+                           "Per-tenant packets entering/surviving each "
+                           "filter layer",
+                           label_names=("tenant", "layer", "edge"))
+        tdrop = reg.counter(
+            "repro_tenant_funnel_dropped_packets_total",
+            "Per-tenant packets discarded at each filter layer",
+            label_names=("tenant", "layer"))
+        tcb = reg.counter("repro_tenant_callbacks_total",
+                          "Per-tenant subscription callback runs",
+                          label_names=("tenant",))
+        tconn = reg.counter("repro_tenant_connections_total",
+                            "Per-tenant connection lifecycle outcomes",
+                            label_names=("tenant", "event"))
+        for name in sorted(tenants):
+            tstats = tenants[name]
+            tactive.set(1 if name in active else 0, labels=(name,))
+            for layer in build_funnel(tstats):
+                tfun.inc(layer.packets_in,
+                         labels=(name, layer.layer, "in"))
+                tfun.inc(layer.packets_out,
+                         labels=(name, layer.layer, "out"))
+                tdrop.inc(layer.dropped_packets,
+                          labels=(name, layer.layer))
+            tcb.inc(tstats.callbacks, labels=(name,))
+            tconn.inc(tstats.conns_created, labels=(name, "created"))
+            tconn.inc(tstats.conns_delivered,
+                      labels=(name, "delivered"))
+            tconn.inc(tstats.conns_discarded,
+                      labels=(name, "discarded"))
+            tconn.inc(tstats.conns_expired, labels=(name, "expired"))
+        if shed_ledgers:
+            tshed = reg.counter(
+                "repro_tenant_shed_packets_total",
+                "Packets shed by per-tenant quota/pressure metering",
+                label_names=("tenant", "layer"))
+            tshed_b = reg.counter(
+                "repro_tenant_shed_bytes_total",
+                "Bytes shed by per-tenant quota/pressure metering",
+                label_names=("tenant",))
+            for name in sorted(shed_ledgers):
+                ledger = shed_ledgers[name]
+                for layer in sorted(ledger.layer_packets):
+                    tshed.inc(ledger.layer_packets[layer],
+                              labels=(name, layer))
+                tshed_b.inc(ledger.bytes_shed, labels=(name,))
     return reg
 
 
@@ -386,10 +452,12 @@ def render_metrics(stats: AggregateStats,
                    include_volatile: bool = False,
                    faults: Optional[object] = None,
                    overload: Optional[object] = None,
-                   impairment: Optional[object] = None) -> str:
+                   impairment: Optional[object] = None,
+                   tenancy: Optional[dict] = None) -> str:
     """The run's metrics in the Prometheus text exposition format."""
     return build_registry(stats, backend_health, faults=faults,
-                          overload=overload, impairment=impairment) \
+                          overload=overload, impairment=impairment,
+                          tenancy=tenancy) \
         .render_prometheus(include_volatile=include_volatile)
 
 
@@ -398,11 +466,12 @@ def write_metrics(path: Union[str, Path], stats: AggregateStats,
                   include_volatile: bool = False,
                   faults: Optional[object] = None,
                   overload: Optional[object] = None,
-                  impairment: Optional[object] = None) -> None:
+                  impairment: Optional[object] = None,
+                  tenancy: Optional[dict] = None) -> None:
     Path(path).write_text(
         render_metrics(stats, backend_health, include_volatile,
                        faults=faults, overload=overload,
-                       impairment=impairment))
+                       impairment=impairment, tenancy=tenancy))
 
 
 def trace_lines(stats: AggregateStats) -> List[str]:

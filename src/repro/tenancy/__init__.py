@@ -1,0 +1,43 @@
+"""Multi-tenant subscription runtime (ROADMAP item 1).
+
+Retina's future work names concurrent subscriptions as the step beyond
+the single-experiment model. This package turns the runtime into a
+service: N named subscriptions compile into one *shared* decomposed
+filter (:class:`SharedFilter` — a common-prefix trie merge across
+tenants with per-layer predicate dedup, so each packet is classified
+once and verdicts fan out to per-tenant subscription sets), the active
+set lives in a versioned, atomically swappable :class:`FilterTable`
+(``subscribe``/``unsubscribe`` on a live runtime publish a new epoch
+that every worker adopts at a burst boundary), and each tenant gets its
+own conntrack, stats, loss ledger, quota, and callback quarantine so a
+noisy or crashing tenant cannot perturb the rest.
+
+See docs/MULTITENANT.md for the epoch-swap protocol, quota semantics,
+and the isolation guarantees the test suite pins down.
+"""
+
+from repro.tenancy.spec import (
+    ReconfigureEvent,
+    TenantSpec,
+    load_subscriptions,
+    parse_reconfigure,
+    parse_subscriptions,
+)
+from repro.tenancy.shared import SharedFilter, union_hardware
+from repro.tenancy.table import FilterTable
+from repro.tenancy.pipeline import TenantCorePipeline, TenantStatsBundle
+from repro.tenancy.runtime import TenantRuntime
+
+__all__ = [
+    "FilterTable",
+    "ReconfigureEvent",
+    "SharedFilter",
+    "TenantCorePipeline",
+    "TenantRuntime",
+    "TenantSpec",
+    "TenantStatsBundle",
+    "load_subscriptions",
+    "parse_reconfigure",
+    "parse_subscriptions",
+    "union_hardware",
+]

@@ -1,0 +1,572 @@
+"""Per-core multi-tenant pipeline multiplexer.
+
+One :class:`TenantCorePipeline` replaces the single
+:class:`~repro.core.pipeline.CorePipeline` on each receive queue of a
+multi-tenant run. It decodes each burst *once*, classifies it *once*
+against the table's :class:`~repro.tenancy.shared.SharedFilter`, and
+fans the per-tenant verdict vectors out to fully independent per-tenant
+``CorePipeline`` instances via ``process_batch_rows`` — so every tenant
+keeps its own conntrack table, cycle ledger, stats, callback
+quarantine, and (tenant-scoped) fault injector, and a noisy or crashing
+tenant cannot perturb another tenant's counters by even one bit.
+
+Isolation knobs enforced here, before rows reach a tenant's pipeline:
+
+* **Quotas** — a tenant with ``quota_mbps`` gets a per-core byte budget
+  per virtual-second window; over-budget rows are shed and charged to
+  that tenant's private loss ledger (rung 1, layer ``tenant_quota``).
+* **Pressure downgrade** — when ``config.tenancy_pressure_mbps`` is set
+  and a window's aggregate tenant load exceeds the per-core share, the
+  *heaviest* tenants (by offered bytes *matching their own filter*,
+  ties by name) are shed for the
+  next window (rung 3, layer ``tenant_pressure``) until the remainder
+  fits — heaviest-tenant-first, mirroring the overload ladder's
+  downgrade rung.
+
+Both are driven by virtual time, so they are deterministic across
+backends and worker counts at a fixed ``config.cores``.
+
+Epoch swaps (:meth:`TenantCorePipeline.apply_epoch`) are idempotent on
+the epoch number, so a replayed bump batch after a supervised worker
+restart is a no-op when the restarted worker was already seeded at (or
+past) that epoch. A dropped tenant's pipeline moves to the draining
+set: it receives no further rows but keeps expiring, sampling, and
+finally draining — its admitted connections deliver under their
+admission epoch, untouched by the swap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import CorePipeline
+from repro.core.stats import CoreStats
+from repro.core.subscription import Subscription
+from repro.errors import TenancyError
+from repro.filter.batch import NO_MATCH
+from repro.overload.ledger import LossLedger
+from repro.packet.columnar import decode_mbufs
+from repro.tenancy.spec import TenantSpec, count_callback
+
+#: One virtual second: the quota / pressure accounting window.
+_WINDOW_S = 1.0
+#: Ladder rungs quota and pressure sheds are attributed to (the quota
+#: gate refuses work the way rung 1 does; the pressure downgrade is the
+#: tenant-granular analogue of rung 3's heavy-connection breaker).
+_QUOTA_RUNG = 1
+_PRESSURE_RUNG = 3
+
+
+def build_tenant_subscription(spec: TenantSpec, config,
+                              nic_caps=None) -> Subscription:
+    """Compile one tenant's spec into a Subscription (the tenant's own
+    filter object also feeds the table's SharedFilter, so verdict node
+    ids line up with the connection/session sub-filters for free)."""
+    return Subscription(
+        spec.filter,
+        spec.datatype,
+        spec.callback if spec.callback is not None else count_callback,
+        filter_mode=config.filter_mode,
+        nic=nic_caps,
+        identify_services=spec.identify_services,
+    )
+
+
+def tenant_config(spec: TenantSpec, config):
+    """The per-tenant RuntimeConfig: tenant overrides for the callback
+    error policy, and the tenant-scoped fault plan *replacing* the
+    run-level one (worker-level faults stay with the supervisor; the
+    in-pipeline injectors must be tenant-local or quarantine leaks)."""
+    return config.with_(
+        callback_error_policy=(spec.callback_error_policy
+                               if spec.callback_error_policy is not None
+                               else config.callback_error_policy),
+        callback_error_budget=(spec.callback_error_budget
+                               if spec.callback_error_budget is not None
+                               else config.callback_error_budget),
+        fault_plan=spec.fault_plan,
+    )
+
+
+class TenantStatsBundle(CoreStats):
+    """One core's merged stats plus the per-tenant breakdown.
+
+    Subclasses :class:`CoreStats` so everything that consumes a
+    per-core snapshot — the parallel ack/progress/monitor protocol,
+    ``Runtime.aggregate``, the crash-recovery comparisons — works
+    unchanged on a multi-tenant core. The extras ride along:
+
+    * ``per_tenant``: tenant name → that tenant's merged CoreStats
+      (re-added tenants merge their drained and live pipelines).
+    * ``tenant_shed``: tenant name → the quota/pressure loss ledger,
+      present only for tenants that were actually metered (so an
+      unmetered run's snapshot is byte-identical to a plain run's).
+    * ``epoch``: the filter-table epoch this core had adopted when the
+      snapshot was taken.
+    """
+
+    def __init__(self, cost_model, telemetry: bool = False) -> None:
+        super().__init__(cost_model, telemetry=telemetry)
+        self.per_tenant: Dict[str, CoreStats] = {}
+        self.tenant_shed: Dict[str, LossLedger] = {}
+        self.epoch = 0
+
+    def merge(self, other: CoreStats) -> None:
+        super().merge(other)
+        if isinstance(other, TenantStatsBundle):
+            for name, stats in other.per_tenant.items():
+                mine = self.per_tenant.get(name)
+                if mine is None:
+                    mine = CoreStats(stats.ledger.model)
+                    self.per_tenant[name] = mine
+                mine.merge(stats)
+            for name, ledger in other.tenant_shed.items():
+                mine = self.tenant_shed.get(name)
+                if mine is None:
+                    mine = LossLedger(core_id=-1)
+                    self.tenant_shed[name] = mine
+                mine.merge(ledger)
+            if other.epoch > self.epoch:
+                self.epoch = other.epoch
+
+    def to_dict(self) -> Dict:
+        out = super().to_dict()
+        # The tenant breakdown joins the snapshot only when the run is
+        # observably multi-tenant — a single unmetered tenant's
+        # snapshot must stay byte-identical to a non-tenancy run.
+        if len(self.per_tenant) > 1 or self.tenant_shed:
+            out["epoch"] = self.epoch
+            out["tenants"] = {
+                name: stats.to_dict()
+                for name, stats in sorted(self.per_tenant.items())
+            }
+            out["tenant_shed"] = {
+                name: ledger.to_dict()
+                for name, ledger in sorted(self.tenant_shed.items())
+            }
+        return out
+
+
+class _TableView:
+    """Duck-typed stand-in for ``pipeline.table``: the worker progress
+    loop only ever takes ``len()`` of it."""
+
+    __slots__ = ("_mux",)
+
+    def __init__(self, mux: "TenantCorePipeline") -> None:
+        self._mux = mux
+
+    def __len__(self) -> int:
+        return sum(len(tp.table) for tp in self._mux.pipelines())
+
+
+class TenantCorePipeline:
+    """The per-core data path of a multi-tenant run.
+
+    Exposes the same surface the sequential loop and the parallel
+    ``_worker_main`` drive on a :class:`CorePipeline` — ``process_batch``,
+    ``advance_time``, ``drain``, ``sample_memory``, ``set_span_ctx``,
+    ``fold_fault_counters``, ``stats``, ``table``, ``now``,
+    ``memory_bytes``, the overload properties — plus the tenancy
+    verbs: :meth:`apply_epoch` and the ``epoch`` attribute.
+    """
+
+    def __init__(self, core_id: int, specs: Sequence[TenantSpec],
+                 active: Sequence[str], config, epoch: int = 0,
+                 initial_overload_rung: int = 0, nic_caps=None) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.epoch = epoch
+        self._nic_caps = nic_caps
+        self._initial_rung = initial_overload_rung
+        self._known: Dict[str, TenantSpec] = {}
+        for spec in specs:
+            if spec.name in self._known:
+                raise TenancyError(
+                    f"duplicate tenant {spec.name!r} on core {core_id}")
+            self._known[spec.name] = spec
+        for name in active:
+            if name not in self._known:
+                raise TenancyError(
+                    f"active tenant {name!r} unknown on core {core_id}")
+        self._subs: Dict[str, Subscription] = {}
+        self._pipes: Dict[str, CorePipeline] = {}
+        self._active: List[str] = []
+        #: Dropped tenants' pipelines: no further rows, but they keep
+        #: expiring/sampling and drain at end of run ((name, pipeline)
+        #: pairs — a name can drain more than once if re-added).
+        self._draining: List[Tuple[str, CorePipeline]] = []
+        #: Quota / pressure ledgers, created lazily at first shed so an
+        #: unmetered tenant's snapshot carries no extra state at all.
+        self._tenant_shed: Dict[str, LossLedger] = {}
+        self._use_columnar = bool(config.columnar)
+        pressure = getattr(config, "tenancy_pressure_mbps", None)
+        self._pressure_share = (
+            pressure * 1e6 / 8.0 * _WINDOW_S / config.cores
+            if pressure is not None else None)
+        # -- metering state (virtual-second windows) -------------------
+        self._window = 0
+        self._win_used: Dict[str, float] = {}
+        self._win_bytes: Dict[str, float] = {}
+        self._downgraded: set = set()
+        self._mux_now = 0.0
+        #: The base sequential loop peeks at ``_pf_batch`` to pick its
+        #: rows mode; the multiplexer manages columns itself.
+        self._pf_batch = None
+        for name in active:
+            self._activate(name)
+        self._rebuild()
+
+    # -- construction / swaps ------------------------------------------
+    def _activate(self, name: str) -> None:
+        spec = self._known[name]
+        sub = self._subs.get(name)
+        if sub is None:
+            sub = build_tenant_subscription(spec, self.config,
+                                            self._nic_caps)
+            self._subs[name] = sub
+        self._pipes[name] = CorePipeline(
+            self.core_id, sub, tenant_config(spec, self.config),
+            initial_overload_rung=self._initial_rung)
+        self._active.append(name)
+
+    def _rebuild(self) -> None:
+        """Recompile the shared classifier and metering plan for the
+        current active set (one rebuild per epoch swap)."""
+        from repro.tenancy.shared import SharedFilter
+        names = self._active
+        if names:
+            self._shared = SharedFilter(
+                names, [self._subs[n].filter for n in names])
+        else:
+            self._shared = None
+        self._quota_share: Dict[str, float] = {}
+        for name in names:
+            quota = self._known[name].quota_bytes_per_sec
+            if quota is not None:
+                self._quota_share[name] = \
+                    quota * _WINDOW_S / self.config.cores
+                self._win_used.setdefault(name, 0.0)
+        self._metered = bool(self._quota_share) or \
+            self._pressure_share is not None
+
+    def apply_epoch(self, epoch: int, actions) -> None:
+        """Adopt filter-table epoch ``epoch`` by applying its actions.
+
+        Idempotent on the epoch number: a replayed bump (supervised
+        restart re-delivers unacked batches verbatim) whose epoch this
+        worker already adopted — or was re-seeded past — is a no-op.
+        """
+        if epoch <= self.epoch:
+            return
+        for kind, name, wire in actions:
+            if kind == "add":
+                spec = TenantSpec.from_wire(wire)
+                self._known[spec.name] = spec
+                self._subs.pop(spec.name, None)  # spec may have changed
+                self._activate(spec.name)
+            elif kind == "drop":
+                if name not in self._pipes:
+                    raise TenancyError(
+                        f"epoch {epoch} drops unknown tenant {name!r}")
+                self._draining.append((name, self._pipes.pop(name)))
+                self._active.remove(name)
+                self._win_used.pop(name, None)
+                self._downgraded.discard(name)
+            else:
+                raise TenancyError(f"unknown epoch action {kind!r}")
+        self._rebuild()
+        self.epoch = epoch
+
+    # -- views ----------------------------------------------------------
+    def pipelines(self):
+        """Every tenant pipeline, active first (in active order), then
+        draining (in drop order)."""
+        for name in self._active:
+            yield self._pipes[name]
+        for _name, tp in self._draining:
+            yield tp
+
+    def _named_pipelines(self):
+        for name in self._active:
+            yield name, self._pipes[name]
+        for name, tp in self._draining:
+            yield name, tp
+
+    @property
+    def active_tenants(self) -> List[str]:
+        return list(self._active)
+
+    # -- metering -------------------------------------------------------
+    def _shed_ledger(self, name: str) -> LossLedger:
+        ledger = self._tenant_shed.get(name)
+        if ledger is None:
+            ledger = LossLedger(self.core_id)
+            self._tenant_shed[name] = ledger
+        return ledger
+
+    def _rollover(self, new_window: int) -> None:
+        """A virtual-second window closed: pick next window's
+        downgraded set (heaviest offered load first, ties by name)
+        from the *finished* window's per-tenant bytes."""
+        if self._pressure_share is not None:
+            if new_window == self._window + 1 and self._win_bytes:
+                total = sum(self._win_bytes.values())
+                share = self._pressure_share
+                if total > share:
+                    downgraded = set()
+                    remaining = total
+                    for name in sorted(
+                            self._win_bytes,
+                            key=lambda n: (-self._win_bytes[n], n)):
+                        if remaining <= share:
+                            break
+                        downgraded.add(name)
+                        remaining -= self._win_bytes[name]
+                    self._downgraded = downgraded
+                else:
+                    self._downgraded = set()
+            else:
+                # The window before ``new_window`` was empty: pressure
+                # has passed, nobody stays downgraded.
+                self._downgraded = set()
+        self._win_bytes = {}
+        for name in self._win_used:
+            self._win_used[name] = 0.0
+        self._window = new_window
+
+    def _meter_rows(self, mbufs, cols,
+                    verdicts=None) -> Dict[str, List[int]]:
+        """One pass over the burst deciding, per active tenant, which
+        rows its pipeline receives. Shed rows are charged to the
+        tenant's private ledger (``packets_seen`` counts only sheds
+        there — the tenant pipeline's own ledger counts what it was
+        fed, so the merged seen == analyzed + shed invariant holds).
+
+        Quota and pressure charge a tenant only for rows its *own*
+        packet filter matches (per the shared verdicts; rows the batch
+        verdict cannot cover fall back to one scalar classify). Rows
+        irrelevant to a tenant ride through unmetered — the tenant's
+        pipeline refuses them exactly as it would solo, so co-tenant
+        traffic can never eat a tenant's budget or mark it "heavy".
+        """
+        sels: Dict[str, List[int]] = {n: [] for n in self._active}
+        window = self._window
+        wires = cols.wire if cols is not None else None
+        fast = cols.fast if cols is not None else None
+        track_pressure = self._pressure_share is not None
+        quota_share = self._quota_share
+        for i, mbuf in enumerate(mbufs):
+            ts = mbuf.timestamp
+            w = int(ts)
+            if w > window:
+                self._rollover(w)
+                window = w
+            wire = wires[i] if wires is not None else len(mbuf.data)
+            scalar_fan = None
+            for t, name in enumerate(self._active):
+                if verdicts is not None and fast is not None \
+                        and fast[i]:
+                    relevant = verdicts[t][i] != NO_MATCH
+                else:
+                    if scalar_fan is None:
+                        scalar_fan = self._shared.classify(mbuf)
+                    relevant = scalar_fan[t].matched
+                if not relevant:
+                    sels[name].append(i)
+                    continue
+                if name in self._downgraded:
+                    ledger = self._shed_ledger(name)
+                    ledger.packets_seen += 1
+                    ledger.record_shed(_PRESSURE_RUNG,
+                                       "tenant_pressure", wire)
+                else:
+                    share = quota_share.get(name)
+                    if share is not None:
+                        used = self._win_used[name]
+                        if used + wire > share:
+                            ledger = self._shed_ledger(name)
+                            ledger.packets_seen += 1
+                            ledger.record_shed(_QUOTA_RUNG,
+                                               "tenant_quota", wire)
+                        else:
+                            self._win_used[name] = used + wire
+                            sels[name].append(i)
+                    else:
+                        sels[name].append(i)
+                if track_pressure:
+                    self._win_bytes[name] = \
+                        self._win_bytes.get(name, 0.0) + wire
+        return sels
+
+    # -- the data path --------------------------------------------------
+    def process_batch(self, mbufs) -> None:
+        if type(mbufs) is not list and type(mbufs) is not tuple:
+            mbufs = list(mbufs)
+        if not mbufs:
+            return
+        ts = mbufs[-1].timestamp
+        if ts > self._mux_now:
+            self._mux_now = ts
+        active = self._active
+        if not active:
+            return
+        shared = self._shared
+        if self._use_columnar and shared.batch_supported:
+            cols = decode_mbufs(mbufs)
+            verdicts = shared.classify_batch(cols)
+            n = cols.n
+            if not self._metered:
+                # Amortize across the fan-out what every tenant would
+                # otherwise recompute: total wire bytes and whether row
+                # timestamps are nondecreasing (the compact row path
+                # needs sortedness to keep per-row clock semantics).
+                wire_total = sum(cols.wire)
+                stamps = [m.timestamp for m in mbufs]
+                ts_sorted = all(a <= b for a, b in
+                                zip(stamps, stamps[1:]))
+                for t, name in enumerate(active):
+                    self._pipes[name].process_batch_rows_shared(
+                        mbufs, cols, verdicts[t], wire_total,
+                        ts_sorted)
+            else:
+                sels = self._meter_rows(mbufs, cols, verdicts)
+                for t, name in enumerate(active):
+                    sel = sels[name]
+                    vec = verdicts[t]
+                    self._pipes[name].process_batch_rows(
+                        [mbufs[i] for i in sel], [cols] * len(sel),
+                        sel, [vec[i] for i in sel])
+        else:
+            # Scalar / mixed fallback: each tenant pipeline runs its own
+            # preferred path (a tenant whose trie *is* batch-expressible
+            # still goes columnar internally, exactly as it would solo).
+            if not self._metered:
+                for name in active:
+                    self._pipes[name].process_batch(mbufs)
+            else:
+                sels = self._meter_rows(mbufs, None)
+                for name in active:
+                    self._pipes[name].process_batch(
+                        [mbufs[i] for i in sels[name]])
+
+    def process_packet(self, mbuf) -> None:
+        self.process_batch((mbuf,))
+
+    # -- lifecycle forwarding -------------------------------------------
+    def advance_time(self, now: float) -> None:
+        if now > self._mux_now:
+            self._mux_now = now
+        for tp in self.pipelines():
+            tp.advance_time(now)
+
+    def drain(self) -> None:
+        for tp in self.pipelines():
+            tp.drain()
+
+    def sample_memory(self) -> None:
+        for tp in self.pipelines():
+            tp.sample_memory()
+
+    def set_span_ctx(self, ctx) -> None:
+        for tp in self.pipelines():
+            tp.set_span_ctx(ctx)
+
+    def fold_fault_counters(self) -> None:
+        for tp in self.pipelines():
+            tp.fold_fault_counters()
+
+    # -- monitoring surface ---------------------------------------------
+    @property
+    def now(self) -> float:
+        now = self._mux_now
+        for tp in self.pipelines():
+            if tp.now > now:
+                now = tp.now
+        return now
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(tp.memory_bytes for tp in self.pipelines())
+
+    @property
+    def table(self) -> _TableView:
+        return _TableView(self)
+
+    @property
+    def overload_rung(self) -> int:
+        rung = 0
+        for tp in self.pipelines():
+            if tp.overload_rung > rung:
+                rung = tp.overload_rung
+        return rung
+
+    @property
+    def overload_shed_packets(self) -> int:
+        shed = sum(tp.overload_shed_packets for tp in self.pipelines())
+        shed += sum(ledger.packets_shed
+                    for ledger in self._tenant_shed.values())
+        return shed
+
+    @property
+    def overload_failfast_at(self) -> Optional[float]:
+        tripped = [tp.overload_failfast_at for tp in self.pipelines()
+                   if tp.overload_failfast_at is not None]
+        return min(tripped) if tripped else None
+
+    @property
+    def _shedding(self) -> bool:
+        return any(tp._shedding for tp in self.pipelines())
+
+    @property
+    def stats(self) -> TenantStatsBundle:
+        """A fresh merged snapshot: whole-core totals on the CoreStats
+        face, the per-tenant breakdown underneath."""
+        bundle = TenantStatsBundle(self.config.cost_model,
+                                   telemetry=self.config.telemetry)
+        contributed = 0
+        for name, tp in self._named_pipelines():
+            tp_stats = tp.stats
+            bundle.merge(tp_stats)
+            mine = bundle.per_tenant.get(name)
+            if mine is None:
+                mine = CoreStats(self.config.cost_model,
+                                 telemetry=self.config.telemetry)
+                bundle.per_tenant[name] = mine
+            mine.merge(tp_stats)
+            if bundle.spans is None and tp_stats.spans is not None:
+                bundle.spans = tp_stats.spans
+            contributed += 1
+        for name, ledger in self._tenant_shed.items():
+            snap = LossLedger(self.core_id)
+            snap.merge(ledger)
+            bundle.tenant_shed[name] = snap
+            if bundle.overload is None:
+                bundle.overload = LossLedger(core_id=-1)
+            bundle.overload.merge(ledger)
+            tenant_stats = bundle.per_tenant.get(name)
+            if tenant_stats is not None:
+                if tenant_stats.overload is None:
+                    tenant_stats.overload = LossLedger(core_id=-1)
+                tenant_stats.overload.merge(ledger)
+        if contributed > 1:
+            bundle.memory_samples = _combine_memory_samples(
+                bundle.memory_samples)
+        bundle.epoch = self.epoch
+        return bundle
+
+
+def _combine_memory_samples(samples):
+    """Fold per-tenant memory samples taken at the same virtual instant
+    into one whole-core sample (sum of live connections and bytes), so
+    the aggregate peak reflects the core's true footprint."""
+    combined: Dict[float, List[int]] = {}
+    for ts, conns, mem in samples:
+        entry = combined.get(ts)
+        if entry is None:
+            combined[ts] = [conns, mem]
+        else:
+            entry[0] += conns
+            entry[1] += mem
+    return [(ts, entry[0], entry[1])
+            for ts, entry in sorted(combined.items())]

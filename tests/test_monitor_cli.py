@@ -406,3 +406,99 @@ class TestJsonStats:
         assert "max_zero_loss_gbps" in payload
         assert set(payload["stage_invocations"]) >= {"capture",
                                                      "packet_filter"}
+
+
+class TestTenancyCli:
+    def _subs(self, tmp_path, entries=None):
+        import json
+        if entries is None:
+            entries = [
+                {"name": "web", "filter": "tcp.dst_port = 443",
+                 "datatype": "connection", "callback": "count"},
+                {"name": "dns", "filter": "udp", "datatype": "packet"},
+                {"name": "late", "filter": "tcp",
+                 "datatype": "connection", "start": False},
+            ]
+        path = tmp_path / "subs.json"
+        path.write_text(json.dumps({"tenants": entries}))
+        return str(path)
+
+    def test_multitenant_reconfigure_run(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "tenants.json"
+        code = main(["--subscriptions", self._subs(tmp_path),
+                     "--synthetic", "campus", "--duration", "0.3",
+                     "--gbps", "0.05", "--print-limit", "0",
+                     "--reconfigure-at", "0.15:drop:dns",
+                     "--reconfigure-at", "0.15:add:late",
+                     "--tenants-out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "tenants: 3 seen, epoch 2" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["epoch"] == 2
+        assert payload["active"] == ["web", "late"]
+        assert set(payload["tenants"]) == {"web", "dns", "late"}
+        assert payload["tenants"]["web"]["stats"]["callbacks"] > 0
+
+    def test_subscriptions_conflicts_with_filter(self, tmp_path,
+                                                 capsys):
+        code = main(["--subscriptions", self._subs(tmp_path),
+                     "--filter", "tcp", "--synthetic", "campus"])
+        assert code == 2
+        assert "--subscriptions conflicts with --filter" in \
+            capsys.readouterr().err
+
+    def test_reconfigure_requires_subscriptions(self, capsys):
+        code = main(["--synthetic", "campus",
+                     "--reconfigure-at", "0.1:drop:dns"])
+        assert code == 2
+        assert "--reconfigure-at has no effect without" in \
+            capsys.readouterr().err
+
+    def test_tenants_out_requires_subscriptions(self, tmp_path,
+                                                capsys):
+        code = main(["--synthetic", "campus",
+                     "--tenants-out", str(tmp_path / "t.json")])
+        assert code == 2
+        assert "--tenants-out has no effect" in capsys.readouterr().err
+
+    def test_malformed_reconfigure_spec(self, tmp_path, capsys):
+        code = main(["--subscriptions", self._subs(tmp_path),
+                     "--synthetic", "campus",
+                     "--reconfigure-at", "whenever:drop:dns"])
+        assert code == 2
+        assert "virtual-time float" in capsys.readouterr().err
+
+    def test_unknown_event_tenant(self, tmp_path, capsys):
+        code = main(["--subscriptions", self._subs(tmp_path),
+                     "--synthetic", "campus",
+                     "--reconfigure-at", "0.1:drop:nope"])
+        assert code == 2
+        assert "unknown tenant" in capsys.readouterr().err
+
+    def test_nonworker_fault_plan_conflict(self, tmp_path, capsys):
+        plan = ('{"seed": 1, "faults": '
+                '[{"kind": "callback_error", "at_ordinal": 0}]}')
+        code = main(["--subscriptions", self._subs(tmp_path),
+                     "--synthetic", "campus", "--fault-plan", plan])
+        assert code == 2
+        assert "non-worker --fault-plan" in capsys.readouterr().err
+
+    def test_worker_fault_plan_allowed(self, tmp_path, capsys):
+        plan = ('{"seed": 1, "faults": '
+                '[{"kind": "worker_crash", "core": 1, "at_batch": 1}]}')
+        code = main(["--subscriptions", self._subs(tmp_path),
+                     "--synthetic", "campus", "--duration", "0.2",
+                     "--gbps", "0.05", "--print-limit", "0",
+                     "--parallel", "2", "--supervise",
+                     "--fault-plan", plan])
+        assert code == 0
+
+    def test_bad_subscriptions_json(self, tmp_path, capsys):
+        path = tmp_path / "subs.json"
+        path.write_text("[{\"filter\": \"tcp\"}]")
+        code = main(["--subscriptions", str(path),
+                     "--synthetic", "campus"])
+        assert code == 2
+        assert "needs a string 'name'" in capsys.readouterr().err

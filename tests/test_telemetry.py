@@ -475,3 +475,72 @@ class TestCliTelemetry:
                    "--trace-sample", "1.5"])
         assert rc == 2
         assert "trace_sample" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant export
+# ---------------------------------------------------------------------------
+class TestTenantExport:
+    def _tenant_run(self, traffic, specs, **config_kwargs):
+        from repro.tenancy import TenantRuntime
+        config = RuntimeConfig(cores=2, **config_kwargs)
+        runtime = TenantRuntime(config, specs)
+        report = runtime.run(iter(traffic))
+        return runtime, report
+
+    def test_single_tenant_metrics_byte_identical(self, traffic):
+        """A one-tenant TenantRuntime without the tenancy payload
+        renders the exact bytes of the plain Runtime: the shared
+        classifier and multiplexer must not perturb any family."""
+        from repro.tenancy import TenantSpec
+        plain = _run(traffic, filter_str="tcp.dst_port = 443",
+                     cores=2).stats
+        _, report = self._tenant_run(
+            traffic,
+            [TenantSpec("solo", "tcp.dst_port = 443", "connection")])
+        assert export.render_metrics(report.stats) == \
+            export.render_metrics(plain)
+
+    def test_tenant_families_gated_on_payload(self, traffic):
+        """repro_tenant_* families appear only when the tenancy payload
+        is passed; the merged families stay byte-identical around it."""
+        from repro.tenancy import TenantSpec
+        specs = [TenantSpec("web", "tcp.dst_port = 443", "connection"),
+                 TenantSpec("hog", "", "packet", quota_mbps=0.05)]
+        runtime, report = self._tenant_run(traffic, specs)
+        base = export.render_metrics(report.stats)
+        assert "repro_tenant" not in base
+        payload = {
+            "epoch": runtime.table.epoch,
+            "active": list(runtime.table.active),
+            "tenants": runtime.aggregate_tenants(report),
+            "shed": runtime.tenant_ledgers(report),
+        }
+        text = export.render_metrics(report.stats, tenancy=payload)
+        assert 'repro_tenant_callbacks_total{tenant="web"}' in text
+        assert 'repro_tenant_funnel_packets_total{tenant="hog"' in text
+        assert 'repro_tenant_shed_packets_total{tenant="hog"' \
+               ',layer="tenant_quota"}' in text
+        assert "repro_tenancy_epoch 0" in text
+        stripped = "\n".join(
+            line for line in text.splitlines()
+            if "repro_tenant" not in line and "repro_tenancy" not in line)
+        assert stripped == base.rstrip("\n") or stripped + "\n" == base
+
+    def test_tenant_export_identical_across_backends(self, traffic):
+        from repro.tenancy import TenantSpec
+        specs = [TenantSpec("web", "tcp.dst_port = 443", "connection"),
+                 TenantSpec("dns", "udp", "packet")]
+        texts = []
+        for parallel in (False, True):
+            runtime, report = self._tenant_run(traffic, specs,
+                                               parallel=parallel)
+            payload = {
+                "epoch": runtime.table.epoch,
+                "active": list(runtime.table.active),
+                "tenants": runtime.aggregate_tenants(report),
+                "shed": runtime.tenant_ledgers(report),
+            }
+            texts.append(export.render_metrics(report.stats,
+                                               tenancy=payload))
+        assert texts[0] == texts[1]
