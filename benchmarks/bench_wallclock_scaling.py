@@ -54,9 +54,10 @@ def _gbps() -> float:
     return float(os.environ.get("BENCH_WALLCLOCK_GBPS", "0.5"))
 
 
-def _timed_run(traffic, cores: int, parallel: bool):
+def _timed_run(traffic, cores: int, parallel: bool, ipc: str = "auto"):
     runtime = Runtime(
-        RuntimeConfig(cores=cores, parallel=parallel),
+        RuntimeConfig(cores=cores, parallel=parallel,
+                      ipc_transport=ipc),
         filter_str=FILTER,
         datatype=DATATYPE,
         callback=None,
@@ -94,26 +95,45 @@ def run_wallclock_scaling():
         "pkts_per_sec": len(traffic) / seq_elapsed,
     }
 
+    # Queue vs shm side by side: the headline ``parallel_{N}w`` entries
+    # use the shm ring transport (the default wherever it exists); the
+    # ``_queue`` twins measure the pickled-queue path it replaced, so
+    # the JSON records the transport win per worker count.
+    from repro.core import shm as shm_mod
+
+    if shm_mod.shm_available():
+        transports = [("shm", ""), ("queue", "_queue")]
+    else:  # headline entries fall back to the only transport there is
+        transports = [("queue", "")]
+
     seq_counters = seq_stats.to_dict()
     for workers in WORKERS:
-        par_stats, par_elapsed = _timed_run(traffic, cores=workers,
-                                            parallel=True)
-        entry = {
-            "workers": workers,
-            "cpu_count": cpu_count,
-            "elapsed_s": par_elapsed,
-            "pkts_per_sec": len(traffic) / par_elapsed,
-            "speedup_vs_sequential": seq_elapsed / par_elapsed,
-            # A speedup claim is only meaningful when every worker can
-            # own a physical CPU; oversubscribed runs measure scheduler
-            # contention, not scaling.
-            "speedup_valid": workers <= cpu_count,
-        }
-        if workers == 4:
-            # The determinism guarantee, checked on the headline config.
-            entry["counters_match_sequential"] = \
-                par_stats.to_dict() == seq_counters
-        results["runs"][f"parallel_{workers}w"] = entry
+        for ipc, suffix in transports:
+            par_stats, par_elapsed = _timed_run(
+                traffic, cores=workers, parallel=True, ipc=ipc)
+            entry = {
+                "workers": workers,
+                "ipc_transport": ipc,
+                "cpu_count": cpu_count,
+                "elapsed_s": par_elapsed,
+                "pkts_per_sec": len(traffic) / par_elapsed,
+                "speedup_vs_sequential": seq_elapsed / par_elapsed,
+                # A speedup claim is only meaningful when every worker
+                # can own a physical CPU; oversubscribed runs measure
+                # scheduler contention, not scaling.
+                "speedup_valid": workers <= cpu_count,
+            }
+            if workers == 4:
+                # The determinism guarantee on the headline config —
+                # per transport.
+                entry["counters_match_sequential"] = \
+                    par_stats.to_dict() == seq_counters
+            results["runs"][f"parallel_{workers}w{suffix}"] = entry
+        if len(transports) == 2:
+            shm_run = results["runs"][f"parallel_{workers}w"]
+            queue_run = results["runs"][f"parallel_{workers}w_queue"]
+            shm_run["speedup_vs_queue"] = (
+                queue_run["elapsed_s"] / shm_run["elapsed_s"])
     return results
 
 
@@ -123,6 +143,8 @@ def report(results) -> None:
         speedup = f"{run.get('speedup_vs_sequential', 1.0):.2f}x"
         if not run.get("speedup_valid", True):
             speedup += " (oversubscribed)"
+        if "speedup_vs_queue" in run:
+            speedup += f" ({run['speedup_vs_queue']:.2f}x queue)"
         rows.append([
             name,
             f"{run['elapsed_s']:.3f}",

@@ -41,6 +41,27 @@ def main(argv) -> int:
               f"{1 - measured / recorded:.1%} below the recorded value",
               file=sys.stderr)
         return 1
+    transport = fresh.get("transport", {})
+    if "shm" in transport:
+        # Hard ceiling on the shm path's serialized bytes per packet:
+        # descriptor-only dispatch is ~8 B per *batch*, so anything
+        # approaching one byte per packet means batches are silently
+        # falling back to the pickled control channel (undersized
+        # slots, a broken codec, ...). The ceiling is generous — the
+        # healthy reading is ~8/batch_size ≈ 0.03 B/pkt.
+        ceiling = float(os.environ.get("PERF_GATE_SHM_BPP_CEILING",
+                                       "2.0"))
+        shm_bpp = transport["shm"]["ipc_bytes_per_packet"]
+        print(f"shm ipc_bytes_per_packet: {shm_bpp:.3f} "
+              f"(ceiling {ceiling})")
+        if shm_bpp > ceiling:
+            print("PERF GATE FAILED: shm transport serialized "
+                  f"{shm_bpp:.2f} B/pkt (> {ceiling}) — batches are "
+                  "falling back to the pickled control channel",
+                  file=sys.stderr)
+            return 1
+        ratio = transport.get("serialization_overhead_ratio", 0.0)
+        print(f"shm vs queue serialization ratio: {ratio:,.0f}x")
     spans = fresh.get("sequential_spans")
     if spans is not None:
         # Informational only: the gate above guards the spans-disabled

@@ -1,0 +1,120 @@
+"""Ring-occupancy report for the shm transport (CI artifact).
+
+Runs the campus workload through the shared-memory ring transport at a
+few worker counts and ring depths and records, per worker: descriptor-
+ring occupancy high-water, slot-starvation waits and blocked seconds,
+slot bytes written, and the run-level ``ipc_bytes_per_packet``. The
+point of the artifact is trend visibility — a PR that suddenly pins
+rings at their high-water or starts starving slots shows up in the CI
+archive before it shows up as a throughput regression.
+
+Writes ``benchmarks/results/ring_occupancy.json``. Exits non-zero only
+when the transport misbehaves functionally (stats diverge from the
+queue transport on the same workload); occupancy numbers themselves are
+scheduling-dependent and never gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro import Runtime, RuntimeConfig
+from repro.core import shm
+from repro.traffic import CampusTrafficGenerator
+
+OUT_PATH = Path(__file__).resolve().parent / "results" / \
+    "ring_occupancy.json"
+
+SCENARIOS = (
+    # (label, workers, ring depth, batch size)
+    ("baseline_2w", 2, 8, 256),
+    ("baseline_4w", 4, 8, 256),
+    ("tiny_ring_4w", 4, 2, 64),
+    ("deep_ring_4w", 4, 32, 256),
+)
+
+
+def _traffic():
+    duration = float(os.environ.get("RING_REPORT_DURATION", "0.3"))
+    gbps = float(os.environ.get("RING_REPORT_GBPS", "0.3"))
+    return list(CampusTrafficGenerator(seed=42).packets(
+        duration=duration, gbps=gbps)), duration, gbps
+
+
+def _run(traffic, workers, depth, batch, ipc):
+    config = RuntimeConfig(cores=workers, parallel=True, telemetry=True,
+                           ipc_transport=ipc, parallel_queue_depth=depth,
+                           parallel_batch_size=batch)
+    runtime = Runtime(config, filter_str="tcp", datatype="connection",
+                      callback=None)
+    return runtime.run(iter(traffic))
+
+
+def main() -> int:
+    if not shm.shm_available():
+        print("shared_memory unavailable; nothing to report")
+        OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+        OUT_PATH.write_text(json.dumps(
+            {"shm_available": False}, indent=2) + "\n")
+        return 0
+    traffic, duration, gbps = _traffic()
+    report = {
+        "shm_available": True,
+        "workload": {"generator": "campus", "seed": 42,
+                     "duration_s": duration, "gbps": gbps,
+                     "packets": len(traffic)},
+        "scenarios": {},
+    }
+    failures = 0
+    for label, workers, depth, batch in SCENARIOS:
+        via_shm = _run(traffic, workers, depth, batch, "shm")
+        via_queue = _run(traffic, workers, depth, batch, "queue")
+        identical = via_shm.stats.to_dict() == via_queue.stats.to_dict()
+        if not identical:
+            failures += 1
+        health = via_shm.backend_health or {}
+        report["scenarios"][label] = {
+            "workers": workers,
+            "ring_size": health.get("ring_size", depth),
+            "slot_bytes": health.get("slot_bytes"),
+            "batch_size": batch,
+            "stats_match_queue_transport": identical,
+            "ipc_bytes_per_packet":
+                health.get("ipc_bytes_per_packet", 0.0),
+            "ring_highwater": health.get("ring_highwater", 0),
+            "slot_starvation_waits":
+                health.get("slot_starvation_waits", 0),
+            "slot_starvation_seconds":
+                health.get("slot_starvation_seconds", 0.0),
+            "feeder_block_seconds":
+                health.get("feeder_block_seconds", 0.0),
+            "workers_detail": [
+                {k: row.get(k, 0) for k in (
+                    "worker", "batches", "packets", "ring_highwater",
+                    "slot_starvation_waits", "slot_bytes_written")}
+                for row in health.get("workers", ())
+            ],
+        }
+        starv = report["scenarios"][label]["slot_starvation_waits"]
+        print(f"{label}: ring_highwater="
+              f"{report['scenarios'][label]['ring_highwater']}/"
+              f"{report['scenarios'][label]['ring_size']} "
+              f"starvation_waits={starv} "
+              f"ipc="
+              f"{report['scenarios'][label]['ipc_bytes_per_packet']:.3f}"
+              f" B/pkt match={'yes' if identical else 'NO'}")
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"(json written to {OUT_PATH})")
+    if failures:
+        print(f"RING REPORT FAILED: {failures} scenario(s) diverged "
+              f"from the queue transport", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

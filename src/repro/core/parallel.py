@@ -56,6 +56,32 @@ sequential backend uses, and per-queue FIFO ordering guarantees the
 worker has processed exactly the batches dispatched before the
 deadline. The resulting memory series — and therefore the peak
 memory/connection figures — are identical between backends.
+
+Two IPC transports implement the feeder→worker path
+(``config.ipc_transport``):
+
+- **"queue"** — the original pickled ``multiprocessing.Queue`` path:
+  one pickle + pipe write + unpickle per batch.
+- **"shm"** (default where available) — the shared-memory mempool +
+  descriptor-ring transport (:mod:`repro.core.shm`): the feeder writes
+  each burst's flat-buffer wire layout straight into a pre-allocated
+  shared slot and publishes an 8-byte descriptor on a per-core SPSC
+  ring; the worker maps the slot back with zero-copy ``memoryview``
+  blobs and returns the slot by publishing a cumulative consumed
+  counter (credit-based recycling). Everything that is not a hot batch
+  — memory samples, FINISH, tenancy epoch bumps, bursts too large for
+  a slot — rides a CTRL descriptor whose payload stays on the retained
+  pickle queue, so the strict per-core total order (which the
+  parent-clocked sampling and epoch-swap boundaries rely on) is
+  preserved across both channels. Worker acks coalesce (cumulative
+  seqs, flushed on ring-idle/every few batches — and always *before* a
+  planned fault fires, which keeps the supervisor's replay set, and
+  therefore post-crash stats, byte-identical to the queue transport).
+  On top of the ring, the feeder adapts its batch size at
+  deterministic burst-ordinal resize points: toward
+  ``ipc_max_batch`` while the ring runs deep, back toward the
+  configured size when it drains (AggregateStats are batch-size
+  invariant, so adaptation never changes results).
 """
 
 from __future__ import annotations
@@ -75,6 +101,7 @@ if TYPE_CHECKING:
     from repro.core.runtime import Runtime, RuntimeReport
     from repro.resilience.faults import PacketFaultInjector
 
+from repro.core import shm as shm_mod
 from repro.core.pipeline import CorePipeline
 from repro.core.stats import CoreStats
 from repro.core.subscription import Subscription
@@ -104,6 +131,14 @@ _POLL_TIMEOUT = 5.0
 #: How long an injected worker_hang sleeps — "forever" as far as the
 #: supervisor's heartbeat deadline is concerned.
 _HANG_SLEEP = 3600.0
+#: Shm transport: a worker flushes its coalesced cumulative ack at
+#: latest every this many supervised batches (it also flushes whenever
+#: the ring runs empty, before a planned fault fires, and at FINISH).
+_ACK_COALESCE = 8
+#: Shm transport: the adaptive batch sizer reconsiders a queue's batch
+#: size every this many dispatched bursts (deterministic resize points
+#: on the per-queue burst ordinal).
+_RESIZE_INTERVAL = 16
 
 
 class ParallelExecutionError(RetinaError):
@@ -159,6 +194,10 @@ class _WorkerSpec:
     #: (``{"specs": [wire dicts], "active": [names], "epoch": int}``)
     #: so this spec stays picklable without importing repro.tenancy.
     tenancy: Optional[dict] = None
+    #: Shared-memory transport attachment — ``(segment_name, ring_size,
+    #: slot_bytes)`` — or None for the pickled-queue transport. Plain
+    #: strings/ints so the spec stays picklable under spawn.
+    shm: Optional[Tuple[str, int, int]] = None
 
 
 def _tenancy_state(base: dict, bumps, epoch: int) -> dict:
@@ -204,6 +243,173 @@ def _fire_worker_fault(spec: _WorkerSpec, out_queue, plan_index: int,
     os._exit(1)
 
 
+class _WorkerState:
+    """One worker's message handler, shared by both transports.
+
+    ``handle`` is the exact per-message body the queue transport always
+    ran; the shm consume loop feeds it the same message shapes. The one
+    transport-sensitive piece is acking: the queue transport flushes an
+    ack per supervised batch (``ack_every=1`` — byte-identical legacy
+    behavior), the shm transport coalesces cumulative acks
+    (``RedoLog.ack`` trims every seq ≤ the acked one) and flushes on
+    ring-idle, every ``_ACK_COALESCE`` batches, at FINISH, and —
+    crucially for determinism — right *before* a planned worker fault
+    fires, so the parent's redo log holds exactly the unprocessed tail
+    when the crash announcement lands.
+    """
+
+    __slots__ = ("spec", "pipeline", "out_queue", "tenancy", "plan",
+                 "progress_interval", "next_progress", "ack_every",
+                 "pending_ack", "unflushed")
+
+    def __init__(self, spec: _WorkerSpec, pipeline, out_queue,
+                 tenancy: Optional[dict], ack_every: int) -> None:
+        self.spec = spec
+        self.pipeline = pipeline
+        self.out_queue = out_queue
+        self.tenancy = tenancy
+        self.plan = spec.fault_plan
+        self.progress_interval = spec.progress_interval
+        self.next_progress: Optional[float] = None
+        self.ack_every = ack_every
+        self.pending_ack = -1
+        self.unflushed = 0
+
+    def flush_acks(self) -> None:
+        if self.pending_ack < 0:
+            return
+        pipeline = self.pipeline
+        # The ack carries the ladder's current rung and the
+        # filter-table epoch so the supervisor can hand both to a
+        # restarted worker.
+        self.out_queue.put((_ACK, self.spec.core_id, self.pending_ack,
+                            pipeline.overload_rung,
+                            getattr(pipeline, "epoch", 0)))
+        self.pending_ack = -1
+        self.unflushed = 0
+
+    def handle(self, message) -> bool:
+        """Process one message; True means FINISH (the worker exits)."""
+        tag = message[0]
+        pipeline = self.pipeline
+        if tag == _BATCH or tag == _BATCH_SEQ:
+            if tag == _BATCH_SEQ:
+                _, seq, batch = message
+                plan = self.plan
+                if plan is not None:
+                    fault = plan.worker_fault_at(
+                        self.spec.core_id, seq,
+                        self.spec.suppressed_faults)
+                    if fault is not None:
+                        self.flush_acks()
+                        _fire_worker_fault(self.spec, self.out_queue,
+                                           fault[0], fault[1].kind)
+            else:
+                seq = None
+                batch = message[1]
+            if type(batch) is PackedBatch:
+                # Flat-buffer IPC: one blob + offset arrays crossed
+                # the boundary; rebuild zero-copy mbuf views here.
+                if batch.trace_ctx is not None:
+                    # Span context stamped by the feeder: the burst
+                    # tree this batch produces records it, stitching
+                    # worker spans into the parent's trace.
+                    pipeline.set_span_ctx(batch.trace_ctx)
+                if batch.epoch is not None and self.tenancy is not None:
+                    # Epoch bump: swap the filter table before this
+                    # batch's packets (the feeder flushed everything
+                    # older first, so per-queue FIFO makes the swap
+                    # land on the exact burst boundary). Idempotent
+                    # on the epoch number — replays after a restart
+                    # are no-ops.
+                    pipeline.apply_epoch(*batch.epoch)
+                batch = batch.unpack()
+            pipeline.process_batch(batch)
+            if seq is not None:
+                self.pending_ack = seq
+                self.unflushed += 1
+                if self.unflushed >= self.ack_every:
+                    self.flush_acks()
+            now = pipeline.now
+            progress_interval = self.progress_interval
+            if progress_interval is not None and (
+                    self.next_progress is None
+                    or now >= self.next_progress):
+                self.next_progress = now + progress_interval
+                stats = pipeline.stats
+                self.out_queue.put((
+                    _PROGRESS,
+                    self.spec.core_id,
+                    now,
+                    stats.callbacks,
+                    len(pipeline.table),
+                    pipeline.memory_bytes,
+                    stats.ledger.busy_seconds,
+                    stats.pf_packets,
+                    stats.connf_packets,
+                    stats.sessf_packets,
+                    pipeline.overload_rung,
+                    pipeline.overload_shed_packets,
+                    pipeline.overload_failfast_at,
+                ))
+            return False
+        if tag == _SAMPLE:
+            # Parent-clocked sample point: every batch dispatched
+            # before the deadline is already processed (strict per-core
+            # order on either transport), so this records exactly what
+            # the sequential backend's _sample_memory would.
+            pipeline.sample_memory()
+            return False
+        # _FINISH
+        _, last_ts, do_drain = message
+        self.flush_acks()
+        if last_ts is not None:
+            pipeline.advance_time(last_ts)
+            pipeline.sample_memory()
+            if do_drain:
+                pipeline.drain()
+        pipeline.fold_fault_counters()
+        self.out_queue.put((_DONE, self.spec.core_id, pipeline.stats))
+        return True
+
+
+def _worker_loop_shm(spec: _WorkerSpec, state: _WorkerState,
+                     in_queue) -> None:
+    """Shm-transport consume loop: poll the descriptor ring in ordinal
+    order, map batch slots zero-copy, pull CTRL payloads from the
+    pickle queue (the descriptor pins their position in the total
+    order), and publish cumulative consumed credits so the feeder can
+    recycle slots."""
+    channel = shm_mod.ShmWorkerChannel(*spec.shm)
+    try:
+        ordinal = 0
+        wait = channel.wait_descriptor
+        mark = channel.mark_consumed
+        handle = state.handle
+        flush = state.flush_acks
+        while True:
+            kind, slot, _rows = wait(ordinal, on_idle=flush)
+            if kind == shm_mod.KIND_BATCH:
+                batch, seq = channel.read_batch(slot)
+                if seq < 0:
+                    finish = handle((_BATCH, batch))
+                else:
+                    finish = handle((_BATCH_SEQ, seq, batch))
+            elif kind == shm_mod.KIND_SAMPLE:
+                finish = handle((_SAMPLE,))
+            else:  # KIND_CTRL: payload rides the pickle queue
+                finish = handle(in_queue.get())
+            # Credit return *after* processing: the slot (and the
+            # memoryviews the batch borrowed from it) must stay intact
+            # until the burst is fully consumed.
+            ordinal += 1
+            mark(ordinal)
+            if finish:
+                return
+    finally:
+        channel.close()
+
+
 def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
     """Worker process entry point: one core's shared-nothing pipeline."""
     try:
@@ -235,84 +441,16 @@ def _worker_main(spec: _WorkerSpec, in_queue, out_queue) -> None:
             pipeline = CorePipeline(
                 spec.core_id, subscription, config,
                 initial_overload_rung=spec.initial_overload_rung)
-        plan = spec.fault_plan
-        progress_interval = spec.progress_interval
-        next_progress: Optional[float] = None
+        state = _WorkerState(
+            spec, pipeline, out_queue, tenancy,
+            ack_every=_ACK_COALESCE if spec.shm is not None else 1)
+        if spec.shm is not None:
+            _worker_loop_shm(spec, state, in_queue)
+            return
+        handle = state.handle
+        get = in_queue.get
         while True:
-            message = in_queue.get()
-            tag = message[0]
-            if tag == _BATCH or tag == _BATCH_SEQ:
-                if tag == _BATCH_SEQ:
-                    _, seq, batch = message
-                    if plan is not None:
-                        fault = plan.worker_fault_at(
-                            spec.core_id, seq, spec.suppressed_faults)
-                        if fault is not None:
-                            _fire_worker_fault(spec, out_queue,
-                                               fault[0], fault[1].kind)
-                else:
-                    seq = None
-                    batch = message[1]
-                if type(batch) is PackedBatch:
-                    # Flat-buffer IPC: one blob + offset arrays crossed
-                    # the queue; rebuild zero-copy mbuf views here.
-                    if batch.trace_ctx is not None:
-                        # Span context stamped by the feeder: the burst
-                        # tree this batch produces records it, stitching
-                        # worker spans into the parent's trace.
-                        pipeline.set_span_ctx(batch.trace_ctx)
-                    if batch.epoch is not None and tenancy is not None:
-                        # Epoch bump: swap the filter table before this
-                        # batch's packets (the feeder flushed everything
-                        # older first, so per-queue FIFO makes the swap
-                        # land on the exact burst boundary). Idempotent
-                        # on the epoch number — replays after a restart
-                        # are no-ops.
-                        pipeline.apply_epoch(*batch.epoch)
-                    batch = batch.unpack()
-                pipeline.process_batch(batch)
-                if seq is not None:
-                    # The ack carries the ladder's current rung and the
-                    # filter-table epoch so the supervisor can hand both
-                    # to a restarted worker.
-                    out_queue.put((_ACK, spec.core_id, seq,
-                                   pipeline.overload_rung,
-                                   getattr(pipeline, "epoch", 0)))
-                now = pipeline.now
-                if progress_interval is not None and (
-                        next_progress is None or now >= next_progress):
-                    next_progress = now + progress_interval
-                    stats = pipeline.stats
-                    out_queue.put((
-                        _PROGRESS,
-                        spec.core_id,
-                        now,
-                        stats.callbacks,
-                        len(pipeline.table),
-                        pipeline.memory_bytes,
-                        stats.ledger.busy_seconds,
-                        stats.pf_packets,
-                        stats.connf_packets,
-                        stats.sessf_packets,
-                        pipeline.overload_rung,
-                        pipeline.overload_shed_packets,
-                        pipeline.overload_failfast_at,
-                    ))
-            elif tag == _SAMPLE:
-                # Parent-clocked sample point: every batch dispatched
-                # before the deadline is already processed (FIFO), so
-                # this records exactly what the sequential backend's
-                # _sample_memory would for this core.
-                pipeline.sample_memory()
-            else:  # _FINISH
-                _, last_ts, do_drain = message
-                if last_ts is not None:
-                    pipeline.advance_time(last_ts)
-                    pipeline.sample_memory()
-                    if do_drain:
-                        pipeline.drain()
-                pipeline.fold_fault_counters()
-                out_queue.put((_DONE, spec.core_id, pipeline.stats))
+            if handle(get()):
                 return
     except BaseException:
         out_queue.put((_ERROR, spec.core_id, traceback.format_exc()))
@@ -453,11 +591,34 @@ class _WorkerPool:
         # requires the callback to be picklable.
         methods = mp.get_all_start_methods()
         self._ctx = mp.get_context("fork" if "fork" in methods else None)
+        # Transport resolution: "auto" prefers the shared-memory ring
+        # transport wherever the interpreter ships
+        # multiprocessing.shared_memory; "queue" forces the legacy
+        # pickled-queue path; "shm" demands the rings and fails loudly
+        # when the platform cannot host them.
+        mode = config.ipc_transport
+        self.transport: Optional[shm_mod.ShmTransport] = None
+        if mode == "shm" and not shm_mod.shm_available():
+            raise ParallelExecutionError(
+                "ipc_transport='shm' requested but "
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; use --ipc queue (or auto)")
+        if mode != "queue" and shm_mod.shm_available():
+            self.transport = shm_mod.ShmTransport(
+                config.cores, shm_mod.default_layout(config))
         self.out_queue = self._ctx.Queue()
-        self.in_queues = [
-            self._ctx.Queue(maxsize=config.parallel_queue_depth)
-            for _ in range(config.cores)
-        ]
+        if self.transport is not None:
+            # Under shm the in_queues carry only control payloads whose
+            # positions are pinned by CTRL descriptors in the ring; the
+            # ring itself is the backpressure bound, so the control
+            # queue stays unbounded.
+            self.in_queues = [self._ctx.Queue()
+                              for _ in range(config.cores)]
+        else:
+            self.in_queues = [
+                self._ctx.Queue(maxsize=config.parallel_queue_depth)
+                for _ in range(config.cores)
+            ]
         self.processes = []
         self.specs: List[_WorkerSpec] = []
         for core_id in range(config.cores):
@@ -471,6 +632,8 @@ class _WorkerPool:
                 progress_interval=progress_interval,
                 fault_plan=config.fault_plan,
                 tenancy=self._tenancy_base,
+                shm=self.transport.spec_args(core_id)
+                if self.transport is not None else None,
             )
             self.specs.append(spec)
             process = self._ctx.Process(
@@ -485,6 +648,7 @@ class _WorkerPool:
                 process.start()
         except Exception as exc:  # unpicklable callback under spawn
             self.terminate()
+            self.close()
             raise ParallelExecutionError(
                 f"could not start worker processes ({exc}); under the "
                 f"'spawn' start method the subscription callback must be "
@@ -493,6 +657,9 @@ class _WorkerPool:
     def send(self, core_id: int, message) -> None:
         """Blocking put with liveness checks (bounded-queue backpressure
         must not deadlock on a dead worker)."""
+        if self.transport is not None:
+            self._send_shm(core_id, message)
+            return
         in_queue = self.in_queues[core_id]
         tag = message[0]
         if self._health is not None and \
@@ -514,31 +681,130 @@ class _WorkerPool:
                 depth = 0
             if depth > row["queue_highwater"]:
                 row["queue_highwater"] = depth
-            try:
-                in_queue.put_nowait(message)
-                return
-            except queue_mod.Full:
-                blocked_from = time.monotonic()
-                try:
-                    self._blocking_put(core_id, in_queue, message)
-                finally:
-                    self.feeder_block_seconds += \
-                        time.monotonic() - blocked_from
-                return
         self._blocking_put(core_id, in_queue, message)
 
     def _blocking_put(self, core_id: int, in_queue, message) -> None:
-        while True:
-            try:
-                in_queue.put(message, timeout=_POLL_TIMEOUT)
+        try:
+            in_queue.put_nowait(message)
+            return
+        except queue_mod.Full:
+            pass
+        # The poll-timeout loop owns the backpressure stopwatch: every
+        # blocked put is measured, wall-to-wall, exactly once —
+        # feeder_block_seconds used to count only the slice a
+        # telemetry-enabled batch send happened to wrap, undercounting
+        # whenever control messages (or telemetry-off runs) hit a full
+        # queue.
+        blocked_from = time.monotonic()
+        try:
+            while True:
+                try:
+                    in_queue.put(message, timeout=_POLL_TIMEOUT)
+                    return
+                except queue_mod.Full:
+                    if not self.processes[core_id].is_alive():
+                        # Surface the worker's own traceback if it sent
+                        # one before dying; fall back to generic error.
+                        self.drain_progress()
+                        raise ParallelExecutionError(
+                            f"worker {core_id} died with its queue full")
+        finally:
+            self.feeder_block_seconds += time.monotonic() - blocked_from
+
+    def _on_feeder_block(self, seconds: float) -> None:
+        """Ring-capacity waits feed the same backpressure counter the
+        bounded queues use."""
+        self.feeder_block_seconds += seconds
+
+    def _note_batch(self, core_id: int, channel,
+                    occupancy: int) -> Optional[dict]:
+        """Per-batch health accounting on the shm path; returns the
+        worker's health row (or None with telemetry off) so the caller
+        can add the transport-dependent ipc_bytes charge."""
+        if self._health is None:
+            return None
+        row = self._health[core_id]
+        row["batches"] += 1
+        row["packets"] += occupancy
+        if occupancy > row["batch_occupancy_max"]:
+            row["batch_occupancy_max"] = occupancy
+        depth = channel.depth()
+        if depth > row["queue_highwater"]:
+            row["queue_highwater"] = depth
+        return row
+
+    def send_mbufs(self, core_id: int, mbufs,
+                   trace_ctx: Optional[tuple]) -> None:
+        """Zero-copy fast path (shm transport, unsupervised): write the
+        burst straight into a mempool slot — no PackedBatch, no pickle;
+        the only serialized IPC is the 8-byte ring descriptor. Bursts
+        that exceed the slot size fall back to a packed batch on the
+        control channel."""
+        channel = self.transport.channels[core_id]
+        alive = self.processes[core_id].is_alive
+        row = self._note_batch(core_id, channel, len(mbufs))
+        try:
+            if channel.send_mbufs(mbufs, core_id, trace_ctx, alive,
+                                  self._on_feeder_block):
+                if row is not None:
+                    row["ipc_bytes"] += 8  # one descriptor word
                 return
-            except queue_mod.Full:
-                if not self.processes[core_id].is_alive():
-                    # Surface the worker's own traceback if it sent one
-                    # before dying; fall back to a generic error.
-                    self.drain_progress()
-                    raise ParallelExecutionError(
-                        f"worker {core_id} died with its queue full")
+            # Jumbo-heavy burst: pack it and pin its ring position with
+            # a CTRL descriptor while the payload crosses pickled.
+            packed = PackedBatch.pack(mbufs, core_id)
+            packed.trace_ctx = trace_ctx
+            self.in_queues[core_id].put((_BATCH, packed))
+            channel.send_ctrl(alive, self._on_feeder_block)
+            if row is not None:
+                row["ipc_bytes"] += 8 + packed.nbytes
+        except shm_mod.WorkerGone:
+            self.drain_progress()
+            raise ParallelExecutionError(
+                f"worker {core_id} died with its ring full")
+
+    def _send_shm(self, core_id: int, message) -> None:
+        """Dispatch over the shared-memory ring. Batches are written in
+        place into a slot (descriptor-only IPC); memory samples are
+        descriptor-only by design; everything else — FINISH, tenancy
+        epoch bumps, batches that do not fit a slot — takes a CTRL
+        descriptor that pins the pickled payload's position in the
+        per-core total order."""
+        channel = self.transport.channels[core_id]
+        alive = self.processes[core_id].is_alive
+        tag = message[0]
+        try:
+            if tag == _BATCH or tag == _BATCH_SEQ:
+                if tag == _BATCH_SEQ:
+                    seq, batch = message[1], message[2]
+                else:
+                    seq, batch = -1, message[1]
+                row = self._note_batch(core_id, channel, len(batch))
+                if type(batch) is PackedBatch and batch.epoch is None \
+                        and channel.send_packed(batch, seq, alive,
+                                                self._on_feeder_block):
+                    if row is not None:
+                        row["ipc_bytes"] += 8  # one descriptor word
+                    return
+                # Epoch-stamped (the stamp does not ride slot headers)
+                # or oversize batch: control-channel fallback.
+                self.in_queues[core_id].put(message)
+                channel.send_ctrl(alive, self._on_feeder_block)
+                if row is not None:
+                    row["ipc_bytes"] += 8 + (
+                        batch.nbytes if type(batch) is PackedBatch
+                        else sum(len(m.data) for m in batch))
+                return
+            if tag == _SAMPLE:
+                channel.send_sample(alive, self._on_feeder_block)
+                return
+            # _FINISH (and any future control tag): payload first, then
+            # the ordering descriptor.
+            self.in_queues[core_id].put(message)
+            channel.send_ctrl(alive, self._on_feeder_block)
+        except shm_mod.WorkerGone:
+            self.drain_progress()
+            raise ParallelExecutionError(
+                f"worker {core_id} died with its ring full")
 
     def backend_health(self) -> Optional[dict]:
         """Volatile health snapshot, or None when telemetry is off."""
@@ -546,7 +812,9 @@ class _WorkerPool:
             return None
         ipc_bytes = sum(row["ipc_bytes"] for row in self._health)
         ipc_packets = sum(row["packets"] for row in self._health)
-        return {
+        health = {
+            "transport": "shm" if self.transport is not None
+            else "queue",
             "feeder_block_seconds": self.feeder_block_seconds,
             "ipc_bytes": ipc_bytes,
             "ipc_packets": ipc_packets,
@@ -555,6 +823,28 @@ class _WorkerPool:
             "workers": [{"worker": core_id, **row}
                         for core_id, row in enumerate(self._health)],
         }
+        if self.transport is not None:
+            # Ring/mempool telemetry: per-worker occupancy high-water
+            # (same key the queue transport uses for its depth) plus
+            # slot-starvation pressure, and pool-level aggregates the
+            # Prometheus exporter surfaces.
+            channels = self.transport.channels
+            for core_id, channel in enumerate(channels):
+                worker = health["workers"][core_id]
+                worker["ring_highwater"] = channel.ring_highwater
+                worker["slot_starvation_waits"] = \
+                    channel.slot_starvation_waits
+                worker["slot_bytes_written"] = \
+                    channel.slot_bytes_written
+            health["ring_size"] = self.transport.layout.ring_size
+            health["slot_bytes"] = self.transport.layout.slot_bytes
+            health["ring_highwater"] = max(
+                channel.ring_highwater for channel in channels)
+            health["slot_starvation_waits"] = sum(
+                channel.slot_starvation_waits for channel in channels)
+            health["slot_starvation_seconds"] = sum(
+                channel.slot_starvation_seconds for channel in channels)
+        return health
 
     def drain_progress(self) -> None:
         """Consume any pending reports without blocking; raises if a
@@ -660,8 +950,18 @@ class _WorkerPool:
                                    initial_overload_rung=rung,
                                    tenancy=tenancy)
         self.specs[core_id] = spec
-        in_queue = self._ctx.Queue(
-            maxsize=spec.config.parallel_queue_depth)
+        if self.transport is not None:
+            in_queue = self._ctx.Queue()
+            # Fresh ordinal space for the replacement: zero the ring and
+            # credit counter, reclaim every in-flight slot (the dead
+            # worker will never retire them; the redo log owns their
+            # contents and replays them into fresh slots). The old
+            # control queue was discarded above — its unread CTRL
+            # payloads matched ring entries that no longer exist.
+            self.transport.reset_core(core_id)
+        else:
+            in_queue = self._ctx.Queue(
+                maxsize=spec.config.parallel_queue_depth)
         self.in_queues[core_id] = in_queue
         process = self._ctx.Process(
             target=_worker_main,
@@ -692,6 +992,12 @@ class _WorkerPool:
             in_queue.close()
         self.out_queue.cancel_join_thread()
         self.out_queue.close()
+        if self.transport is not None:
+            # Unlink the segments (workers are gone or exiting; their
+            # mappings die with them). The transport object stays so
+            # backend_health() can still read its volatile counters
+            # after the pool context exits.
+            self.transport.close()
 
     def __enter__(self) -> "_WorkerPool":
         return self
@@ -862,13 +1168,29 @@ def run_parallel(
 
     send = pool.send
     pack = PackedBatch.pack
+    shm_on = pool.transport is not None
     # Span context stamping: when burst span tracing is on, every packed
     # batch carries (queue, seq) so the worker's burst trees stitch into
     # the parent's trace. Supervised dispatch reuses the supervisor's
     # sequence numbers; unsupervised dispatch counts its own.
     spans_on = config.span_sample > 0 or config.flight_recorder_depth > 0
     if supervisor is None:
-        if spans_on:
+        if shm_on:
+            # Zero-copy fast path: mbufs are written straight into a
+            # mempool slot — no PackedBatch object, no pickle. The span
+            # context rides the slot header when tracing is on.
+            send_mbufs = pool.send_mbufs
+            if spans_on:
+                span_seq = [0] * cores
+
+                def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
+                    ctx = (queue_id, span_seq[queue_id])
+                    span_seq[queue_id] += 1
+                    send_mbufs(queue_id, batch, ctx)
+            else:
+                def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
+                    send_mbufs(queue_id, batch, None)
+        elif spans_on:
             span_seq = [0] * cores
 
             def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
@@ -903,6 +1225,40 @@ def run_parallel(
 
     def skip_core(queue_id: int) -> bool:
         return supervisor is not None and supervisor.is_lost(queue_id)
+
+    # Adaptive batch sizing (shm transport only): grow a queue's batch
+    # size toward the clamp while its ring runs deep (the worker is the
+    # bottleneck — bigger bursts amortize per-batch overhead), shrink
+    # back toward the configured size when the ring runs shallow
+    # (latency pressure: small bursts reach the worker sooner). Resizes
+    # happen only at burst ordinals divisible by _RESIZE_INTERVAL and
+    # stats are batch-size invariant, so the volatile depth signal never
+    # leaks into AggregateStats. Disabled under supervision (planned
+    # fault seqs are pinned to batch contents) and span tracing (span
+    # trees key on burst boundaries).
+    sizes = [batch_size] * cores
+    if (shm_on and config.ipc_adaptive_batch
+            and supervisor is None and not spans_on):
+        max_batch = shm_mod.max_adaptive_batch(config)
+        channels = pool.transport.channels
+        ring_size = pool.transport.layout.ring_size
+        grow_at = ring_size - max(1, ring_size // 4)
+        shrink_at = max(1, ring_size // 4)
+        bursts = [0] * cores
+        inner_dispatch = dispatch
+
+        def dispatch(queue_id: int, batch: List[Mbuf]) -> None:
+            inner_dispatch(queue_id, batch)
+            n = bursts[queue_id] + 1
+            bursts[queue_id] = n
+            if n % _RESIZE_INTERVAL:
+                return
+            depth = channels[queue_id].depth()
+            size = sizes[queue_id]
+            if depth >= grow_at and size < max_batch:
+                sizes[queue_id] = min(size * 2, max_batch)
+            elif depth <= shrink_at and size > batch_size:
+                sizes[queue_id] = max(size // 2, batch_size)
 
     # Multi-tenant live reconfiguration: the runtime exposes scheduled
     # events; when virtual time reaches one, the feeder flushes every
@@ -984,7 +1340,7 @@ def run_parallel(
                 if queue is not None:
                     queued = pending[queue]
                     queued.append(mbuf)
-                    if len(queued) >= batch_size:
+                    if len(queued) >= sizes[queue]:
                         dispatch(queue, queued)
                         pending[queue] = []
                 if next_monitor_ts is None or ts >= next_monitor_ts:
@@ -1045,7 +1401,7 @@ def run_parallel(
             if queue is not None:
                 queued = pending[queue]
                 queued.append(mbuf)
-                if len(queued) >= batch_size:
+                if len(queued) >= sizes[queue]:
                     dispatch(queue, queued)
                     pending[queue] = []
             if next_monitor_ts is None or ts >= next_monitor_ts:

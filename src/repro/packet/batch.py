@@ -21,14 +21,30 @@ Timestamps travel as ``array('d')`` — exact IEEE-754 float64 round-trip
 
 from __future__ import annotations
 
+import struct
 from array import array
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from itertools import accumulate, chain
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, \
+    Union
 
 from repro.packet.mbuf import Mbuf
 
 #: Default packets-per-batch for generator-side packing; matches the
 #: runtime's default ``parallel_batch_size`` order of magnitude.
 DEFAULT_BATCH_SIZE = 256
+
+#: Shared-memory slot header (repro.core.shm): rows, blob length, the
+#: supervised batch seq (-1 when unsupervised), the RSS queue (-1 for
+#: None), flags, the collapsed scalar port, and the span trace context.
+#: Hoisted to module level like the columnar prefix structs — the slot
+#: codec packs/unpacks one of these per burst on the hot path.
+_SLOT_HEADER = struct.Struct("<IIqhHHiq")
+SLOT_HEADER_BYTES = _SLOT_HEADER.size
+#: Slot header flag bits.
+_F_WIDE = 1          # frame lengths are u32 (a frame exceeded 64 KiB)
+_F_SCALAR_PORT = 2   # uniform batch: one port value, no port column
+_F_TRACE = 4         # trace_ctx fields are meaningful
+
 
 def _rebuild(blob: bytes, lengths: bytes, length_code: str,
              timestamps: bytes, ports: Union[int, bytes],
@@ -45,12 +61,7 @@ def _rebuild(blob: bytes, lengths: bytes, length_code: str,
     """
     lens = array(length_code)
     lens.frombytes(lengths)
-    offsets = array("I", (0,))
-    append = offsets.append
-    total = 0
-    for length in lens:
-        total += length
-        append(total)
+    offsets = array("I", chain((0,), accumulate(lens)))
     ts = array("d")
     ts.frombytes(timestamps)
     if isinstance(ports, int):
@@ -289,3 +300,154 @@ def iter_mbufs(traffic: Iterable[Union[Mbuf, PackedBatch]]
         else:
             return traffic
     return _flatten(traffic)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory slot codec (repro.core.shm)
+#
+# The same wire fields __reduce__ ships through a pickled queue —
+# frames blob, u16/u32 lengths, f64 timestamps, scalar-or-column ports,
+# trace context — laid out in place inside a pre-allocated shared-memory
+# slot: header, lengths, timestamps, ports, blob. The feeder writes a
+# slot with one of the two writers below; the worker maps it back with
+# slot_read, whose blob is a zero-copy memoryview of the slot. Epoch
+# bumps never ride slots (they use the transport's ordered control
+# channel), so the header carries no epoch field.
+# ---------------------------------------------------------------------------
+
+def slot_write_mbufs(buf, offset: int, limit: int, mbufs: Sequence[Mbuf],
+                     queue: Optional[int],
+                     trace_ctx: Optional[tuple] = None,
+                     seq: int = -1) -> int:
+    """Pack a burst of mbufs straight into a shared-memory slot.
+
+    The unsupervised hot path: frames are copied from the mbufs into
+    the slot exactly once — no intermediate blob join, no pickle.
+    Returns the bytes written, or -1 when the burst does not fit in
+    ``limit`` bytes (or exceeds the descriptor's u16 row field); the
+    caller falls back to the control channel then.
+    """
+    n = len(mbufs)
+    lengths = [len(m.data) for m in mbufs]
+    blob_len = sum(lengths)
+    wide = bool(lengths) and max(lengths) > 0xFFFF
+    item = 4 if wide else 2
+    flags = _F_WIDE if wide else 0
+    port0 = mbufs[0].port if n else 0
+    scalar = True
+    for m in mbufs:
+        if m.port != port0:
+            scalar = False
+            break
+    if scalar:
+        flags |= _F_SCALAR_PORT
+    need = (SLOT_HEADER_BYTES + n * item + n * 8
+            + (0 if scalar else n * 2) + blob_len)
+    if need > limit or n > 0xFFFF:
+        return -1
+    tq = ts_ = 0
+    if trace_ctx is not None:
+        flags |= _F_TRACE
+        tq, ts_ = trace_ctx
+    _SLOT_HEADER.pack_into(buf, offset, n, blob_len, seq,
+                           -1 if queue is None else queue, flags,
+                           port0 if scalar else 0, tq, ts_)
+    pos = offset + SLOT_HEADER_BYTES
+    end = pos + n * item
+    buf[pos:end] = array("I" if wide else "H", lengths).tobytes()
+    pos = end
+    end = pos + n * 8
+    buf[pos:end] = array("d", [m.timestamp for m in mbufs]).tobytes()
+    pos = end
+    if not scalar:
+        end = pos + n * 2
+        buf[pos:end] = array("H", [m.port for m in mbufs]).tobytes()
+        pos = end
+    for m, length in zip(mbufs, lengths):
+        end = pos + length
+        buf[pos:end] = m.data
+        pos = end
+    return need
+
+
+def slot_write_packed(buf, offset: int, limit: int, batch: PackedBatch,
+                      seq: int = -1) -> int:
+    """Write an already-packed batch into a shared-memory slot.
+
+    The supervised path: the feeder packs once (the redo log keeps the
+    slot-independent ``PackedBatch``), then copies the same wire fields
+    here — so a post-crash replay rewrites the identical slot contents
+    under the batch's original seq. Returns bytes written or -1 when
+    the batch does not fit (caller falls back to the control channel).
+    """
+    lengths, code, ports = batch._wire_fields()
+    n = len(batch.timestamps)
+    blob = batch.blob
+    scalar = isinstance(ports, int)
+    flags = (_F_WIDE if code == "I" else 0) \
+        | (_F_SCALAR_PORT if scalar else 0)
+    need = (SLOT_HEADER_BYTES + n * lengths.itemsize + n * 8
+            + (0 if scalar else n * 2) + len(blob))
+    if need > limit or n > 0xFFFF:
+        return -1
+    trace_ctx = batch.trace_ctx
+    tq = ts_ = 0
+    if trace_ctx is not None:
+        flags |= _F_TRACE
+        tq, ts_ = trace_ctx
+    queue = batch.queue
+    _SLOT_HEADER.pack_into(buf, offset, n, len(blob), seq,
+                           -1 if queue is None else queue, flags,
+                           ports if scalar else 0, tq, ts_)
+    pos = offset + SLOT_HEADER_BYTES
+    end = pos + n * lengths.itemsize
+    buf[pos:end] = lengths.tobytes()
+    pos = end
+    end = pos + n * 8
+    buf[pos:end] = batch.timestamps.tobytes()
+    pos = end
+    if not scalar:
+        end = pos + n * 2
+        buf[pos:end] = ports
+        pos = end
+    end = pos + len(blob)
+    buf[pos:end] = blob
+    return need
+
+
+def slot_read(buf, offset: int) -> Tuple[PackedBatch, int]:
+    """Map a slot back to a ``PackedBatch`` (worker side).
+
+    The small lengths/timestamps/ports arrays are copied out (they are
+    rebuilt as ``array`` objects anyway); the frames blob stays a
+    zero-copy ``memoryview`` of the slot, valid until the worker
+    retires the descriptor and the slot is recycled — the same
+    lifetime discipline the pipeline already honors for unpacked batch
+    views (values that outlive the packet are ``bytes()``-normalized
+    at the boundary). Returns ``(batch, seq)``; ``seq`` is -1 for
+    unsupervised batches.
+    """
+    (n, blob_len, seq, queue, flags, port0, tq,
+     ts_) = _SLOT_HEADER.unpack_from(buf, offset)
+    pos = offset + SLOT_HEADER_BYTES
+    lens = array("I" if flags & _F_WIDE else "H")
+    end = pos + n * lens.itemsize
+    lens.frombytes(buf[pos:end])
+    pos = end
+    ts = array("d")
+    end = pos + n * 8
+    ts.frombytes(buf[pos:end])
+    pos = end
+    if flags & _F_SCALAR_PORT:
+        ports = array("H", (port0,)) * n
+    else:
+        ports = array("H")
+        end = pos + n * 2
+        ports.frombytes(buf[pos:end])
+        pos = end
+    offsets = array("I", chain((0,), accumulate(lens)))
+    batch = PackedBatch(buf[pos:pos + blob_len], offsets, ts, ports,
+                        None if queue < 0 else queue)
+    if flags & _F_TRACE:
+        batch.trace_ctx = (tq, ts_)
+    return batch, seq

@@ -386,6 +386,27 @@ def build_registry(stats: AggregateStats,
             qhw.set(row.get("queue_highwater", 0), labels=(worker,))
             batches.inc(row.get("batches", 0), labels=(worker,))
             occ.set(row.get("batch_occupancy_max", 0), labels=(worker,))
+        if "ring_highwater" in backend_health:
+            # Shared-memory transport only: ring/mempool pressure. The
+            # families are absent entirely on queue-transport runs.
+            rhw = reg.gauge("repro_worker_ring_highwater",
+                            "Per-worker descriptor-ring occupancy "
+                            "high-water mark (entries)",
+                            label_names=("worker",), volatile=True)
+            starv = reg.counter("repro_worker_slot_starvation_total",
+                                "Times the feeder blocked waiting for "
+                                "a free mempool slot, per worker",
+                                label_names=("worker",), volatile=True)
+            for row in backend_health.get("workers", ()):
+                worker = str(row["worker"])
+                rhw.set(row.get("ring_highwater", 0), labels=(worker,))
+                starv.inc(row.get("slot_starvation_waits", 0),
+                          labels=(worker,))
+            reg.gauge("repro_slot_starvation_seconds",
+                      "Wall-clock seconds the feeder spent blocked on "
+                      "slot/ring exhaustion across all workers",
+                      volatile=True) \
+                .set(backend_health.get("slot_starvation_seconds", 0.0))
 
     # -- multi-tenant breakdown (repro.tenancy) ----------------------------
     if tenancy is not None:

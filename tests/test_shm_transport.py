@@ -1,0 +1,515 @@
+"""Shared-memory ring transport (ISSUE 10).
+
+Three layers under test:
+
+- **Slot codec** — ``slot_write_mbufs`` / ``slot_write_packed`` /
+  ``slot_read`` round-trip the full PackedBatch wire layout inside a
+  plain buffer, refuse oversize bursts instead of overrunning, and hand
+  back zero-copy blob views.
+- **Ring mechanics** — SPSC descriptor publication with lap-tag
+  validation, credit-based slot recycling, and the never-overwrite-a-
+  live-slot guarantee when the ring is smaller than the in-flight batch
+  count (satellite: slot exhaustion + wraparound, 1/2/4 workers, crash
+  mid-flight).
+- **End-to-end determinism** — AggregateStats byte-identical shm vs
+  queue vs sequential, with spans/tenancy/netem/overload riding the
+  batches, and supervised crash replay byte-identical under either
+  transport.
+"""
+
+import json
+
+import pytest
+
+from repro import FaultPlan, FaultSpec, Runtime, RuntimeConfig
+from repro.core import shm
+from repro.core.parallel import ParallelExecutionError
+from repro.errors import ConfigError
+from repro.packet.batch import (
+    PackedBatch,
+    SLOT_HEADER_BYTES,
+    slot_read,
+    slot_write_mbufs,
+    slot_write_packed,
+)
+from repro.traffic import CampusTrafficGenerator
+
+pytestmark = pytest.mark.skipif(
+    not shm.shm_available(),
+    reason="multiprocessing.shared_memory unavailable")
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return list(CampusTrafficGenerator(seed=21).packets(
+        duration=0.4, gbps=0.1))
+
+
+def _run(traffic, parallel=True, cores=4, filter_str="tcp",
+         datatype="connection", **config_kwargs):
+    config = RuntimeConfig(cores=cores, parallel=parallel,
+                           **config_kwargs)
+    runtime = Runtime(config, filter_str=filter_str, datatype=datatype,
+                      callback=None)
+    return runtime.run(iter(traffic))
+
+
+# ---------------------------------------------------------------------------
+# slot codec
+# ---------------------------------------------------------------------------
+
+class TestSlotCodec:
+    def _mbufs(self, traffic, n=32):
+        return traffic[:n]
+
+    def test_mbuf_round_trip(self, traffic):
+        mbufs = self._mbufs(traffic)
+        buf = memoryview(bytearray(1 << 20))
+        written = slot_write_mbufs(buf, 0, len(buf), mbufs, 3)
+        assert written > SLOT_HEADER_BYTES
+        batch, seq = slot_read(buf, 0)
+        assert seq == -1
+        assert batch.queue == 3
+        assert len(batch) == len(mbufs)
+        out = list(batch.unpack())
+        for orig, view in zip(mbufs, out):
+            assert bytes(view.data) == bytes(orig.data)
+            assert view.timestamp == orig.timestamp
+            assert view.port == orig.port
+
+    def test_packed_round_trip_matches_mbuf_write(self, traffic):
+        """slot_write_packed(pack(mbufs)) lays down the identical wire
+        bytes slot_write_mbufs(mbufs) does — the redo log replays the
+        exact slot contents."""
+        mbufs = self._mbufs(traffic)
+        direct = memoryview(bytearray(1 << 20))
+        via_pack = memoryview(bytearray(1 << 20))
+        n1 = slot_write_mbufs(direct, 0, len(direct), mbufs, 1)
+        n2 = slot_write_packed(via_pack, 0, len(via_pack),
+                               PackedBatch.pack(mbufs, 1))
+        assert n1 == n2
+        assert bytes(direct[:n1]) == bytes(via_pack[:n2])
+
+    def test_trace_ctx_and_seq_round_trip(self, traffic):
+        mbufs = self._mbufs(traffic, 8)
+        buf = memoryview(bytearray(1 << 20))
+        slot_write_mbufs(buf, 0, len(buf), mbufs, 0,
+                         trace_ctx=(2, 17), seq=41)
+        batch, seq = slot_read(buf, 0)
+        assert seq == 41
+        assert batch.trace_ctx == (2, 17)
+
+    def test_oversize_burst_refused(self, traffic):
+        mbufs = self._mbufs(traffic)
+        buf = memoryview(bytearray(1 << 20))
+        assert slot_write_mbufs(buf, 0, 128, mbufs, 0) == -1
+        assert slot_write_packed(buf, 0, 128,
+                                 PackedBatch.pack(mbufs, 0)) == -1
+
+    def test_offset_respected(self, traffic):
+        mbufs = self._mbufs(traffic, 4)
+        buf = memoryview(bytearray(1 << 20))
+        canary = b"\xee" * 64
+        buf[0:64] = canary
+        written = slot_write_mbufs(buf, 64, 4096, mbufs, 0)
+        assert written > 0
+        assert bytes(buf[0:64]) == canary
+        batch, _ = slot_read(buf, 64)
+        assert len(batch) == 4
+
+    def test_blob_is_zero_copy_view(self, traffic):
+        mbufs = self._mbufs(traffic, 4)
+        buf = memoryview(bytearray(1 << 20))
+        slot_write_mbufs(buf, 0, len(buf), mbufs, 0)
+        batch, _ = slot_read(buf, 0)
+        assert isinstance(batch.blob, memoryview)
+        assert batch.blob.obj is buf.obj
+
+    def test_empty_batch(self):
+        buf = memoryview(bytearray(4096))
+        written = slot_write_mbufs(buf, 0, len(buf), [], 2)
+        assert written == SLOT_HEADER_BYTES
+        batch, _ = slot_read(buf, 0)
+        assert len(batch) == 0
+        assert batch.queue == 2
+
+
+# ---------------------------------------------------------------------------
+# ring mechanics (feeder channel against a simulated consumer)
+# ---------------------------------------------------------------------------
+
+def _alive():
+    return True
+
+
+def _no_block(_seconds):
+    pass
+
+
+class _SimConsumer:
+    """Drives a ShmWorkerChannel against an in-process feeder so ring
+    behavior is testable without real worker processes."""
+
+    def __init__(self, feeder):
+        self.chan = shm.ShmWorkerChannel(feeder.name,
+                                         feeder.layout.ring_size,
+                                         feeder.layout.slot_bytes)
+        self.ordinal = 0
+        self.batches = []
+
+    def consume_one(self):
+        kind, slot, rows = self.chan.wait_descriptor(self.ordinal)
+        if kind == shm.KIND_BATCH:
+            batch, seq = self.chan.read_batch(slot)
+            # Copy out: the slot is recycled the moment we credit it.
+            self.batches.append((seq, [bytes(m.data)
+                                       for m in batch.unpack()], rows))
+        self.ordinal += 1
+        self.chan.mark_consumed(self.ordinal)
+        return kind
+
+    def close(self):
+        self.chan.close()
+
+
+@pytest.fixture
+def tiny_channel():
+    feeder = shm.ShmFeederChannel(0, shm.ShmLayout(2, 1 << 16))
+    try:
+        yield feeder
+    finally:
+        feeder.close()
+
+
+class TestRingMechanics:
+    def test_wraparound_many_laps(self, traffic, tiny_channel):
+        """A 2-entry ring carries far more batches than its size; tags
+        keep each lap's descriptors distinct and every payload lands
+        intact and in order."""
+        consumer = _SimConsumer(tiny_channel)
+        try:
+            sent = []
+            for i in range(25):
+                mbufs = traffic[i * 4:(i + 1) * 4]
+                sent.append([bytes(m.data) for m in mbufs])
+                while not tiny_channel.send_mbufs(
+                        mbufs, 0, None, _alive, _no_block):
+                    raise AssertionError("burst did not fit")
+                consumer.consume_one()
+            assert [payload for _, payload, _ in consumer.batches] == sent
+        finally:
+            consumer.close()
+
+    def test_full_ring_blocks_feeder(self, traffic, tiny_channel):
+        """With both slots in flight the feeder's capacity wait must
+        trip (and be accounted), not overwrite a live slot."""
+        consumer = _SimConsumer(tiny_channel)
+        try:
+            first = [bytes(m.data) for m in traffic[0:4]]
+            second = [bytes(m.data) for m in traffic[4:8]]
+            assert tiny_channel.send_mbufs(traffic[0:4], 0, None,
+                                           _alive, _no_block)
+            assert tiny_channel.send_mbufs(traffic[4:8], 0, None,
+                                           _alive, _no_block)
+            # Ring full: a dead-worker poll must surface, proving the
+            # feeder waited instead of clobbering slot 0.
+            with pytest.raises(shm.WorkerGone):
+                tiny_channel.send_mbufs(traffic[8:12], 0, None,
+                                        lambda: False, _no_block)
+            assert tiny_channel.slot_starvation_waits == 1
+            assert tiny_channel.slot_starvation_seconds > 0
+            # The in-flight payloads survived the blocked attempt.
+            consumer.consume_one()
+            consumer.consume_one()
+            assert consumer.batches[0][1] == first
+            assert consumer.batches[1][1] == second
+            # Credits returned: the third burst now goes through.
+            assert tiny_channel.send_mbufs(traffic[8:12], 0, None,
+                                           _alive, _no_block)
+            consumer.consume_one()
+            assert consumer.batches[2][1] == \
+                [bytes(m.data) for m in traffic[8:12]]
+        finally:
+            consumer.close()
+
+    def test_slot_recycled_only_after_credit(self, traffic,
+                                             tiny_channel):
+        """A consumed-but-uncredited descriptor keeps its slot out of
+        the free pool."""
+        assert tiny_channel.send_mbufs(traffic[0:2], 0, None,
+                                       _alive, _no_block)
+        assert len(tiny_channel._free) == 1
+        assert tiny_channel.send_mbufs(traffic[2:4], 0, None,
+                                       _alive, _no_block)
+        assert len(tiny_channel._free) == 0
+        consumer = _SimConsumer(tiny_channel)
+        try:
+            consumer.consume_one()
+            tiny_channel._refresh_consumed()
+            assert len(tiny_channel._free) == 1
+        finally:
+            consumer.close()
+
+    def test_ctrl_and_sample_occupy_ring_order(self, tiny_channel,
+                                               traffic):
+        consumer = _SimConsumer(tiny_channel)
+        try:
+            assert tiny_channel.send_mbufs(traffic[0:2], 0, None,
+                                           _alive, _no_block)
+            tiny_channel.send_sample(_alive, _no_block)
+            assert consumer.consume_one() == shm.KIND_BATCH
+            assert consumer.consume_one() == shm.KIND_SAMPLE
+            tiny_channel.send_ctrl(_alive, _no_block)
+            assert consumer.consume_one() == shm.KIND_CTRL
+        finally:
+            consumer.close()
+
+    def test_reset_rearms_ordinal_space(self, tiny_channel, traffic):
+        assert tiny_channel.send_mbufs(traffic[0:2], 0, None,
+                                       _alive, _no_block)
+        assert tiny_channel.send_mbufs(traffic[2:4], 0, None,
+                                       _alive, _no_block)
+        tiny_channel.reset()
+        assert tiny_channel.ordinal == 0
+        assert len(tiny_channel._free) == 2
+        consumer = _SimConsumer(tiny_channel)
+        try:
+            assert tiny_channel.send_mbufs(traffic[4:6], 0, None,
+                                           _alive, _no_block)
+            consumer.consume_one()
+            assert consumer.batches[0][1] == \
+                [bytes(m.data) for m in traffic[4:6]]
+        finally:
+            consumer.close()
+
+    def test_ring_highwater_tracks_depth(self, tiny_channel, traffic):
+        assert tiny_channel.ring_highwater == 0
+        tiny_channel.send_mbufs(traffic[0:2], 0, None, _alive, _no_block)
+        tiny_channel.send_mbufs(traffic[2:4], 0, None, _alive, _no_block)
+        assert tiny_channel.ring_highwater == 2
+
+
+# ---------------------------------------------------------------------------
+# transport equivalence: shm vs queue vs sequential
+# ---------------------------------------------------------------------------
+
+class TestTransportEquivalence:
+    def test_shm_vs_queue_vs_sequential(self, traffic):
+        for cores in (1, 2, 4):
+            seq = _run(traffic, parallel=False,
+                       cores=cores).stats.to_dict()
+            for ipc in ("shm", "queue"):
+                par = _run(traffic, cores=cores,
+                           ipc_transport=ipc).stats.to_dict()
+                assert par == seq, f"{ipc} diverged at {cores} cores"
+
+    def test_tiny_ring_forces_starvation_and_stays_identical(
+            self, traffic):
+        """Slot exhaustion (satellite): a 2-deep ring at 1/2/4 workers
+        blocks the feeder instead of corrupting batches."""
+        for cores in (1, 2, 4):
+            baseline = _run(traffic, parallel=False, cores=cores,
+                            parallel_batch_size=32).stats.to_dict()
+            par = _run(traffic, cores=cores, ipc_transport="shm",
+                       parallel_queue_depth=2,
+                       parallel_batch_size=32).stats.to_dict()
+            assert par == baseline, f"tiny ring diverged at {cores}"
+
+    def test_oversize_batches_fall_back_to_ctrl(self, traffic):
+        """Slots too small for any burst: every batch takes the CTRL
+        fallback and the run still matches byte-for-byte."""
+        baseline = _run(traffic, parallel=False,
+                        cores=2).stats.to_dict()
+        par = _run(traffic, cores=2, ipc_transport="shm",
+                   ipc_slot_bytes=4096,
+                   parallel_batch_size=256).stats.to_dict()
+        assert par == baseline
+
+    def test_adaptive_sizing_stats_invariant(self, traffic):
+        fixed = _run(traffic, cores=2, ipc_transport="shm",
+                     ipc_adaptive_batch=False).stats.to_dict()
+        adaptive = _run(traffic, cores=2, ipc_transport="shm",
+                        ipc_adaptive_batch=True,
+                        parallel_batch_size=16,
+                        ipc_max_batch=512).stats.to_dict()
+        assert adaptive == fixed
+
+    def test_spans_identical_across_transports(self, traffic):
+        kwargs = dict(cores=2, span_sample=1, flight_recorder_depth=4)
+        via_shm = _run(traffic, ipc_transport="shm", **kwargs)
+        via_queue = _run(traffic, ipc_transport="queue", **kwargs)
+        assert via_shm.stats.to_dict() == via_queue.stats.to_dict()
+        assert via_shm.spans is not None
+        assert via_shm.spans.to_dict() == via_queue.spans.to_dict()
+
+    def test_netem_identical_across_transports(self, traffic):
+        from repro.config import ImpairmentConfig
+
+        impair = ImpairmentConfig(seed=7, loss_rate=0.05,
+                                  reorder_rate=0.05,
+                                  duplicate_rate=0.02)
+        seq = _run(traffic, parallel=False, impairment=impair)
+        for ipc in ("shm", "queue"):
+            par = _run(traffic, cores=4, ipc_transport=ipc,
+                       impairment=impair)
+            assert par.stats.to_dict() == seq.stats.to_dict()
+            assert par.impairment.to_dict() == seq.impairment.to_dict()
+
+    def test_overload_identical_across_transports(self, traffic):
+        kwargs = dict(filter_str="tcp", datatype="connection",
+                      overload_policy="ladder",
+                      overload_target_lag=0.0001)
+        seq = _run(traffic, parallel=False, **kwargs)
+        for ipc in ("shm", "queue"):
+            par = _run(traffic, cores=4, ipc_transport=ipc, **kwargs)
+            assert par.stats.to_dict() == seq.stats.to_dict()
+            assert par.overload.to_dict() == seq.overload.to_dict()
+
+    def test_tenancy_epoch_swap_across_transports(self, traffic):
+        from repro.tenancy.runtime import TenantRuntime
+        from repro.tenancy.spec import parse_reconfigure, \
+            parse_subscriptions
+
+        specs = parse_subscriptions(json.dumps({"tenants": [
+            {"name": "alpha", "filter": "tcp",
+             "datatype": "connection", "callback": "count"},
+            {"name": "beta", "filter": "udp",
+             "datatype": "packet", "callback": "count"},
+        ]}))
+        events = [parse_reconfigure("0.2:drop:beta")]
+
+        def run(parallel, ipc="auto"):
+            config = RuntimeConfig(cores=2, parallel=parallel,
+                                   ipc_transport=ipc)
+            runtime = TenantRuntime(config, specs, events=events)
+            return runtime.run(iter(traffic))
+
+        seq = run(False)
+        via_shm = run(True, "shm")
+        via_queue = run(True, "queue")
+        assert via_shm.stats.to_dict() == seq.stats.to_dict()
+        assert via_queue.stats.to_dict() == seq.stats.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# supervised crash replay (slot contents replayed byte-identically)
+# ---------------------------------------------------------------------------
+
+class TestSupervisedReplay:
+    def _crash_run(self, traffic, ipc, cores=2, depth=8):
+        plan = FaultPlan(seed=1, faults=(
+            FaultSpec(kind="worker_crash", at_batch=1, core=1),))
+        return _run(traffic, cores=cores, ipc_transport=ipc,
+                    fault_plan=plan, supervise=True,
+                    parallel_queue_depth=depth)
+
+    def test_crash_replay_matches_queue_transport(self, traffic):
+        via_shm = self._crash_run(traffic, "shm")
+        via_queue = self._crash_run(traffic, "queue")
+        assert via_shm.stats.to_dict() == via_queue.stats.to_dict()
+        assert via_shm.faults.to_dict() == via_queue.faults.to_dict()
+        assert via_shm.faults.worker_restarts == 1
+
+    def test_crash_replay_deterministic_and_isolated(self, traffic):
+        """Same crash, run twice: byte-identical; and cores the fault
+        never touched match a fault-free shm run bit-for-bit."""
+        one = self._crash_run(traffic, "shm", cores=4)
+        two = self._crash_run(traffic, "shm", cores=4)
+        assert one.stats.to_dict() == two.stats.to_dict()
+        assert one.faults.to_dict() == two.faults.to_dict()
+        clean = _run(traffic, cores=4, ipc_transport="shm")
+        for core in (0, 2, 3):
+            assert one.core_stats[core].to_dict() == \
+                clean.core_stats[core].to_dict(), f"core {core} diverged"
+
+    def test_crash_mid_flight_on_tiny_ring(self, traffic):
+        """Satellite: crash while the 2-deep ring is saturated, at
+        1/2/4 workers — restart resets the ring, the redo log replays
+        into fresh slots, and the outcome is byte-identical to the
+        queue transport under the identical crash."""
+        for cores in (1, 2, 4):
+            plan = FaultPlan(seed=1, faults=(
+                FaultSpec(kind="worker_crash", at_batch=2, core=0),))
+            kwargs = dict(cores=cores, fault_plan=plan, supervise=True,
+                          parallel_queue_depth=2,
+                          parallel_batch_size=32)
+            via_shm = _run(traffic, ipc_transport="shm", **kwargs)
+            via_queue = _run(traffic, ipc_transport="queue", **kwargs)
+            assert via_shm.stats.to_dict() == \
+                via_queue.stats.to_dict(), \
+                f"crash on tiny ring diverged at {cores} workers"
+            assert via_shm.faults.to_dict() == via_queue.faults.to_dict()
+            assert via_shm.faults.worker_restarts == 1
+
+
+# ---------------------------------------------------------------------------
+# health + config + CLI surfaces
+# ---------------------------------------------------------------------------
+
+class TestHealthAndConfig:
+    def test_backend_health_reports_shm(self, traffic):
+        report = _run(traffic, cores=2, ipc_transport="shm",
+                      telemetry=True)
+        health = report.backend_health
+        assert health["transport"] == "shm"
+        assert health["ring_size"] >= 1
+        assert health["slot_bytes"] >= 4096
+        assert "slot_starvation_seconds" in health
+        for row in health["workers"]:
+            assert "ring_highwater" in row
+            assert "slot_starvation_waits" in row
+        # Descriptor-only IPC: ~8 bytes per batch, far below one byte
+        # per packet for any realistic batch size.
+        assert 0 < health["ipc_bytes_per_packet"] < 2.0
+
+    def test_backend_health_reports_queue(self, traffic):
+        report = _run(traffic, cores=2, ipc_transport="queue",
+                      telemetry=True)
+        health = report.backend_health
+        assert health["transport"] == "queue"
+        assert "ring_highwater" not in health
+        # The queue transport ships the whole flat buffer per batch.
+        assert health["ipc_bytes_per_packet"] > 50
+
+    def test_prometheus_ring_families_gated(self, traffic):
+        from repro.telemetry.export import render_metrics
+
+        def render(ipc):
+            report = _run(traffic, cores=2, ipc_transport=ipc,
+                          telemetry=True)
+            return render_metrics(report.stats, report.backend_health,
+                                  include_volatile=True)
+
+        shm_text = render("shm")
+        queue_text = render("queue")
+        assert "repro_worker_ring_highwater" in shm_text
+        assert "repro_worker_slot_starvation_total" in shm_text
+        assert "repro_slot_starvation_seconds" in shm_text
+        assert "repro_worker_ring_highwater" not in queue_text
+        assert "repro_slot_starvation_seconds" not in queue_text
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RuntimeConfig(ipc_transport="carrier-pigeon")
+        with pytest.raises(ConfigError):
+            RuntimeConfig(ipc_slot_bytes=100)
+        with pytest.raises(ConfigError):
+            RuntimeConfig(parallel_batch_size=256, ipc_max_batch=8)
+        RuntimeConfig(ipc_transport="queue", ipc_slot_bytes=8192,
+                      ipc_max_batch=1024)
+
+    def test_cli_rejects_ipc_without_parallel(self, capsys):
+        from repro.cli import main
+
+        assert main(["--ipc", "shm", "--duration", "0.1"]) == 2
+        err = capsys.readouterr().err
+        assert "--ipc" in err and "--parallel" in err
+
+    def test_cli_ipc_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "stats.json"
+        rc = main(["--ipc", "shm", "--parallel", "2",
+                   "--duration", "0.1", "--json-stats", str(out)])
+        assert rc == 0
+        assert json.loads(out.read_text())["ingress_packets"] > 0
